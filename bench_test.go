@@ -1,0 +1,543 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§V) plus the §IV ablations, at laptop scale. cmd/bench runs the same
+// experiments with configurable sizes and pretty tables; these testing.B
+// targets make each experiment reproducible with
+//
+//	go test -bench=BenchmarkFig1 -benchmem
+//
+// Custom metrics attached to the results:
+//
+//	edges/s     input-edge processing rate (Table III's metric)
+//	speedup     vs. the measured single-thread run (Figures 2 and 3)
+//	modularity  partition quality (the §V SNAP sanity check)
+//	contract%   share of time in contraction (§IV-C's 40–80% claim)
+package community
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/contract"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/graphio"
+	"repro/internal/matching"
+	"repro/internal/metrics"
+	"repro/internal/pregel"
+	"repro/internal/refine"
+	"repro/internal/scoring"
+	"repro/internal/sparse"
+)
+
+// Bench workload scales. The paper uses rmat-24-16 (265M edges), 4.8M-vertex
+// soc-LiveJournal1 and 3.3G-edge uk-2007-05; these defaults keep the full
+// suite in minutes on a laptop while preserving each experiment's shape.
+const (
+	benchRMATScale = 14
+	benchLJSize    = 30_000
+	benchWebSize   = 50_000
+	benchSeed      = 42
+)
+
+var benchGraphs struct {
+	once          sync.Once
+	rmat, lj, web *graph.Graph
+}
+
+func loadBenchGraphs(b *testing.B) (rmat, lj, web *graph.Graph) {
+	b.Helper()
+	benchGraphs.once.Do(func() {
+		var err error
+		benchGraphs.rmat, _, err = gen.ConnectedRMAT(0, gen.DefaultRMAT(benchRMATScale, benchSeed))
+		if err != nil {
+			panic(err)
+		}
+		benchGraphs.lj, _, err = gen.LJSim(0, gen.DefaultLJSim(benchLJSize, benchSeed))
+		if err != nil {
+			panic(err)
+		}
+		benchGraphs.web, _, err = gen.WebCrawl(0, gen.DefaultWebCrawl(benchWebSize, benchSeed))
+		if err != nil {
+			panic(err)
+		}
+	})
+	return benchGraphs.rmat, benchGraphs.lj, benchGraphs.web
+}
+
+// paperOptions are the §V experimental settings: modularity scoring, the
+// improved kernels, coverage ≥ 0.5 termination.
+func paperOptions(threads int) core.Options {
+	return core.Options{Threads: threads, MinCoverage: 0.5}
+}
+
+// detectOnce runs one timed detection and reports edges/s.
+func detectOnce(b *testing.B, g *graph.Graph, opt core.Options) *core.Result {
+	b.Helper()
+	res, err := core.Detect(g, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// --- Table II: graph generation pipelines -------------------------------
+
+func BenchmarkTable2_GenerateRMAT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, _, err := gen.ConnectedRMAT(0, gen.DefaultRMAT(benchRMATScale, benchSeed))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(g.NumEdges()), "edges")
+	}
+}
+
+func BenchmarkTable2_GenerateLJSim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, _, err := gen.LJSim(0, gen.DefaultLJSim(benchLJSize, benchSeed))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(g.NumEdges()), "edges")
+	}
+}
+
+func BenchmarkTable2_GenerateUKSim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, _, err := gen.WebCrawl(0, gen.DefaultWebCrawl(benchWebSize, benchSeed))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(g.NumEdges()), "edges")
+	}
+}
+
+// --- Table III: peak processing rate -------------------------------------
+
+func benchRate(b *testing.B, g *graph.Graph) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		detectOnce(b, g, paperOptions(0))
+		b.ReportMetric(float64(g.NumEdges())/time.Since(start).Seconds(), "edges/s")
+	}
+}
+
+func BenchmarkTable3_Rate_RMAT(b *testing.B) {
+	rmat, _, _ := loadBenchGraphs(b)
+	benchRate(b, rmat)
+}
+
+func BenchmarkTable3_Rate_LJSim(b *testing.B) {
+	_, lj, _ := loadBenchGraphs(b)
+	benchRate(b, lj)
+}
+
+func BenchmarkTable3_Rate_UKSim(b *testing.B) {
+	_, _, web := loadBenchGraphs(b)
+	benchRate(b, web)
+}
+
+// --- Figures 1 and 2: time and speed-up vs. thread count ----------------
+
+// benchThreadSweep runs detection at each thread count as a sub-benchmark,
+// reporting edges/s and speed-up vs. the measured one-thread time.
+func benchThreadSweep(b *testing.B, g *graph.Graph) {
+	b.Helper()
+	var oneThread float64 // seconds, measured at threads=1
+	for _, t := range threadSeries(runtime.GOMAXPROCS(0)) {
+		t := t
+		b.Run(fmt.Sprintf("threads=%d", t), func(b *testing.B) {
+			best := 0.0
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				detectOnce(b, g, paperOptions(t))
+				secs := time.Since(start).Seconds()
+				if best == 0 || secs < best {
+					best = secs
+				}
+			}
+			if t == 1 && (oneThread == 0 || best < oneThread) {
+				oneThread = best
+			}
+			b.ReportMetric(float64(g.NumEdges())/best, "edges/s")
+			if oneThread > 0 {
+				b.ReportMetric(oneThread/best, "speedup")
+			}
+		})
+	}
+}
+
+func threadSeries(max int) []int {
+	if max < 1 {
+		max = 1
+	}
+	var s []int
+	for t := 1; t < max; t *= 2 {
+		s = append(s, t)
+	}
+	return append(s, max)
+}
+
+func BenchmarkFig1_Fig2_RMAT(b *testing.B) {
+	rmat, _, _ := loadBenchGraphs(b)
+	benchThreadSweep(b, rmat)
+}
+
+func BenchmarkFig1_Fig2_LJSim(b *testing.B) {
+	_, lj, _ := loadBenchGraphs(b)
+	benchThreadSweep(b, lj)
+}
+
+// --- Figure 3: the large crawl graph -------------------------------------
+
+func BenchmarkFig3_UKSim(b *testing.B) {
+	_, _, web := loadBenchGraphs(b)
+	benchThreadSweep(b, web)
+}
+
+// --- §IV ablations --------------------------------------------------------
+
+// benchKernels times one full detection per kernel combination.
+func benchKernelCombo(b *testing.B, mk core.MatchKernel, ck core.ContractKernel) {
+	b.Helper()
+	_, lj, _ := loadBenchGraphs(b)
+	opt := paperOptions(0)
+	opt.Matching = mk
+	opt.Contraction = ck
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		detectOnce(b, lj, opt)
+		b.ReportMetric(float64(lj.NumEdges())/time.Since(start).Seconds(), "edges/s")
+	}
+}
+
+// The paper's ~20% overall improvement claim: new vs. 2011 algorithm.
+func BenchmarkAblation_NewAlgorithm(b *testing.B) {
+	benchKernelCombo(b, core.MatchWorklist, core.ContractBucket)
+}
+
+func BenchmarkAblation_Old2011Algorithm(b *testing.B) {
+	benchKernelCombo(b, core.MatchEdgeSweep, core.ContractListChase)
+}
+
+// §IV-B: worklist vs. edge-sweep matching, contraction held fixed.
+func BenchmarkAblationMatching_Worklist(b *testing.B) {
+	benchKernelCombo(b, core.MatchWorklist, core.ContractBucket)
+}
+
+func BenchmarkAblationMatching_EdgeSweep(b *testing.B) {
+	benchKernelCombo(b, core.MatchEdgeSweep, core.ContractBucket)
+}
+
+// §IV-C: bucket vs. linked-list contraction, matching held fixed.
+func BenchmarkAblationContraction_Bucket(b *testing.B) {
+	benchKernelCombo(b, core.MatchWorklist, core.ContractBucket)
+}
+
+func BenchmarkAblationContraction_ListChase(b *testing.B) {
+	benchKernelCombo(b, core.MatchWorklist, core.ContractListChase)
+}
+
+// §IV-C note: contiguous vs. non-contiguous bucket layouts (untimed in the
+// paper).
+func BenchmarkAblationBuckets_Contiguous(b *testing.B) {
+	benchKernelCombo(b, core.MatchWorklist, core.ContractBucket)
+}
+
+func BenchmarkAblationBuckets_NonContiguous(b *testing.B) {
+	benchKernelCombo(b, core.MatchWorklist, core.ContractBucketNonContiguous)
+}
+
+// --- §IV-C phase breakdown ------------------------------------------------
+
+func BenchmarkPhaseBreakdown(b *testing.B) {
+	_, lj, _ := loadBenchGraphs(b)
+	for i := 0; i < b.N; i++ {
+		res := detectOnce(b, lj, paperOptions(0))
+		var score, match, contr time.Duration
+		for _, st := range res.Stats {
+			score += st.ScoreTime
+			match += st.MatchTime
+			contr += st.ContractTime
+		}
+		total := score + match + contr
+		if total > 0 {
+			b.ReportMetric(100*float64(contr)/float64(total), "contract%")
+			b.ReportMetric(100*float64(match)/float64(total), "match%")
+		}
+	}
+}
+
+// --- §V quality sanity check ----------------------------------------------
+
+func BenchmarkQuality_Engine(b *testing.B) {
+	_, lj, _ := loadBenchGraphs(b)
+	for i := 0; i < b.N; i++ {
+		res := detectOnce(b, lj, core.Options{})
+		b.ReportMetric(res.FinalModularity, "modularity")
+	}
+}
+
+func BenchmarkQuality_EngineWithRefine(b *testing.B) {
+	_, lj, _ := loadBenchGraphs(b)
+	for i := 0; i < b.N; i++ {
+		res := detectOnce(b, lj, core.Options{})
+		ref, err := refine.Refine(lj, res.CommunityOf, res.NumCommunities, refine.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(ref.ModularityAfter, "modularity")
+	}
+}
+
+func BenchmarkQuality_CNM(b *testing.B) {
+	_, lj, _ := loadBenchGraphs(b)
+	for i := 0; i < b.N; i++ {
+		res := baseline.CNM(lj)
+		b.ReportMetric(res.Modularity, "modularity")
+	}
+}
+
+func BenchmarkQuality_Louvain(b *testing.B) {
+	_, lj, _ := loadBenchGraphs(b)
+	for i := 0; i < b.N; i++ {
+		res := baseline.Louvain(lj, benchSeed)
+		b.ReportMetric(res.Modularity, "modularity")
+	}
+}
+
+// --- kernel micro-benchmarks ----------------------------------------------
+// These isolate the three primitives on the initial community graph, the
+// granularity at which §IV discusses the data-structure choices.
+
+func benchPhase0(b *testing.B) (*graph.Graph, []int64, []float64) {
+	b.Helper()
+	_, lj, _ := loadBenchGraphs(b)
+	deg := lj.WeightedDegrees(0)
+	scores := make([]float64, len(lj.U))
+	scoring.Modularity{}.Score(0, lj, deg, lj.TotalWeight(0), scores)
+	return lj, deg, scores
+}
+
+func BenchmarkKernel_Scoring(b *testing.B) {
+	lj, deg, scores := benchPhase0(b)
+	totW := lj.TotalWeight(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scoring.Modularity{}.Score(0, lj, deg, totW, scores)
+	}
+}
+
+func BenchmarkKernel_MatchingWorklist(b *testing.B) {
+	lj, _, scores := benchPhase0(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matching.Worklist(0, lj, scores)
+	}
+}
+
+func BenchmarkKernel_MatchingEdgeSweep(b *testing.B) {
+	lj, _, scores := benchPhase0(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matching.EdgeSweep(0, lj, scores)
+	}
+}
+
+func BenchmarkKernel_ContractBucket(b *testing.B) {
+	lj, _, scores := benchPhase0(b)
+	m := matching.Worklist(0, lj, scores)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		contract.Bucket(0, lj, m.Match, contract.Contiguous)
+	}
+}
+
+func BenchmarkKernel_ContractBucketNonContiguous(b *testing.B) {
+	lj, _, scores := benchPhase0(b)
+	m := matching.Worklist(0, lj, scores)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		contract.Bucket(0, lj, m.Match, contract.NonContiguous)
+	}
+}
+
+func BenchmarkKernel_ContractListChase(b *testing.B) {
+	lj, _, scores := benchPhase0(b)
+	m := matching.Worklist(0, lj, scores)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		contract.ListChase(0, lj, m.Match)
+	}
+}
+
+// --- substrate micro-benchmarks --------------------------------------------
+
+func BenchmarkSubstrate_BuildGraph(b *testing.B) {
+	edges, err := gen.RMATEdges(0, gen.DefaultRMAT(benchRMATScale, benchSeed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := int64(1) << benchRMATScale
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := append([]graph.Edge(nil), edges...)
+		if _, err := graph.Build(0, n, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubstrate_Components(b *testing.B) {
+	rmat, _, _ := loadBenchGraphs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graph.Components(0, rmat)
+	}
+}
+
+func BenchmarkSubstrate_WeightedDegrees(b *testing.B) {
+	rmat, _, _ := loadBenchGraphs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rmat.WeightedDegrees(0)
+	}
+}
+
+// --- extension benchmarks ---------------------------------------------------
+// The paper's named extensions: per-phase refinement (§II future work),
+// community size caps (§III), and the algebraic SᵀAS contraction (§VI).
+
+func BenchmarkExtension_RefineEveryPhase(b *testing.B) {
+	_, lj, _ := loadBenchGraphs(b)
+	opt := core.Options{RefineEveryPhase: true}
+	for i := 0; i < b.N; i++ {
+		res := detectOnce(b, lj, opt)
+		b.ReportMetric(res.FinalModularity, "modularity")
+	}
+}
+
+func BenchmarkExtension_SizeCap64(b *testing.B) {
+	_, lj, _ := loadBenchGraphs(b)
+	opt := paperOptions(0)
+	opt.MaxCommunitySize = 64
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		res := detectOnce(b, lj, opt)
+		b.ReportMetric(float64(lj.NumEdges())/time.Since(start).Seconds(), "edges/s")
+		b.ReportMetric(float64(res.NumCommunities), "communities")
+	}
+}
+
+func BenchmarkKernel_ContractAlgebraic(b *testing.B) {
+	lj, _, scores := benchPhase0(b)
+	m := matching.Worklist(0, lj, scores)
+	mapping, k := contract.Relabel(0, lj, m.Match)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sparse.ContractAlgebraic(0, lj, mapping, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubstrate_SpGEMM(b *testing.B) {
+	_, lj, _ := loadBenchGraphs(b)
+	a, err := sparse.FromGraph(0, lj)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sparse.Mul(0, a, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubstrate_BinaryIO(b *testing.B) {
+	_, lj, _ := loadBenchGraphs(b)
+	var buf bytes.Buffer
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := graphio.WriteBinary(&buf, lj); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := graphio.ReadBinary(&buf, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaseline_Louvain(b *testing.B) {
+	_, lj, _ := loadBenchGraphs(b)
+	for i := 0; i < b.N; i++ {
+		res := baseline.Louvain(lj, benchSeed)
+		b.ReportMetric(res.Modularity, "modularity")
+	}
+}
+
+func BenchmarkBaseline_CNM(b *testing.B) {
+	_, lj, _ := loadBenchGraphs(b)
+	for i := 0; i < b.N; i++ {
+		res := baseline.CNM(lj)
+		b.ReportMetric(res.Modularity, "modularity")
+	}
+}
+
+// --- §III complexity cases ---------------------------------------------------
+// The paper's operation-count analysis: if the community graph halves each
+// phase the run costs O(|E|·log|V|); on a star only two vertices contract
+// per phase and the worst case O(|E|·|V|) appears.
+
+func BenchmarkComplexity_HalvingCliqueChain(b *testing.B) {
+	g := gen.CliqueChain(256, 8)
+	for i := 0; i < b.N; i++ {
+		res := detectOnce(b, g, core.Options{})
+		b.ReportMetric(float64(len(res.Stats)), "phases")
+	}
+}
+
+func BenchmarkComplexity_StarWorstCase(b *testing.B) {
+	g := gen.Star(2048)
+	for i := 0; i < b.N; i++ {
+		res := detectOnce(b, g, core.Options{MaxPhases: 4096})
+		b.ReportMetric(float64(len(res.Stats)), "phases")
+	}
+}
+
+// --- §VI execution models -----------------------------------------------------
+
+func BenchmarkPregel_ConnectedComponents(b *testing.B) {
+	rmat, _, _ := loadBenchGraphs(b)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := pregel.ConnectedComponents(0, rmat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPregel_LabelPropagation(b *testing.B) {
+	_, lj, _ := loadBenchGraphs(b)
+	for i := 0; i < b.N; i++ {
+		comm, k, _, err := pregel.LabelPropagation(0, lj, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(metrics.Modularity(0, lj, comm, k), "modularity")
+	}
+}
+
+func BenchmarkSubstrate_ComponentsDirect(b *testing.B) {
+	rmat, _, _ := loadBenchGraphs(b)
+	for i := 0; i < b.N; i++ {
+		graph.Components(0, rmat)
+	}
+}

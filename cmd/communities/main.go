@@ -1,0 +1,235 @@
+// Command communities runs parallel agglomerative community detection on a
+// graph loaded from a file or produced by one of the built-in generators,
+// prints per-phase statistics and the final quality summary, and optionally
+// writes the vertex→community assignment.
+//
+// Examples:
+//
+//	communities -gen rmat -scale 16 -threads 8
+//	communities -gen lj -n 100000 -coverage 0.5 -refine
+//	communities -in soc-LiveJournal1.txt -format edgelist -out comm.txt
+//	communities -gen web -n 200000 -scorer conductance -kernels edgesweep,listchase
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/graphio"
+	"repro/internal/metrics"
+	"repro/internal/refine"
+	"repro/internal/report"
+	"repro/internal/scoring"
+)
+
+func main() {
+	var (
+		inPath  = flag.String("in", "", "input graph file (use -gen instead to generate)")
+		format  = flag.String("format", "edgelist", "input format: edgelist | binary")
+		genName = flag.String("gen", "", "generator: rmat | lj | web | karate | cliquechain")
+		scale   = flag.Int("scale", 16, "R-MAT scale (2^scale vertices)")
+		n       = flag.Int64("n", 100_000, "vertex count for lj/web generators")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+
+		threads   = flag.Int("threads", 0, "worker count (0 = GOMAXPROCS)")
+		scorerArg = flag.String("scorer", "modularity", "edge scorer: modularity | conductance")
+		kernels   = flag.String("kernels", "worklist,bucket",
+			"matching,contraction kernels: worklist|edgesweep , bucket|bucket-noncontig|listchase")
+		coverage = flag.Float64("coverage", 0, "terminate at this coverage (0 = run to local max)")
+		maxPhase = flag.Int("max-phases", 0, "phase cap (0 = unlimited)")
+		minComm  = flag.Int64("min-communities", 0, "community floor (0 = none)")
+		doRefine = flag.Bool("refine", false, "run the vertex-move refinement extension afterwards")
+		refinePh = flag.Bool("refine-phases", false, "refine after every contraction phase (slower, better quality)")
+		maxSize  = flag.Int64("max-size", 0, "forbid communities larger than this many vertices (0 = none)")
+		compare  = flag.Bool("compare", false, "also run the sequential CNM and Louvain baselines")
+		outPath  = flag.String("out", "", "write vertex→community assignment to this file")
+		jsonPath = flag.String("json", "", "write a machine-readable JSON run report to this file")
+		verbose  = flag.Bool("v", false, "print per-phase statistics")
+		validate = flag.Bool("validate", false, "run invariant checks every phase (slow; debugging)")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*inPath, *format, *genName, *scale, *n, *seed, *threads)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("graph: |V|=%d |E|=%d total weight=%d\n",
+		g.NumVertices(), g.NumEdges(), g.TotalWeight(*threads))
+
+	opt := core.Options{
+		Threads:          *threads,
+		MinCoverage:      *coverage,
+		MaxPhases:        *maxPhase,
+		MinCommunities:   *minComm,
+		MaxCommunitySize: *maxSize,
+		RefineEveryPhase: *refinePh,
+		Validate:         *validate,
+	}
+	switch *scorerArg {
+	case "modularity":
+		opt.Scorer = scoring.Modularity{}
+	case "conductance":
+		opt.Scorer = scoring.Conductance{}
+	default:
+		fatal(fmt.Errorf("unknown scorer %q", *scorerArg))
+	}
+	if err := parseKernels(*kernels, &opt); err != nil {
+		fatal(err)
+	}
+
+	start := time.Now()
+	res, err := core.Detect(g, opt)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	if *verbose {
+		fmt.Println("phase  vertices      edges   coverage  modularity  pairs  score(ms)  match(ms)  contract(ms)")
+		for _, st := range res.Stats {
+			fmt.Printf("%5d  %8d  %9d     %6.4f      %6.4f  %5d  %9.2f  %9.2f  %12.2f\n",
+				st.Phase, st.Vertices, st.Edges, st.Coverage, st.Modularity, st.MatchedPairs,
+				ms(st.ScoreTime), ms(st.MatchTime), ms(st.ContractTime))
+		}
+	}
+	fmt.Printf("detection: %d communities in %v (%d phases, terminated by %s)\n",
+		res.NumCommunities, elapsed.Round(time.Millisecond), len(res.Stats), res.Termination)
+	fmt.Printf("rate: %.3g input edges/second\n", float64(g.NumEdges())/elapsed.Seconds())
+	fmt.Println("quality:", metrics.Evaluate(*threads, g, res.CommunityOf, res.NumCommunities))
+
+	comm, k := res.CommunityOf, res.NumCommunities
+	if *doRefine {
+		rres, err := refine.Refine(g, comm, k, refine.Options{Threads: *threads})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("refinement: %d moves in %d sweeps, modularity %.4f -> %.4f\n",
+			rres.Moves, rres.Sweeps, rres.ModularityBefore, rres.ModularityAfter)
+		comm, k = rres.CommunityOf, rres.NumCommunities
+	}
+	if *compare {
+		t0 := time.Now()
+		lou := baseline.Louvain(g, *seed)
+		fmt.Printf("baseline louvain: %d communities, modularity %.4f, %v\n",
+			lou.NumCommunities, lou.Modularity, time.Since(t0).Round(time.Millisecond))
+		if g.NumEdges() <= 2_000_000 {
+			t1 := time.Now()
+			cnm := baseline.CNM(g)
+			fmt.Printf("baseline cnm:     %d communities, modularity %.4f, %v\n",
+				cnm.NumCommunities, cnm.Modularity, time.Since(t1).Round(time.Millisecond))
+		} else {
+			fmt.Println("baseline cnm:     skipped (graph too large for the sequential queue)")
+		}
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fatal(err)
+		}
+		run := report.FromResult(runName(*inPath, *genName), g, opt, res)
+		if err := run.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote JSON report to %s\n", *jsonPath)
+	}
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := graphio.WriteCommunities(f, comm); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d assignments (%d communities) to %s\n", len(comm), k, *outPath)
+	}
+}
+
+func loadGraph(inPath, format, genName string, scale int, n int64, seed uint64, threads int) (*graph.Graph, error) {
+	switch {
+	case inPath != "" && genName != "":
+		return nil, fmt.Errorf("use either -in or -gen, not both")
+	case inPath != "":
+		f, err := os.Open(inPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		switch format {
+		case "edgelist":
+			return graphio.ReadEdgeList(f, threads, 0)
+		case "binary":
+			return graphio.ReadBinary(f, threads)
+		}
+		return nil, fmt.Errorf("unknown format %q", format)
+	case genName == "rmat":
+		g, _, err := gen.ConnectedRMAT(threads, gen.DefaultRMAT(scale, seed))
+		return g, err
+	case genName == "lj":
+		g, _, err := gen.LJSim(threads, gen.DefaultLJSim(n, seed))
+		return g, err
+	case genName == "web":
+		g, _, err := gen.WebCrawl(threads, gen.DefaultWebCrawl(n, seed))
+		return g, err
+	case genName == "karate":
+		return gen.Karate(), nil
+	case genName == "cliquechain":
+		return gen.CliqueChain(64, 16), nil
+	case genName == "":
+		return nil, fmt.Errorf("provide -in FILE or -gen NAME (rmat|lj|web|karate|cliquechain)")
+	}
+	return nil, fmt.Errorf("unknown generator %q", genName)
+}
+
+func parseKernels(s string, opt *core.Options) error {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return fmt.Errorf("kernels must be \"matching,contraction\", got %q", s)
+	}
+	switch parts[0] {
+	case "worklist":
+		opt.Matching = core.MatchWorklist
+	case "edgesweep":
+		opt.Matching = core.MatchEdgeSweep
+	default:
+		return fmt.Errorf("unknown matching kernel %q", parts[0])
+	}
+	switch parts[1] {
+	case "bucket":
+		opt.Contraction = core.ContractBucket
+	case "bucket-noncontig":
+		opt.Contraction = core.ContractBucketNonContiguous
+	case "listchase":
+		opt.Contraction = core.ContractListChase
+	default:
+		return fmt.Errorf("unknown contraction kernel %q", parts[1])
+	}
+	return nil
+}
+
+// runName labels the report with the input file or generator used.
+func runName(inPath, genName string) string {
+	if inPath != "" {
+		return inPath
+	}
+	return "gen:" + genName
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "communities:", err)
+	os.Exit(1)
+}

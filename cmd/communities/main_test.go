@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestParseKernels(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantM   core.MatchKernel
+		wantC   core.ContractKernel
+		wantErr bool
+	}{
+		{"worklist,bucket", core.MatchWorklist, core.ContractBucket, false},
+		{"edgesweep,listchase", core.MatchEdgeSweep, core.ContractListChase, false},
+		{"worklist,bucket-noncontig", core.MatchWorklist, core.ContractBucketNonContiguous, false},
+		{"worklist", 0, 0, true},
+		{"worklist,bucket,extra", 0, 0, true},
+		{"nope,bucket", 0, 0, true},
+		{"worklist,nope", 0, 0, true},
+	}
+	for _, c := range cases {
+		var opt core.Options
+		err := parseKernels(c.in, &opt)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("parseKernels(%q) accepted", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseKernels(%q): %v", c.in, err)
+			continue
+		}
+		if opt.Matching != c.wantM || opt.Contraction != c.wantC {
+			t.Errorf("parseKernels(%q) = %v/%v", c.in, opt.Matching, opt.Contraction)
+		}
+	}
+}
+
+func TestLoadGraphGenerators(t *testing.T) {
+	for _, name := range []string{"karate", "cliquechain"} {
+		g, err := loadGraph("", "edgelist", name, 10, 100, 1, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.NumVertices() == 0 {
+			t.Fatalf("%s: empty graph", name)
+		}
+	}
+	g, err := loadGraph("", "edgelist", "lj", 10, 500, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 500 {
+		t.Fatalf("lj |V| = %d", g.NumVertices())
+	}
+}
+
+func TestLoadGraphErrors(t *testing.T) {
+	if _, err := loadGraph("x.txt", "edgelist", "karate", 10, 1, 1, 1); err == nil {
+		t.Error("accepted both -in and -gen")
+	}
+	if _, err := loadGraph("", "edgelist", "", 10, 1, 1, 1); err == nil {
+		t.Error("accepted neither -in nor -gen")
+	}
+	if _, err := loadGraph("", "edgelist", "bogus", 10, 1, 1, 1); err == nil {
+		t.Error("accepted unknown generator")
+	}
+	if _, err := loadGraph("/does/not/exist", "edgelist", "", 10, 1, 1, 1); err == nil {
+		t.Error("accepted missing file")
+	}
+}
+
+func TestLoadGraphFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(path, []byte("0 1\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := loadGraph(path, "edgelist", "", 10, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("|E| = %d", g.NumEdges())
+	}
+	if _, err := loadGraph(path, "bogus", "", 10, 1, 1, 1); err == nil {
+		t.Error("accepted unknown format")
+	}
+}
+
+func TestRunName(t *testing.T) {
+	if runName("file.txt", "") != "file.txt" || runName("", "lj") != "gen:lj" {
+		t.Fatal("runName wrong")
+	}
+}

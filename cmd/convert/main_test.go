@@ -1,0 +1,34 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadWriteAllFormats(t *testing.T) {
+	src := "0 1 2\n1 2 3\n0 2 1\n"
+	g, err := read(strings.NewReader(src), "edgelist", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range []string{"edgelist", "binary", "metis"} {
+		var buf bytes.Buffer
+		if err := write(&buf, format, g); err != nil {
+			t.Fatalf("%s write: %v", format, err)
+		}
+		back, err := read(&buf, format, 1)
+		if err != nil {
+			t.Fatalf("%s read: %v", format, err)
+		}
+		if back.NumEdges() != g.NumEdges() || back.TotalWeight(1) != g.TotalWeight(1) {
+			t.Fatalf("%s: round trip changed the graph", format)
+		}
+	}
+	if _, err := read(strings.NewReader(""), "bogus", 1); err == nil {
+		t.Fatal("accepted unknown input format")
+	}
+	if err := write(&bytes.Buffer{}, "bogus", g); err == nil {
+		t.Fatal("accepted unknown output format")
+	}
+}

@@ -1,0 +1,139 @@
+// Command gengraph generates the non-R-MAT benchmark workloads: the
+// soc-LiveJournal1 stand-in (lj), the uk-2007-05 crawl stand-in (web), a
+// plain stochastic block model (sbm), and the deterministic test graphs.
+// Ground-truth community labels can be written alongside the graph.
+//
+// Example:
+//
+//	gengraph -kind lj -n 500000 -o lj-sim.bin -format binary -truth lj-truth.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/graphio"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "lj", "graph kind: lj | web | sbm | ring | star | clique | grid | cliquechain | karate")
+		n       = flag.Int64("n", 100_000, "vertex count (lj, web, ring, star, clique)")
+		blocks  = flag.String("blocks", "1000x100", "sbm blocks as COUNTxSIZE")
+		pin     = flag.Float64("pin", 0.3, "sbm intra-block edge probability")
+		pout    = flag.Float64("pout", 0.001, "sbm inter-block edge probability")
+		rows    = flag.Int64("rows", 100, "grid rows / cliquechain cliques")
+		cols    = flag.Int64("cols", 100, "grid cols / cliquechain clique size")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		threads = flag.Int("threads", 0, "worker count (0 = GOMAXPROCS)")
+		out     = flag.String("o", "", "output file (default stdout)")
+		format  = flag.String("format", "edgelist", "output format: edgelist | binary | metis")
+		truthF  = flag.String("truth", "", "write ground-truth labels to this file (lj, web, sbm)")
+	)
+	flag.Parse()
+
+	var (
+		g     *graph.Graph
+		truth []int64
+		err   error
+	)
+	switch *kind {
+	case "lj":
+		g, truth, err = gen.LJSim(*threads, gen.DefaultLJSim(*n, *seed))
+	case "web":
+		g, truth, err = gen.WebCrawl(*threads, gen.DefaultWebCrawl(*n, *seed))
+	case "sbm":
+		var bs []int64
+		bs, err = parseBlocks(*blocks)
+		if err == nil {
+			g, truth, err = gen.SBM(*threads, gen.SBMConfig{Blocks: bs, PIn: *pin, POut: *pout, Seed: *seed})
+		}
+	case "ring":
+		g = gen.Ring(*n)
+	case "star":
+		g = gen.Star(*n)
+	case "clique":
+		g = gen.Clique(*n)
+	case "grid":
+		g = gen.Grid(*rows, *cols)
+	case "cliquechain":
+		g = gen.CliqueChain(*rows, *cols)
+	case "karate":
+		g = gen.Karate()
+	default:
+		err = fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "%s: |V|=%d |E|=%d\n", *kind, g.NumVertices(), g.NumEdges())
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "edgelist":
+		err = graphio.WriteEdgeList(w, g)
+	case "binary":
+		err = graphio.WriteBinary(w, g)
+	case "metis":
+		err = graphio.WriteMETIS(w, g)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *truthF != "" {
+		if truth == nil {
+			fatal(fmt.Errorf("kind %q has no ground truth", *kind))
+		}
+		f, err := os.Create(*truthF)
+		if err != nil {
+			fatal(err)
+		}
+		if err := graphio.WriteCommunities(f, truth); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// parseBlocks parses "COUNTxSIZE" into a block-size slice.
+func parseBlocks(s string) ([]int64, error) {
+	parts := strings.Split(s, "x")
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("blocks must be COUNTxSIZE, got %q", s)
+	}
+	count, err := strconv.ParseInt(parts[0], 10, 64)
+	if err != nil || count < 1 {
+		return nil, fmt.Errorf("bad block count %q", parts[0])
+	}
+	size, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil || size < 1 {
+		return nil, fmt.Errorf("bad block size %q", parts[1])
+	}
+	bs := make([]int64, count)
+	for i := range bs {
+		bs[i] = size
+	}
+	return bs, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gengraph:", err)
+	os.Exit(1)
+}

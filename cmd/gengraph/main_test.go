@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestParseBlocks(t *testing.T) {
+	bs, err := parseBlocks("3x40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 3 || bs[0] != 40 || bs[2] != 40 {
+		t.Fatalf("blocks = %v", bs)
+	}
+	for _, bad := range []string{"", "3", "3x", "x40", "0x40", "3x0", "-1x5", "axb", "3x40x5"} {
+		if _, err := parseBlocks(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+// Package community is the public API of this reproduction of Riedy,
+// Meyerhenke & Bader, "Scalable Multi-threaded Community Detection in
+// Social Networks" (IPDPSW/MTAAP 2012): parallel agglomerative community
+// detection by edge scoring, greedy heavy maximal matching, and community
+// graph contraction.
+//
+// The facade re-exports the library's building blocks from the internal
+// packages so that a typical user needs a single import:
+//
+//	g, truth, _ := community.LJSim(0, community.DefaultLJSim(100_000, 42))
+//	res, _ := community.Detect(g, community.Options{MinCoverage: 0.5})
+//	fmt.Println(community.Evaluate(0, g, res.CommunityOf, res.NumCommunities))
+//
+// Throughout the API, a worker-count parameter p of 0 (or an
+// Options.Threads of 0) selects runtime.GOMAXPROCS.
+package community
+
+import (
+	"io"
+
+	"repro/internal/baseline"
+	"repro/internal/contract"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/graphio"
+	"repro/internal/harness"
+	"repro/internal/hierarchy"
+	"repro/internal/matching"
+	"repro/internal/metrics"
+	"repro/internal/pregel"
+	"repro/internal/refine"
+	"repro/internal/scoring"
+	"repro/internal/sparse"
+)
+
+// Graph is the paper's bucketed triple representation of a weighted
+// undirected graph (§IV-A). See the graph package for invariants.
+type Graph = graph.Graph
+
+// Edge is one weighted undirected input edge.
+type Edge = graph.Edge
+
+// CSR is a symmetric adjacency view of a Graph.
+type CSR = graph.CSR
+
+// Options configures Detect; the zero value maximizes modularity with the
+// paper's improved kernels on all available threads.
+type Options = core.Options
+
+// Result is the outcome of Detect.
+type Result = core.Result
+
+// PhaseStats records one engine phase.
+type PhaseStats = core.PhaseStats
+
+// Termination labels why a run stopped.
+type Termination = core.Termination
+
+// Kernel selectors; see the core package.
+const (
+	MatchWorklist  = core.MatchWorklist
+	MatchEdgeSweep = core.MatchEdgeSweep
+
+	ContractBucket              = core.ContractBucket
+	ContractBucketNonContiguous = core.ContractBucketNonContiguous
+	ContractListChase           = core.ContractListChase
+
+	TermLocalMax       = core.TermLocalMax
+	TermCoverage       = core.TermCoverage
+	TermMaxPhases      = core.TermMaxPhases
+	TermMinCommunities = core.TermMinCommunities
+)
+
+// Scorer is the pluggable edge-scoring metric (§III).
+type Scorer = scoring.Scorer
+
+// ModularityScorer scores merges by the Newman–Girvan modularity change.
+type ModularityScorer = scoring.Modularity
+
+// ConductanceScorer scores merges by negated conductance change.
+type ConductanceScorer = scoring.Conductance
+
+// Detect runs the parallel agglomerative community detection algorithm.
+func Detect(g *Graph, opt Options) (*Result, error) { return core.Detect(g, opt) }
+
+// Build assembles a Graph from raw edges with p workers, accumulating
+// duplicates and folding self-loops.
+func Build(p int, numVertices int64, edges []Edge) (*Graph, error) {
+	return graph.Build(p, numVertices, edges)
+}
+
+// NewEmpty returns a graph with n vertices and no edges.
+func NewEmpty(n int64) *Graph { return graph.NewEmpty(n) }
+
+// ToCSR symmetrizes g into a CSR adjacency view.
+func ToCSR(p int, g *Graph) *CSR { return graph.ToCSR(p, g) }
+
+// Components labels connected components; LargestComponent extracts the
+// biggest one with vertices renumbered.
+func Components(p int, g *Graph) ([]int64, int64) { return graph.Components(p, g) }
+
+// LargestComponent extracts the largest connected component of g.
+func LargestComponent(p int, g *Graph) (*Graph, []int64) { return graph.LargestComponent(p, g) }
+
+// Generator configurations and constructors (§V-B workloads).
+type (
+	// RMATConfig parameterizes the R-MAT generator.
+	RMATConfig = gen.RMATConfig
+	// LJSimConfig parameterizes the soc-LiveJournal1 stand-in.
+	LJSimConfig = gen.LJSimConfig
+	// WebCrawlConfig parameterizes the uk-2007-05 stand-in.
+	WebCrawlConfig = gen.WebCrawlConfig
+	// SBMConfig parameterizes the plain stochastic block model.
+	SBMConfig = gen.SBMConfig
+)
+
+// DefaultRMAT returns the paper's R-MAT parameters (a=0.55, b=c=0.1,
+// d=0.25, edge factor 16) at the given scale.
+func DefaultRMAT(scale int, seed uint64) RMATConfig { return gen.DefaultRMAT(scale, seed) }
+
+// RMATGraph samples an R-MAT graph; ConnectedRMAT additionally extracts the
+// largest connected component, the paper's full pipeline.
+func RMATGraph(p int, cfg RMATConfig) (*Graph, error) { return gen.RMATGraph(p, cfg) }
+
+// ConnectedRMAT samples an R-MAT graph and keeps its largest component.
+func ConnectedRMAT(p int, cfg RMATConfig) (*Graph, []int64, error) { return gen.ConnectedRMAT(p, cfg) }
+
+// DefaultLJSim sizes the community-rich social-network stand-in.
+func DefaultLJSim(n int64, seed uint64) LJSimConfig { return gen.DefaultLJSim(n, seed) }
+
+// LJSim generates the soc-LiveJournal1 stand-in and its ground truth.
+func LJSim(p int, cfg LJSimConfig) (*Graph, []int64, error) { return gen.LJSim(p, cfg) }
+
+// DefaultWebCrawl sizes the crawl-like uk-2007-05 stand-in.
+func DefaultWebCrawl(n int64, seed uint64) WebCrawlConfig { return gen.DefaultWebCrawl(n, seed) }
+
+// WebCrawl generates the crawl-like graph and its host ground truth.
+func WebCrawl(p int, cfg WebCrawlConfig) (*Graph, []int64, error) { return gen.WebCrawl(p, cfg) }
+
+// SBM samples a stochastic block model graph with ground-truth labels.
+func SBM(p int, cfg SBMConfig) (*Graph, []int64, error) { return gen.SBM(p, cfg) }
+
+// Deterministic graphs for tests, examples, and sanity checks.
+func Ring(n int64) *Graph           { return gen.Ring(n) }
+func Star(n int64) *Graph           { return gen.Star(n) }
+func Clique(n int64) *Graph         { return gen.Clique(n) }
+func Grid(rows, cols int64) *Graph  { return gen.Grid(rows, cols) }
+func CliqueChain(k, s int64) *Graph { return gen.CliqueChain(k, s) }
+func Karate() *Graph                { return gen.Karate() }
+
+// I/O in the dataset formats of §V-B.
+func ReadEdgeList(r io.Reader, p int, minVertices int64) (*Graph, error) {
+	return graphio.ReadEdgeList(r, p, minVertices)
+}
+func WriteEdgeList(w io.Writer, g *Graph) error     { return graphio.WriteEdgeList(w, g) }
+func ReadBinary(r io.Reader, p int) (*Graph, error) { return graphio.ReadBinary(r, p) }
+func WriteBinary(w io.Writer, g *Graph) error       { return graphio.WriteBinary(w, g) }
+func WriteMETIS(w io.Writer, g *Graph) error        { return graphio.WriteMETIS(w, g) }
+func ReadMETIS(r io.Reader, p int) (*Graph, error)  { return graphio.ReadMETIS(r, p) }
+func WriteCommunities(w io.Writer, comm []int64) error {
+	return graphio.WriteCommunities(w, comm)
+}
+
+// Quality metrics.
+type QualitySummary = metrics.Summary
+
+// Evaluate computes modularity, coverage, conductance, and size statistics
+// of a partition.
+func Evaluate(p int, g *Graph, comm []int64, k int64) QualitySummary {
+	return metrics.Evaluate(p, g, comm, k)
+}
+
+// Modularity evaluates Newman–Girvan modularity of a partition.
+func Modularity(p int, g *Graph, comm []int64, k int64) float64 {
+	return metrics.Modularity(p, g, comm, k)
+}
+
+// Coverage is the fraction of edge weight inside communities.
+func Coverage(p int, g *Graph, comm []int64, k int64) float64 {
+	return metrics.Coverage(p, g, comm, k)
+}
+
+// Agreement quantifies how well a detected partition matches a reference.
+type Agreement = metrics.Agreement
+
+// Compare evaluates NMI, ARI, and pair-F1 between two dense partitions of
+// the same vertex set (e.g., detected communities vs. a generator's ground
+// truth).
+func Compare(pred []int64, kPred int64, truth []int64, kTruth int64) (Agreement, error) {
+	return metrics.Compare(pred, kPred, truth, kTruth)
+}
+
+// Densify relabels arbitrary community ids densely into [0, k).
+func Densify(comm []int64) ([]int64, int64) { return metrics.Densify(comm) }
+
+// Sequential baselines (the paper's SNAP-style comparators, §II and §V).
+type (
+	CNMResult     = baseline.CNMResult
+	LouvainResult = baseline.LouvainResult
+)
+
+// CNM runs Clauset–Newman–Moore greedy modularity agglomeration.
+func CNM(g *Graph) *CNMResult { return baseline.CNM(g) }
+
+// Louvain runs the sequential multilevel method of Blondel et al.
+func Louvain(g *Graph, seed uint64) *LouvainResult { return baseline.Louvain(g, seed) }
+
+// Refinement extension (§II future work).
+type (
+	RefineOptions = refine.Options
+	RefineResult  = refine.Result
+)
+
+// Refine improves a partition by greedy vertex moves; the result is never
+// worse than the input.
+func Refine(g *Graph, comm []int64, k int64, opt RefineOptions) (*RefineResult, error) {
+	return refine.Refine(g, comm, k, opt)
+}
+
+// Hierarchy utilities: the engine's contraction levels as a dendrogram.
+type Dendrogram = hierarchy.Dendrogram
+
+// NewDendrogram builds a queryable dendrogram from a detection result's
+// Levels (valid when Options.RefineEveryPhase is off).
+func NewDendrogram(n int64, levels [][]int64) (*Dendrogram, error) {
+	return hierarchy.New(n, levels)
+}
+
+// Sparse matrix substrate (§VI: the Combinatorial-BLAS-style formulation).
+type (
+	SparseMatrix = sparse.Matrix
+	SparseTriple = sparse.Triple
+)
+
+// AdjacencyMatrix converts a graph to its symmetric CSR adjacency matrix
+// (diagonal = 2·self-loop weight).
+func AdjacencyMatrix(p int, g *Graph) (*SparseMatrix, error) { return sparse.FromGraph(p, g) }
+
+// ContractAlgebraic computes a community graph as the sparse triple product
+// SᵀAS; identical output to the direct bucket kernel.
+func ContractAlgebraic(p int, g *Graph, comm []int64, k int64) (*Graph, error) {
+	return sparse.ContractAlgebraic(p, g, comm, k)
+}
+
+// Pregel-style BSP substrate (§VI: "cloud-based implementations through
+// environments like Pregel").
+type (
+	// BSPEngine runs vertex programs in supersteps.
+	BSPEngine = pregel.Engine
+	// BSPContext is a vertex program's view of its vertex.
+	BSPContext = pregel.Context
+	// BSPProgram is a vertex program.
+	BSPProgram = pregel.Program
+)
+
+// NewBSPEngine prepares a bulk-synchronous vertex-centric engine over g.
+func NewBSPEngine(p int, g *Graph, maxSupersteps int) *BSPEngine {
+	return pregel.NewEngine(p, g, maxSupersteps)
+}
+
+// BSPConnectedComponents runs the classic Pregel min-label components
+// program; identical labels to Components.
+func BSPConnectedComponents(p int, g *Graph) ([]int64, int, error) {
+	return pregel.ConnectedComponents(p, g)
+}
+
+// LabelPropagation runs synchronous label-propagation community detection
+// as a vertex program — one more cheap baseline.
+func LabelPropagation(p int, g *Graph, maxSupersteps int) (comm []int64, k int64, supersteps int, err error) {
+	return pregel.LabelPropagation(p, g, maxSupersteps)
+}
+
+// Benchmark harness (the §V evaluation).
+type (
+	BenchRecord = harness.Record
+	BenchConfig = harness.Config
+)
+
+// Sweep runs a thread sweep of detection trials on g.
+func Sweep(g *Graph, name string, cfg BenchConfig) ([]BenchRecord, error) {
+	return harness.Sweep(g, name, cfg)
+}
+
+// DefaultBenchConfig mirrors the paper's §V methodology.
+func DefaultBenchConfig() BenchConfig { return harness.DefaultConfig() }
+
+// Compile-time checks that the facade's kernel constants stay in sync with
+// the implementing packages.
+var (
+	_ = contract.Contiguous
+	_ = matching.Unmatched
+)

@@ -1,0 +1,183 @@
+package baseline
+
+import (
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// LouvainResult is the outcome of a Louvain run.
+type LouvainResult struct {
+	CommunityOf    []int64
+	NumCommunities int64
+	Modularity     float64
+	// Levels is the number of coarsening levels performed.
+	Levels int
+}
+
+// Louvain runs the sequential multilevel method of Blondel et al. ([17] in
+// the paper): repeated local vertex moves to the neighboring community with
+// the largest modularity gain, followed by graph coarsening, until no move
+// improves modularity. The paper cites it as the related approach that
+// "does not use matchings and has not been designed with parallelism in
+// mind"; here it is the quality upper-bound comparator.
+func Louvain(g *graph.Graph, seed uint64) *LouvainResult {
+	res := &LouvainResult{}
+	n := g.NumVertices()
+	res.CommunityOf = make([]int64, n)
+	for i := range res.CommunityOf {
+		res.CommunityOf[i] = int64(i)
+	}
+	if n == 0 {
+		return res
+	}
+	m := float64(g.TotalWeight(1))
+	if m == 0 {
+		res.NumCommunities = n
+		return res
+	}
+
+	cur := g
+	rng := par.NewRNG(seed)
+	for {
+		moved, comm, k := louvainLevel(cur, m, rng)
+		if !moved {
+			break
+		}
+		res.Levels++
+		// Fold the level's assignment into the global one.
+		for v := int64(0); v < n; v++ {
+			res.CommunityOf[v] = comm[res.CommunityOf[v]]
+		}
+		cur = coarsen(cur, comm, k)
+		if cur.NumVertices() == 1 {
+			break
+		}
+	}
+
+	// Dense relabel and final modularity.
+	label := make(map[int64]int64)
+	for v := int64(0); v < n; v++ {
+		id, ok := label[res.CommunityOf[v]]
+		if !ok {
+			id = int64(len(label))
+			label[res.CommunityOf[v]] = id
+		}
+		res.CommunityOf[v] = id
+	}
+	res.NumCommunities = int64(len(label))
+	res.Modularity = PartitionModularity(g, res.CommunityOf, res.NumCommunities)
+	return res
+}
+
+// louvainLevel runs local moving on cur until a full sweep makes no move.
+// It returns whether anything moved, the vertex→community map (community
+// ids dense in [0, k)), and k.
+func louvainLevel(cur *graph.Graph, m float64, rng *par.RNG) (bool, []int64, int64) {
+	n := cur.NumVertices()
+	c := graph.ToCSR(1, cur)
+	comm := make([]int64, n)
+	vol := make([]int64, n) // community volume
+	deg := cur.WeightedDegrees(1)
+	for v := int64(0); v < n; v++ {
+		comm[v] = v
+		vol[v] = deg[v]
+	}
+	order := rng.Perm(int(n))
+	movedAny := false
+	// neighborW accumulates edge weight from v to each adjacent community.
+	neighborW := make(map[int64]int64)
+	for {
+		movedThisSweep := false
+		for _, v := range order {
+			cv := comm[v]
+			adj, wgt := c.Neighbors(v)
+			clear(neighborW)
+			for i, u := range adj {
+				neighborW[comm[u]] += wgt[i]
+			}
+			// Remove v from its community.
+			vol[cv] -= deg[v]
+			// Gain of joining community d: w(v→d)/m − deg_v·vol_d/(2m²).
+			best := cv
+			bestGain := float64(neighborW[cv])/m - float64(deg[v])*float64(vol[cv])/(2*m*m)
+			for d, w := range neighborW {
+				gain := float64(w)/m - float64(deg[v])*float64(vol[d])/(2*m*m)
+				// Deterministic tie-break toward the smaller id: map
+				// iteration order is random and oscillation must not depend
+				// on it.
+				if gain > bestGain+1e-15 || (gain > bestGain-1e-15 && d < best) {
+					best, bestGain = d, gain
+				}
+			}
+			vol[best] += deg[v]
+			if best != cv {
+				comm[v] = best
+				movedThisSweep = true
+				movedAny = true
+			}
+		}
+		if !movedThisSweep {
+			break
+		}
+	}
+	// Dense ids.
+	label := make(map[int64]int64)
+	for v := int64(0); v < n; v++ {
+		id, ok := label[comm[v]]
+		if !ok {
+			id = int64(len(label))
+			label[comm[v]] = id
+		}
+		comm[v] = id
+	}
+	return movedAny, comm, int64(len(label))
+}
+
+// coarsen builds the community graph induced by comm (ids dense in [0, k)).
+func coarsen(cur *graph.Graph, comm []int64, k int64) *graph.Graph {
+	ng := graph.NewEmpty(k)
+	var edges []graph.Edge
+	cur.ForEachEdge(func(_ int64, u, v, w int64) {
+		cu, cv := comm[u], comm[v]
+		if cu == cv {
+			ng.Self[cu] += w
+		} else {
+			edges = append(edges, graph.Edge{U: cu, V: cv, W: w})
+		}
+	})
+	for x := int64(0); x < cur.NumVertices(); x++ {
+		ng.Self[comm[x]] += cur.Self[x]
+	}
+	out := graph.MustBuild(1, k, edges)
+	for x := int64(0); x < k; x++ {
+		out.Self[x] = ng.Self[x]
+	}
+	return out
+}
+
+// PartitionModularity evaluates Newman–Girvan modularity of an arbitrary
+// partition of g (community ids dense in [0, k)).
+func PartitionModularity(g *graph.Graph, comm []int64, k int64) float64 {
+	m := float64(g.TotalWeight(1))
+	if m == 0 {
+		return 0
+	}
+	internal := make([]int64, k)
+	vol := make([]int64, k)
+	deg := g.WeightedDegrees(1)
+	for x := int64(0); x < g.NumVertices(); x++ {
+		internal[comm[x]] += g.Self[x]
+		vol[comm[x]] += deg[x]
+	}
+	g.ForEachEdge(func(_ int64, u, v, w int64) {
+		if comm[u] == comm[v] {
+			internal[comm[u]] += w
+		}
+	})
+	var q float64
+	for c := int64(0); c < k; c++ {
+		d := float64(vol[c]) / (2 * m)
+		q += float64(internal[c])/m - d*d
+	}
+	return q
+}

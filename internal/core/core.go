@@ -1,0 +1,425 @@
+// Package core implements the paper's parallel agglomerative community
+// detection engine (§III). Starting from one community per vertex, it
+// repeats three parallel primitives until a termination criterion holds:
+//
+//  1. score every community-graph edge by the metric change a merge of its
+//     endpoints would cause, exiting at a local maximum if no score is
+//     positive;
+//  2. compute a greedy approximately-maximum-weight maximal matching over
+//     the positive scores;
+//  3. contract matched community pairs into a new community graph.
+//
+// The engine is agnostic to the scoring metric and to the matching and
+// contraction kernels; Options selects among the implementations in the
+// scoring, matching, and contract packages, which makes the paper's
+// old-vs-new ablations one-flag experiments.
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/contract"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/par"
+	"repro/internal/refine"
+	"repro/internal/scoring"
+)
+
+// MatchKernel selects the matching implementation (§IV-B).
+type MatchKernel int
+
+const (
+	// MatchWorklist is the paper's improved unmatched-vertex-list matching.
+	MatchWorklist MatchKernel = iota
+	// MatchEdgeSweep is the 2011 whole-edge-array matching (ablation).
+	MatchEdgeSweep
+)
+
+// String returns the kernel's name for logs and benchmark labels.
+func (k MatchKernel) String() string {
+	switch k {
+	case MatchWorklist:
+		return "worklist"
+	case MatchEdgeSweep:
+		return "edgesweep"
+	}
+	return fmt.Sprintf("MatchKernel(%d)", int(k))
+}
+
+// ContractKernel selects the contraction implementation (§IV-C).
+type ContractKernel int
+
+const (
+	// ContractBucket is the paper's bucket-sort contraction with contiguous
+	// (prefix-sum) bucket layout.
+	ContractBucket ContractKernel = iota
+	// ContractBucketNonContiguous uses bump-allocated bucket regions,
+	// synchronizing only on an atomic fetch-and-add.
+	ContractBucketNonContiguous
+	// ContractListChase is the 2011 hashed-linked-list contraction
+	// (ablation).
+	ContractListChase
+)
+
+// String returns the kernel's name for logs and benchmark labels.
+func (k ContractKernel) String() string {
+	switch k {
+	case ContractBucket:
+		return "bucket"
+	case ContractBucketNonContiguous:
+		return "bucket-noncontig"
+	case ContractListChase:
+		return "listchase"
+	}
+	return fmt.Sprintf("ContractKernel(%d)", int(k))
+}
+
+// Options configures a detection run. The zero value asks for modularity
+// maximization with the paper's improved kernels on all available threads,
+// running to a local maximum.
+type Options struct {
+	// Threads is the worker count; <= 0 selects GOMAXPROCS.
+	Threads int
+	// Scorer is the edge-scoring metric; nil selects scoring.Modularity.
+	Scorer scoring.Scorer
+	// Matching and Contraction select the kernels.
+	Matching    MatchKernel
+	Contraction ContractKernel
+	// MinCoverage stops the run once the fraction of input edge weight
+	// inside communities reaches this value; 0 disables. The paper's §V
+	// experiments use 0.5, "following the spirit of the 10th DIMACS
+	// Implementation Challenge rules".
+	MinCoverage float64
+	// MaxPhases caps the number of contraction phases; 0 means unlimited.
+	MaxPhases int
+	// MinCommunities stops the run rather than contract below this many
+	// communities; 0 disables. Real applications "impose additional
+	// constraints like a minimum number of communities" (§III).
+	MinCommunities int64
+	// MaxCommunitySize forbids merges that would create a community with
+	// more than this many original vertices; 0 disables. The paper names
+	// "maximum community size" as the other constraint real applications
+	// impose (§III); tracking the vertex count per community is the
+	// "straight-forward" extension the paper describes.
+	MaxCommunitySize int64
+	// RefineEveryPhase runs a vertex-move refinement pass over the original
+	// graph after every contraction and rebuilds the community graph from
+	// the refined partition — the paper's future-work direction of
+	// "incorporating refinement into our parallel algorithm" (§II). Slower
+	// per phase, substantially better modularity.
+	RefineEveryPhase bool
+	// Validate runs full graph and matching invariant checks every phase.
+	// Expensive; for tests and debugging.
+	Validate bool
+}
+
+// Termination labels why a run stopped.
+type Termination string
+
+const (
+	// TermLocalMax: no edge had a positive score.
+	TermLocalMax Termination = "local-maximum"
+	// TermCoverage: MinCoverage was reached.
+	TermCoverage Termination = "coverage"
+	// TermMaxPhases: MaxPhases contractions were performed.
+	TermMaxPhases Termination = "max-phases"
+	// TermMinCommunities: another contraction would drop below
+	// MinCommunities.
+	TermMinCommunities Termination = "min-communities"
+)
+
+// PhaseStats records one iteration of the inner loop. Vertices/Edges/
+// Coverage/Modularity describe the community graph the phase started from;
+// the timings cover the three primitives run on it.
+type PhaseStats struct {
+	Phase        int
+	Vertices     int64
+	Edges        int64
+	Coverage     float64
+	Modularity   float64
+	MatchedPairs int64
+	MatchPasses  int
+	MatchWeight  float64
+	ScoreTime    time.Duration
+	MatchTime    time.Duration
+	ContractTime time.Duration
+	MaxBucketLen int64
+}
+
+// Result of a detection run.
+type Result struct {
+	// CommunityOf maps every input vertex to its community in [0,
+	// NumCommunities).
+	CommunityOf    []int64
+	NumCommunities int64
+	// Levels holds the per-phase old→new community maps, outermost first;
+	// composing them yields CommunityOf (unless RefineEveryPhase moved
+	// vertices between communities, in which case CommunityOf alone is
+	// authoritative). Useful for hierarchy analysis.
+	Levels [][]int64
+	// Stats has one entry per executed phase.
+	Stats []PhaseStats
+	// Sizes[c] is the number of original vertices in community c.
+	Sizes []int64
+	// FinalCoverage and FinalModularity describe the final partition.
+	FinalCoverage   float64
+	FinalModularity float64
+	// Termination tells why the run stopped, Total how long it took.
+	Termination Termination
+	Total       time.Duration
+}
+
+// Detect runs the agglomerative algorithm on g. The input graph is treated
+// as read-only; every phase allocates a new, smaller community graph.
+func Detect(g *graph.Graph, opt Options) (*Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	if opt.MinCoverage < 0 || opt.MinCoverage > 1 {
+		return nil, fmt.Errorf("core: MinCoverage %v outside [0,1]", opt.MinCoverage)
+	}
+	if opt.MaxPhases < 0 {
+		return nil, fmt.Errorf("core: negative MaxPhases %d", opt.MaxPhases)
+	}
+	if opt.MinCommunities < 0 {
+		return nil, fmt.Errorf("core: negative MinCommunities %d", opt.MinCommunities)
+	}
+	if opt.MaxCommunitySize < 0 {
+		return nil, fmt.Errorf("core: negative MaxCommunitySize %d", opt.MaxCommunitySize)
+	}
+	scorer := opt.Scorer
+	if scorer == nil {
+		scorer = scoring.Modularity{}
+	}
+	matchFn, err := matchFunc(opt.Matching)
+	if err != nil {
+		return nil, err
+	}
+	contractFn, err := contractFunc(opt.Contraction)
+	if err != nil {
+		return nil, err
+	}
+	p := opt.Threads
+	if p <= 0 {
+		p = par.DefaultThreads()
+	}
+
+	start := time.Now()
+	n := g.NumVertices()
+	comm := make([]int64, n)
+	par.For(p, int(n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			comm[i] = int64(i)
+		}
+	})
+	totW := g.TotalWeight(p)
+	sizes := make([]int64, n)
+	par.For(p, int(n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sizes[i] = 1
+		}
+	})
+
+	res := &Result{CommunityOf: comm}
+	cg := g
+	finish := func(term Termination, deg []int64) (*Result, error) {
+		res.Termination = term
+		res.NumCommunities = cg.NumVertices()
+		res.Sizes = sizes
+		res.FinalCoverage = coverage(p, cg, totW)
+		if deg == nil {
+			deg = cg.WeightedDegrees(p)
+		}
+		res.FinalModularity = modularityOf(p, cg, deg, totW)
+		res.Total = time.Since(start)
+		return res, nil
+	}
+
+	for phase := 0; ; phase++ {
+		if opt.MaxPhases > 0 && phase >= opt.MaxPhases {
+			return finish(TermMaxPhases, nil)
+		}
+		cov := coverage(p, cg, totW)
+		if opt.MinCoverage > 0 && cov >= opt.MinCoverage {
+			return finish(TermCoverage, nil)
+		}
+
+		// Primitive 1: score.
+		t0 := time.Now()
+		deg := cg.WeightedDegrees(p)
+		scores := make([]float64, len(cg.U))
+		scorer.Score(p, cg, deg, totW, scores)
+		if cap := opt.MaxCommunitySize; cap > 0 {
+			// Mask merges that would exceed the size cap; a local maximum
+			// then means "no allowed merge improves the metric".
+			par.ForDynamic(p, int(cg.NumVertices()), 0, func(lo, hi int) {
+				for x := lo; x < hi; x++ {
+					for e := cg.Start[x]; e < cg.End[x]; e++ {
+						if sizes[cg.U[e]]+sizes[cg.V[e]] > cap {
+							scores[e] = -1
+						}
+					}
+				}
+			})
+		}
+		positive := scoring.HasPositive(p, cg, scores)
+		scoreTime := time.Since(t0)
+		if !positive {
+			return finish(TermLocalMax, deg)
+		}
+
+		// Primitive 2: greedy heavy maximal matching.
+		t1 := time.Now()
+		mres := matchFn(p, cg, scores)
+		matchTime := time.Since(t1)
+		if opt.Validate {
+			if err := matching.Verify(cg, scores, mres.Match); err != nil {
+				return nil, fmt.Errorf("core: phase %d: %w", phase, err)
+			}
+		}
+		if mres.Pairs == 0 {
+			// Unreachable for a maximal matching over positive edges, but a
+			// contraction that merges nothing would loop forever.
+			return finish(TermLocalMax, deg)
+		}
+		if opt.MinCommunities > 0 && cg.NumVertices()-mres.Pairs < opt.MinCommunities {
+			return finish(TermMinCommunities, deg)
+		}
+
+		// Primitive 3: contraction.
+		t2 := time.Now()
+		ng, mapping := contractFn(p, cg, mres.Match)
+		contractTime := time.Since(t2)
+		if opt.Validate {
+			if err := ng.Validate(); err != nil {
+				return nil, fmt.Errorf("core: phase %d: %w", phase, err)
+			}
+			if ng.TotalWeight(p) != totW {
+				return nil, fmt.Errorf("core: phase %d: contraction changed total weight %d -> %d",
+					phase, totW, ng.TotalWeight(p))
+			}
+		}
+		par.For(p, int(n), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				comm[i] = mapping[comm[i]]
+			}
+		})
+		// Track community sizes through the contraction (§III's
+		// "straight-forward" extension).
+		newSizes := make([]int64, ng.NumVertices())
+		par.For(p, len(sizes), func(lo, hi int) {
+			for c := lo; c < hi; c++ {
+				if sizes[c] != 0 {
+					atomic.AddInt64(&newSizes[mapping[c]], sizes[c])
+				}
+			}
+		})
+		sizes = newSizes
+
+		res.Stats = append(res.Stats, PhaseStats{
+			Phase:        phase,
+			Vertices:     cg.NumVertices(),
+			Edges:        cg.NumEdges(),
+			Coverage:     cov,
+			Modularity:   modularityOf(p, cg, deg, totW),
+			MatchedPairs: mres.Pairs,
+			MatchPasses:  mres.Passes,
+			MatchWeight:  mres.Weight,
+			ScoreTime:    scoreTime,
+			MatchTime:    matchTime,
+			ContractTime: contractTime,
+			MaxBucketLen: cg.MaxBucketLen(),
+		})
+		res.Levels = append(res.Levels, mapping)
+		cg = ng
+
+		if opt.RefineEveryPhase {
+			// Future-work integration (§II): let individual vertices migrate
+			// between the freshly merged communities on the original graph,
+			// then rebuild the community graph from the refined partition.
+			rres, err := refine.Refine(g, comm, cg.NumVertices(), refine.Options{Threads: p})
+			if err != nil {
+				return nil, fmt.Errorf("core: phase %d refinement: %w", phase, err)
+			}
+			if rres.Moves > 0 && rres.ModularityAfter > rres.ModularityBefore {
+				copy(comm, rres.CommunityOf)
+				cg = contract.ByMapping(p, g, comm, rres.NumCommunities, contract.Contiguous)
+				newSizes := make([]int64, rres.NumCommunities)
+				for _, c := range comm {
+					newSizes[c]++
+				}
+				sizes = newSizes
+				if opt.Validate {
+					if err := cg.Validate(); err != nil {
+						return nil, fmt.Errorf("core: phase %d refined graph: %w", phase, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+func matchFunc(k MatchKernel) (func(int, *graph.Graph, []float64) matching.Result, error) {
+	switch k {
+	case MatchWorklist:
+		return matching.Worklist, nil
+	case MatchEdgeSweep:
+		return matching.EdgeSweep, nil
+	}
+	return nil, fmt.Errorf("core: unknown matching kernel %d", int(k))
+}
+
+func contractFunc(k ContractKernel) (func(int, *graph.Graph, []int64) (*graph.Graph, []int64), error) {
+	switch k {
+	case ContractBucket:
+		return func(p int, g *graph.Graph, m []int64) (*graph.Graph, []int64) {
+			return contract.Bucket(p, g, m, contract.Contiguous)
+		}, nil
+	case ContractBucketNonContiguous:
+		return func(p int, g *graph.Graph, m []int64) (*graph.Graph, []int64) {
+			return contract.Bucket(p, g, m, contract.NonContiguous)
+		}, nil
+	case ContractListChase:
+		return contract.ListChase, nil
+	}
+	return nil, fmt.Errorf("core: unknown contraction kernel %d", int(k))
+}
+
+// coverage is the fraction of total input edge weight lying inside
+// communities: Σ Self / m (§III; the DIMACS-style termination measure).
+func coverage(p int, cg *graph.Graph, totW int64) float64 {
+	if totW <= 0 {
+		return 0
+	}
+	return float64(par.SumInt64(p, cg.Self)) / float64(totW)
+}
+
+// modularityOf evaluates Newman–Girvan modularity of the partition the
+// community graph represents: Q = Σ_c [ self_c/m − (deg_c/(2m))² ].
+func modularityOf(p int, cg *graph.Graph, deg []int64, totW int64) float64 {
+	if totW <= 0 {
+		return 0
+	}
+	m := float64(totW)
+	n := int(cg.NumVertices())
+	if p <= 0 {
+		p = par.DefaultThreads()
+	}
+	partial := make([]float64, p)
+	used := par.ForWorker(p, n, func(w, lo, hi int) {
+		var q float64
+		for c := lo; c < hi; c++ {
+			d := float64(deg[c]) / (2 * m)
+			q += float64(cg.Self[c])/m - d*d
+		}
+		partial[w] = q
+	})
+	var q float64
+	for _, x := range partial[:used] {
+		q += x
+	}
+	return q
+}

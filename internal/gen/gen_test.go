@@ -1,0 +1,492 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+func TestRMATConfigValidate(t *testing.T) {
+	good := DefaultRMAT(10, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []RMATConfig{
+		{Scale: 0, EdgeFactor: 16, A: 0.55, B: 0.1, C: 0.1, D: 0.25},
+		{Scale: 10, EdgeFactor: 0, A: 0.55, B: 0.1, C: 0.1, D: 0.25},
+		{Scale: 10, EdgeFactor: 16, A: 0.9, B: 0.1, C: 0.1, D: 0.25},
+		{Scale: 10, EdgeFactor: 16, A: -0.1, B: 0.5, C: 0.35, D: 0.25},
+		{Scale: 10, EdgeFactor: 16, A: 0.55, B: 0.1, C: 0.1, D: 0.25, Noise: 1.5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestRMATEdgesShape(t *testing.T) {
+	cfg := DefaultRMAT(10, 42)
+	edges, err := RMATEdges(2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 16*1024 {
+		t.Fatalf("edge count %d, want %d", len(edges), 16*1024)
+	}
+	n := int64(1024)
+	for _, e := range edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n || e.W != 1 {
+			t.Fatalf("bad edge %v", e)
+		}
+	}
+}
+
+func TestRMATDeterministicAcrossWorkers(t *testing.T) {
+	cfg := DefaultRMAT(12, 7)
+	want, err := RMATEdges(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 3, 8} {
+		got, err := RMATEdges(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("p=%d: edge %d differs: %v != %v", p, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRMATSkewed(t *testing.T) {
+	// a=0.55 concentrates edges on low vertex ids; the top quarter of the id
+	// space must carry clearly fewer endpoints than the bottom quarter.
+	cfg := DefaultRMAT(12, 3)
+	edges, err := RMATEdges(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(1) << 12
+	var low, high int
+	for _, e := range edges {
+		for _, v := range []int64{e.U, e.V} {
+			switch {
+			case v < n/4:
+				low++
+			case v >= 3*n/4:
+				high++
+			}
+		}
+	}
+	if low < 2*high {
+		t.Fatalf("R-MAT not skewed: low-quarter endpoints %d vs high-quarter %d", low, high)
+	}
+}
+
+func TestConnectedRMAT(t *testing.T) {
+	sub, orig, err := ConnectedRMAT(4, DefaultRMAT(10, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumVertices() < 2 || int64(len(orig)) != sub.NumVertices() {
+		t.Fatalf("|V|=%d len(orig)=%d", sub.NumVertices(), len(orig))
+	}
+	if _, k := graph.Components(2, sub); k != 1 {
+		t.Fatalf("largest component has %d components", k)
+	}
+}
+
+func TestSBMValidate(t *testing.T) {
+	bad := []SBMConfig{
+		{},
+		{Blocks: []int64{0, 3}, PIn: 0.5},
+		{Blocks: []int64{3}, PIn: 1.5},
+		{Blocks: []int64{3}, PIn: 0.5, POut: -0.1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSBMDenseBlocks(t *testing.T) {
+	// PIn = 1, POut = 0 gives disjoint cliques.
+	g, truth, err := SBM(3, SBMConfig{Blocks: []int64{4, 3, 5}, PIn: 1, POut: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantEdges := int64(4*3/2 + 3*2/2 + 5*4/2)
+	if g.NumEdges() != wantEdges {
+		t.Fatalf("|E| = %d, want %d", g.NumEdges(), wantEdges)
+	}
+	if truth[0] != 0 || truth[4] != 1 || truth[7] != 2 {
+		t.Fatalf("truth labels wrong: %v", truth)
+	}
+	for _, e := range g.Edges() {
+		if truth[e.U] != truth[e.V] {
+			t.Fatalf("cross-block edge %v with POut=0", e)
+		}
+	}
+}
+
+func TestSBMInterEdgesOnly(t *testing.T) {
+	// PIn = 0 with unit blocks: plain G(n, p).
+	blocks := make([]int64, 200)
+	for i := range blocks {
+		blocks[i] = 1
+	}
+	g, _, err := SBM(2, SBMConfig{Blocks: blocks, PIn: 0, POut: 0.05, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Expected edges = 0.05 · C(200, 2) = 995; allow ±40%.
+	m := float64(g.NumEdges())
+	if m < 600 || m > 1400 {
+		t.Fatalf("G(200, 0.05) drew %v edges, want ≈995", m)
+	}
+}
+
+func TestSBMEdgeRate(t *testing.T) {
+	// Two blocks of 100; check intra rate roughly matches PIn.
+	g, truth, err := SBM(4, SBMConfig{Blocks: []int64{100, 100}, PIn: 0.2, POut: 0.01, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var intra, inter int
+	for _, e := range g.Edges() {
+		if truth[e.U] == truth[e.V] {
+			intra++
+		} else {
+			inter++
+		}
+	}
+	wantIntra := 0.2 * 2 * float64(100*99/2)
+	wantInter := 0.01 * float64(100*100)
+	if math.Abs(float64(intra)-wantIntra) > 0.3*wantIntra {
+		t.Fatalf("intra edges %d, want ≈%v", intra, wantIntra)
+	}
+	if math.Abs(float64(inter)-wantInter) > 0.5*wantInter {
+		t.Fatalf("inter edges %d, want ≈%v", inter, wantInter)
+	}
+}
+
+func TestSBMDeterministicAcrossWorkers(t *testing.T) {
+	cfg := SBMConfig{Blocks: []int64{50, 30, 20}, PIn: 0.3, POut: 0.02, Seed: 11}
+	want, _, err := SBM(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 5} {
+		got, _, err := SBM(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		we, ge := want.Edges(), got.Edges()
+		if len(we) != len(ge) {
+			t.Fatalf("p=%d: %d edges != %d", p, len(ge), len(we))
+		}
+		for i := range we {
+			if we[i] != ge[i] {
+				t.Fatalf("p=%d: edge %d differs", p, i)
+			}
+		}
+	}
+}
+
+func TestPairFromIndex(t *testing.T) {
+	k := int64(0)
+	for j := int64(1); j < 30; j++ {
+		for i := int64(0); i < j; i++ {
+			gi, gj := pairFromIndex(k)
+			if gi != i || gj != j {
+				t.Fatalf("pairFromIndex(%d) = (%d,%d), want (%d,%d)", k, gi, gj, i, j)
+			}
+			k++
+		}
+	}
+}
+
+func TestPairFromIndexProperty(t *testing.T) {
+	f := func(raw uint32) bool {
+		k := int64(raw)
+		i, j := pairFromIndex(k)
+		return i >= 0 && i < j && j*(j-1)/2+i == k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNextGeomBounds(t *testing.T) {
+	r := par.NewRNG(1)
+	if nextGeom(r, 5, 0) != math.MaxInt64 {
+		t.Fatal("prob 0 should never fire")
+	}
+	if nextGeom(r, 5, 1) != 6 {
+		t.Fatal("prob 1 should fire immediately")
+	}
+	for i := 0; i < 1000; i++ {
+		if k := nextGeom(r, 10, 0.3); k <= 10 {
+			t.Fatalf("nextGeom returned %d <= k", k)
+		}
+	}
+	// Mean skip for p=0.1 is ≈10.
+	var sum float64
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		sum += float64(nextGeom(r, 0, 0.1) - 0)
+	}
+	mean := sum / trials
+	if mean < 8 || mean > 12 {
+		t.Fatalf("geometric mean %v, want ≈10", mean)
+	}
+}
+
+func TestLJSim(t *testing.T) {
+	g, truth, err := LJSim(4, DefaultLJSim(5000, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 5000 || int64(len(truth)) != 5000 {
+		t.Fatalf("|V| = %d", g.NumVertices())
+	}
+	avgDeg := 2 * float64(g.NumEdges()) / float64(g.NumVertices())
+	if avgDeg < 10 || avgDeg > 60 {
+		t.Fatalf("average degree %v outside plausible band", avgDeg)
+	}
+	// Most edges should be intra-community for a community-rich graph.
+	var intra, total int
+	for _, e := range g.Edges() {
+		total++
+		if truth[e.U] == truth[e.V] {
+			intra++
+		}
+	}
+	if float64(intra)/float64(total) < 0.4 {
+		t.Fatalf("intra fraction %v too low for a community-rich model", float64(intra)/float64(total))
+	}
+}
+
+func TestLJSimRejectsBadConfig(t *testing.T) {
+	if _, _, err := LJSim(1, LJSimConfig{NumVertices: 1}); err == nil {
+		t.Fatal("accepted 1 vertex")
+	}
+	if _, _, err := LJSim(1, LJSimConfig{NumVertices: 100, MeanCommunity: 1}); err == nil {
+		t.Fatal("accepted mean community 1")
+	}
+}
+
+func TestWebCrawl(t *testing.T) {
+	g, truth, err := WebCrawl(4, DefaultWebCrawl(4000, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4000 || int64(len(truth)) != 4000 {
+		t.Fatalf("|V| = %d", g.NumVertices())
+	}
+	// Hub bias: low-id pages should carry a disproportionate share of
+	// endpoints relative to a uniform graph.
+	d := g.WeightedDegrees(2)
+	var lowSum, highSum int64
+	for i, x := range d {
+		if int64(i) < 400 {
+			lowSum += x
+		}
+		if int64(i) >= 3600 {
+			highSum += x
+		}
+	}
+	if lowSum <= highSum {
+		t.Fatalf("no hub skew: low %d vs high %d", lowSum, highSum)
+	}
+}
+
+func TestWebCrawlRejectsBadConfig(t *testing.T) {
+	for _, cfg := range []WebCrawlConfig{
+		{NumVertices: 1, MeanHost: 10, HubBias: 2},
+		{NumVertices: 100, MeanHost: 1, HubBias: 2},
+		{NumVertices: 100, MeanHost: 10, HubBias: 0.5},
+	} {
+		if _, _, err := WebCrawl(1, cfg); err == nil {
+			t.Fatalf("accepted %+v", cfg)
+		}
+	}
+}
+
+func TestRing(t *testing.T) {
+	g := Ring(10)
+	if g.NumEdges() != 10 {
+		t.Fatalf("|E| = %d, want 10", g.NumEdges())
+	}
+	d := g.WeightedDegrees(1)
+	for i, x := range d {
+		if x != 2 {
+			t.Fatalf("d[%d] = %d, want 2", i, x)
+		}
+	}
+	if Ring(2).NumEdges() != 1 {
+		t.Fatal("2-ring should be a single edge")
+	}
+	if Ring(1).NumEdges() != 0 {
+		t.Fatal("1-ring should have no edges")
+	}
+}
+
+func TestStar(t *testing.T) {
+	g := Star(8)
+	if g.NumEdges() != 7 {
+		t.Fatalf("|E| = %d, want 7", g.NumEdges())
+	}
+	d := g.WeightedDegrees(1)
+	if d[0] != 7 {
+		t.Fatalf("center degree %d", d[0])
+	}
+}
+
+func TestClique(t *testing.T) {
+	g := Clique(6)
+	if g.NumEdges() != 15 {
+		t.Fatalf("|E| = %d, want 15", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	// 3 rows × 3 horizontal + 2 rows... total = rows*(cols-1) + (rows-1)*cols
+	want := int64(3*3 + 2*4)
+	if g.NumEdges() != want {
+		t.Fatalf("|E| = %d, want %d", g.NumEdges(), want)
+	}
+}
+
+func TestCliqueChain(t *testing.T) {
+	g := CliqueChain(3, 4)
+	want := int64(3*(4*3/2) + 2)
+	if g.NumEdges() != want {
+		t.Fatalf("|E| = %d, want %d", g.NumEdges(), want)
+	}
+	if _, k := graph.Components(1, g); k != 1 {
+		t.Fatalf("chain not connected: %d components", k)
+	}
+}
+
+func TestKarate(t *testing.T) {
+	g := Karate()
+	if g.NumVertices() != 34 || g.NumEdges() != 78 {
+		t.Fatalf("karate |V|=%d |E|=%d, want 34/78", g.NumVertices(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, k := graph.Components(1, g); k != 1 {
+		t.Fatalf("karate not connected: %d components", k)
+	}
+}
+
+func TestRMATHeavyTailDegrees(t *testing.T) {
+	// Scale-free generators must produce a heavy degree tail: the maximum
+	// degree should exceed the mean by an order of magnitude.
+	g, err := RMATGraph(2, DefaultRMAT(13, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := graph.ToCSR(2, g)
+	var max, sum int64
+	var nonZero int64
+	for v := int64(0); v < c.NumVertices(); v++ {
+		d := c.Degree(v)
+		if d > max {
+			max = d
+		}
+		if d > 0 {
+			nonZero++
+		}
+		sum += d
+	}
+	mean := float64(sum) / float64(nonZero)
+	if float64(max) < 10*mean {
+		t.Fatalf("R-MAT degree tail too light: max %d vs mean %.1f", max, mean)
+	}
+}
+
+func TestRMATDuplicateAccumulation(t *testing.T) {
+	// R-MAT's skew guarantees repeated edges at moderate scale; the builder
+	// must fold them into weights > 1 (the paper: "we accumulate multiple
+	// edges within edge weights").
+	g, err := RMATGraph(2, DefaultRMAT(12, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var heavy int
+	g.ForEachEdge(func(_ int64, _, _, w int64) {
+		if w > 1 {
+			heavy++
+		}
+	})
+	if heavy == 0 {
+		t.Fatal("no accumulated duplicate edges in an R-MAT sample")
+	}
+	// Self-loops must have been folded rather than dropped.
+	var selfTotal int64
+	for v := int64(0); v < g.NumVertices(); v++ {
+		selfTotal += g.Self[v]
+	}
+	if selfTotal == 0 {
+		t.Fatal("R-MAT sample lost its self-loops")
+	}
+}
+
+func TestWebCrawlDegreeSkewVsSBM(t *testing.T) {
+	// The crawl generator's hub bias must produce a heavier tail than a
+	// plain SBM of the same size.
+	web, _, err := WebCrawl(2, DefaultWebCrawl(5000, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDeg := func(g *graph.Graph) int64 {
+		c := graph.ToCSR(2, g)
+		var max int64
+		for v := int64(0); v < c.NumVertices(); v++ {
+			if d := c.Degree(v); d > max {
+				max = d
+			}
+		}
+		return max
+	}
+	blocks := make([]int64, 100)
+	for i := range blocks {
+		blocks[i] = 50
+	}
+	sbm, _, err := SBM(2, SBMConfig{Blocks: blocks, PIn: 0.3, POut: 0.002, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxDeg(web) <= 2*maxDeg(sbm) {
+		t.Fatalf("crawl max degree %d not clearly heavier than SBM %d", maxDeg(web), maxDeg(sbm))
+	}
+}

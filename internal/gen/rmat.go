@@ -1,0 +1,154 @@
+// Package gen produces the evaluation workloads of §V-B: R-MAT graphs with
+// the paper's parameters, synthetic stand-ins for the soc-LiveJournal1 and
+// uk-2007-05 datasets (see DESIGN.md for the substitution rationale), and
+// small deterministic graphs for tests and examples.
+//
+// All generators are deterministic for a fixed seed regardless of the
+// worker count: each worker derives its own SplitMix64 stream from the seed
+// and its chunk index.
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// RMATConfig describes a recursive-matrix (R-MAT) graph: 2^Scale vertices
+// and EdgeFactor·2^Scale generated edges (before duplicate accumulation),
+// sampled from a perturbed Kronecker product with quadrant probabilities
+// A, B, C, D. The paper generates rmat-24-16 with a=0.55, b=c=0.1, d=0.25
+// (§V-B); Default reproduces those parameters.
+type RMATConfig struct {
+	Scale      int
+	EdgeFactor int
+	A, B, C, D float64
+	// Noise perturbs the quadrant probabilities by up to ±Noise·value at
+	// every recursion level, the "perturbed Kronecker product" of [32], [33].
+	Noise float64
+	Seed  uint64
+}
+
+// DefaultRMAT returns the paper's R-MAT parameters at the given scale.
+func DefaultRMAT(scale int, seed uint64) RMATConfig {
+	return RMATConfig{
+		Scale:      scale,
+		EdgeFactor: 16,
+		A:          0.55,
+		B:          0.10,
+		C:          0.10,
+		D:          0.25,
+		Noise:      0.1,
+		Seed:       seed,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c RMATConfig) Validate() error {
+	if c.Scale < 1 || c.Scale > 40 {
+		return fmt.Errorf("gen: R-MAT scale %d outside [1,40]", c.Scale)
+	}
+	if c.EdgeFactor < 1 {
+		return fmt.Errorf("gen: R-MAT edge factor %d < 1", c.EdgeFactor)
+	}
+	sum := c.A + c.B + c.C + c.D
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("gen: R-MAT probabilities sum to %v, want 1", sum)
+	}
+	if c.A < 0 || c.B < 0 || c.C < 0 || c.D < 0 {
+		return fmt.Errorf("gen: negative R-MAT probability")
+	}
+	if c.Noise < 0 || c.Noise >= 1 {
+		return fmt.Errorf("gen: R-MAT noise %v outside [0,1)", c.Noise)
+	}
+	return nil
+}
+
+// RMATEdges samples the raw edge sequence (self-loops and repeats included,
+// exactly as the generator in the paper emits them) using p workers.
+func RMATEdges(p int, cfg RMATConfig) ([]graph.Edge, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := int64(1) << uint(cfg.Scale)
+	m := int64(cfg.EdgeFactor) * n
+	edges := make([]graph.Edge, m)
+	// Edge i always comes from the same position of the same per-block
+	// stream, so the sample is identical for every worker count: blocks are
+	// seeded by block index, and a chunk starting mid-block burns the
+	// in-block prefix to rejoin the stream.
+	const block = 4096
+	par.ForWorker(p, int(m), func(_, lo, hi int) {
+		r := par.NewRNG(0)
+		for i := lo; i < hi; i++ {
+			if i == lo || i%block == 0 {
+				r.Seed(par.SplitSeed(cfg.Seed, i/block))
+				for skip := i % block; skip > 0; skip-- {
+					sampleRMATEdge(r, cfg)
+				}
+			}
+			edges[i] = sampleRMATEdge(r, cfg)
+		}
+	})
+	return edges, nil
+}
+
+// sampleRMATEdge descends the recursive quadrant structure once.
+func sampleRMATEdge(r *par.RNG, cfg RMATConfig) graph.Edge {
+	var i, j int64
+	a, b, c, d := cfg.A, cfg.B, cfg.C, cfg.D
+	for level := 0; level < cfg.Scale; level++ {
+		la, lb, lc, ld := a, b, c, d
+		if cfg.Noise > 0 {
+			// Symmetric multiplicative noise, renormalized.
+			la *= 1 - cfg.Noise + 2*cfg.Noise*r.Float64()
+			lb *= 1 - cfg.Noise + 2*cfg.Noise*r.Float64()
+			lc *= 1 - cfg.Noise + 2*cfg.Noise*r.Float64()
+			ld *= 1 - cfg.Noise + 2*cfg.Noise*r.Float64()
+			s := la + lb + lc + ld
+			la /= s
+			lb /= s
+			lc /= s
+			ld /= s
+		}
+		u := r.Float64()
+		i <<= 1
+		j <<= 1
+		switch {
+		case u < la:
+			// upper-left: no bits set
+		case u < la+lb:
+			j |= 1
+		case u < la+lb+lc:
+			i |= 1
+		default:
+			i |= 1
+			j |= 1
+		}
+	}
+	return graph.Edge{U: i, V: j, W: 1}
+}
+
+// RMATGraph samples an R-MAT edge sequence and accumulates it into a
+// bucketed graph (duplicates fold into weights, self-loops into Self).
+func RMATGraph(p int, cfg RMATConfig) (*graph.Graph, error) {
+	edges, err := RMATEdges(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return graph.Build(p, int64(1)<<uint(cfg.Scale), edges)
+}
+
+// ConnectedRMAT runs the paper's full pipeline: sample, accumulate
+// duplicate edges into weights, then extract the largest connected
+// component (§V-B). The returned mapping gives each new vertex's id in the
+// raw R-MAT vertex space.
+func ConnectedRMAT(p int, cfg RMATConfig) (*graph.Graph, []int64, error) {
+	g, err := RMATGraph(p, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	sub, orig := graph.LargestComponent(p, g)
+	return sub, orig, nil
+}

@@ -1,0 +1,115 @@
+package gen
+
+import "repro/internal/graph"
+
+// Ring returns the n-cycle (or a path for n == 2, an isolated vertex for
+// n == 1).
+func Ring(n int64) *graph.Graph {
+	var edges []graph.Edge
+	for i := int64(0); i+1 < n; i++ {
+		edges = append(edges, graph.Edge{U: i, V: i + 1, W: 1})
+	}
+	if n > 2 {
+		edges = append(edges, graph.Edge{U: n - 1, V: 0, W: 1})
+	}
+	return graph.MustBuild(1, n, edges)
+}
+
+// Star returns a star with center 0 and n-1 leaves: the paper's worst case
+// for contraction progress (only two vertices merge per phase, O(|E|·|V|)
+// total work).
+func Star(n int64) *graph.Graph {
+	var edges []graph.Edge
+	for i := int64(1); i < n; i++ {
+		edges = append(edges, graph.Edge{U: 0, V: i, W: 1})
+	}
+	return graph.MustBuild(1, n, edges)
+}
+
+// Clique returns the complete graph on n vertices.
+func Clique(n int64) *graph.Graph {
+	var edges []graph.Edge
+	for i := int64(0); i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, graph.Edge{U: i, V: j, W: 1})
+		}
+	}
+	return graph.MustBuild(1, n, edges)
+}
+
+// Grid returns the rows×cols 2-D mesh.
+func Grid(rows, cols int64) *graph.Graph {
+	id := func(r, c int64) int64 { return r*cols + c }
+	var edges []graph.Edge
+	for r := int64(0); r < rows; r++ {
+		for c := int64(0); c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, graph.Edge{U: id(r, c), V: id(r, c+1), W: 1})
+			}
+			if r+1 < rows {
+				edges = append(edges, graph.Edge{U: id(r, c), V: id(r+1, c), W: 1})
+			}
+		}
+	}
+	return graph.MustBuild(1, rows*cols, edges)
+}
+
+// CliqueChain returns k cliques of size s connected in a chain by single
+// bridge edges: the canonical graph with unambiguous community structure
+// (each clique is a community).
+func CliqueChain(k, s int64) *graph.Graph {
+	var edges []graph.Edge
+	for c := int64(0); c < k; c++ {
+		base := c * s
+		for i := int64(0); i < s; i++ {
+			for j := i + 1; j < s; j++ {
+				edges = append(edges, graph.Edge{U: base + i, V: base + j, W: 1})
+			}
+		}
+		if c+1 < k {
+			edges = append(edges, graph.Edge{U: base + s - 1, V: base + s, W: 1})
+		}
+	}
+	return graph.MustBuild(1, k*s, edges)
+}
+
+// Karate returns Zachary's karate club network (34 vertices, 78 edges), the
+// standard small community-detection benchmark. The well-known fission of
+// the club into two factions gives a known-good sanity target for
+// modularity values (≈ 0.35–0.42 for good partitions).
+func Karate() *graph.Graph {
+	pairs := [][2]int64{
+		{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}, {0, 6}, {0, 7}, {0, 8}, {0, 10},
+		{0, 11}, {0, 12}, {0, 13}, {0, 17}, {0, 19}, {0, 21}, {0, 31},
+		{1, 2}, {1, 3}, {1, 7}, {1, 13}, {1, 17}, {1, 19}, {1, 21}, {1, 30},
+		{2, 3}, {2, 7}, {2, 8}, {2, 9}, {2, 13}, {2, 27}, {2, 28}, {2, 32},
+		{3, 7}, {3, 12}, {3, 13},
+		{4, 6}, {4, 10},
+		{5, 6}, {5, 10}, {5, 16},
+		{6, 16},
+		{8, 30}, {8, 32}, {8, 33},
+		{9, 33},
+		{13, 33},
+		{14, 32}, {14, 33},
+		{15, 32}, {15, 33},
+		{18, 32}, {18, 33},
+		{19, 33},
+		{20, 32}, {20, 33},
+		{22, 32}, {22, 33},
+		{23, 25}, {23, 27}, {23, 29}, {23, 32}, {23, 33},
+		{24, 25}, {24, 27}, {24, 31},
+		{25, 31},
+		{26, 29}, {26, 33},
+		{27, 33},
+		{28, 31}, {28, 33},
+		{29, 32}, {29, 33},
+		{30, 32}, {30, 33},
+		{31, 32}, {31, 33},
+		{32, 33},
+	}
+	edges := make([]graph.Edge, len(pairs))
+	for i, p := range pairs {
+		edges[i] = graph.Edge{U: p[0], V: p[1], W: 1}
+	}
+	return graph.MustBuild(1, 34, edges)
+}

@@ -1,0 +1,23 @@
+package graph
+
+import "sync/atomic"
+
+// atomicAdd is the fetch-and-add the paper relies on for bucket placement
+// and degree accumulation.
+func atomicAdd(addr *int64, delta int64) int64 {
+	return atomic.AddInt64(addr, delta)
+}
+
+// atomicMin lowers *addr to val if val is smaller and reports whether it
+// changed anything. Used by the label-propagation components kernel.
+func atomicMin(addr *int64, val int64) bool {
+	for {
+		old := atomic.LoadInt64(addr)
+		if old <= val {
+			return false
+		}
+		if atomic.CompareAndSwapInt64(addr, old, val) {
+			return true
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package graph
+
+import "repro/internal/par"
+
+// CSR is a compressed sparse row adjacency view of a Graph in which every
+// stored edge appears in both endpoints' rows. Sequential baselines (CNM,
+// Louvain), the refinement pass, and the quality metrics want symmetric
+// neighbor iteration, which the single-stored bucketed layout does not give
+// directly.
+//
+// Self-loop weights are not materialized as CSR entries; they remain in
+// Self, mirroring the triple representation.
+type CSR struct {
+	// Offsets has length |V|+1; vertex x's neighbors occupy
+	// Adj[Offsets[x]:Offsets[x+1]] with weights in the same positions of Wgt.
+	Offsets []int64
+	Adj     []int64
+	Wgt     []int64
+	// Self mirrors Graph.Self.
+	Self []int64
+}
+
+// NumVertices returns the number of vertices in the view.
+func (c *CSR) NumVertices() int64 { return int64(len(c.Offsets)) - 1 }
+
+// Degree returns the number of distinct neighbors of x.
+func (c *CSR) Degree(x int64) int64 { return c.Offsets[x+1] - c.Offsets[x] }
+
+// Neighbors returns the neighbor and weight slices of vertex x.
+func (c *CSR) Neighbors(x int64) (adj, wgt []int64) {
+	lo, hi := c.Offsets[x], c.Offsets[x+1]
+	return c.Adj[lo:hi], c.Wgt[lo:hi]
+}
+
+// ToCSR symmetrizes g into a CSR view using p workers: a counting pass with
+// fetch-and-add, a prefix sum for row offsets, and a scatter pass.
+func ToCSR(p int, g *Graph) *CSR {
+	n := int(g.NumVertices())
+	counts := make([]int64, n+1)
+	par.ForDynamic(p, n, 0, func(lo, hi int) {
+		for x := lo; x < hi; x++ {
+			for e := g.Start[x]; e < g.End[x]; e++ {
+				atomicAdd(&counts[g.U[e]], 1)
+				atomicAdd(&counts[g.V[e]], 1)
+			}
+		}
+	})
+	total := par.ExclusiveSumInt64(p, counts[:n])
+	counts[n] = total
+	c := &CSR{
+		Offsets: append([]int64(nil), counts...),
+		Adj:     make([]int64, total),
+		Wgt:     make([]int64, total),
+		Self:    append([]int64(nil), g.Self...),
+	}
+	// counts now holds the running write cursor per row.
+	cursor := counts
+	par.ForDynamic(p, n, 0, func(lo, hi int) {
+		for x := lo; x < hi; x++ {
+			for e := g.Start[x]; e < g.End[x]; e++ {
+				u, v, w := g.U[e], g.V[e], g.W[e]
+				pu := atomicAdd(&cursor[u], 1) - 1
+				c.Adj[pu], c.Wgt[pu] = v, w
+				pv := atomicAdd(&cursor[v], 1) - 1
+				c.Adj[pv], c.Wgt[pv] = u, w
+			}
+		}
+	})
+	return c
+}

@@ -1,0 +1,76 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The fuzz targets assert that arbitrary inputs never panic the parsers and
+// that anything accepted parses into a structurally valid graph. Run with
+// `go test -fuzz=FuzzReadEdgeList ./internal/graphio` to explore beyond the
+// seed corpus; under plain `go test` the seeds act as hardening tests.
+
+// limitVertices shrinks the reader guard for the duration of a fuzz run so
+// hostile ids are rejected instead of exercising gigantic allocations.
+func limitVertices(f *testing.F) {
+	old := MaxVertices
+	MaxVertices = 1 << 20
+	f.Cleanup(func() { MaxVertices = old })
+}
+
+func FuzzReadEdgeList(f *testing.F) {
+	limitVertices(f)
+	f.Add("0 1\n1 2 5\n")
+	f.Add("# comment\n% other\n\n 3\t4 2\n")
+	f.Add("0 0 7\n")
+	f.Add("9999999999999999999999 1\n")
+	f.Add("a b c\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadEdgeList(strings.NewReader(in), 1, 0)
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted input produced invalid graph: %v\ninput: %q", err, in)
+		}
+	})
+}
+
+func FuzzReadMETIS(f *testing.F) {
+	limitVertices(f)
+	f.Add("3 3\n2 3\n1 3\n1 2\n")
+	f.Add("2 1 001\n2 7\n1 7\n")
+	f.Add("% c\n2 1 011 2\n5 5 2 9\n1 1 1 9\n")
+	f.Add("2 99\n2\n1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadMETIS(strings.NewReader(in), 1)
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted input produced invalid graph: %v\ninput: %q", err, in)
+		}
+	})
+}
+
+func FuzzReadBinary(f *testing.F) {
+	limitVertices(f)
+	var buf bytes.Buffer
+	g, _ := ReadEdgeList(strings.NewReader("0 1\n1 2\n2 2 4\n"), 1, 0)
+	if err := WriteBinary(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("garbage"))
+	f.Add(buf.Bytes()[:buf.Len()/2])
+	f.Fuzz(func(t *testing.T, in []byte) {
+		g, err := ReadBinary(bytes.NewReader(in), 1)
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted input produced invalid graph: %v", err)
+		}
+	})
+}

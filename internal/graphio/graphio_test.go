@@ -1,0 +1,238 @@
+package graphio
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+func TestReadEdgeListBasic(t *testing.T) {
+	in := `# a comment
+% another comment
+
+0 1
+1 2 5
+  3	4  2
+`
+	g, err := ReadEdgeList(strings.NewReader(in), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 5 || g.NumEdges() != 3 {
+		t.Fatalf("|V|=%d |E|=%d, want 5/3", g.NumVertices(), g.NumEdges())
+	}
+	if g.TotalWeight(1) != 1+5+2 {
+		t.Fatalf("weight %d, want 8", g.TotalWeight(1))
+	}
+}
+
+func TestReadEdgeListMinVertices(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1\n"), 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 10 {
+		t.Fatalf("|V| = %d, want 10", g.NumVertices())
+	}
+}
+
+func TestReadEdgeListSelfLoopsAndDuplicates(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1 2\n1 0 3\n2 2 7\n"), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 || g.Self[2] != 7 {
+		t.Fatalf("|E|=%d Self[2]=%d", g.NumEdges(), g.Self[2])
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	for _, in := range []string{
+		"0\n",                      // too few fields
+		"0 1 2 3\n",                // too many fields
+		"a 1\n",                    // bad source
+		"0 b\n",                    // bad target
+		"0 1 x\n",                  // bad weight
+		"-1 2\n",                   // negative id
+		"0 1 0\n",                  // zero weight
+		"0 1 -5\n",                 // negative weight
+		"99999999999999999999 1\n", // overflow
+	} {
+		if _, err := ReadEdgeList(strings.NewReader(in), 1, 0); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g, _, err := gen.SBM(2, gen.SBMConfig{Blocks: []int64{20, 30}, PIn: 0.3, POut: 0.05, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Self[5] = 9
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf, 2, g.NumVertices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, g, back)
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g, _, err := gen.LJSim(2, gen.DefaultLJSim(1000, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Self[0] = 3
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, g, back)
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("not a graph at all, sorry")), 1); err == nil {
+		t.Fatal("accepted garbage")
+	}
+	if _, err := ReadBinary(bytes.NewReader(nil), 1); err == nil {
+		t.Fatal("accepted empty input")
+	}
+	// Right magic, truncated body.
+	var buf bytes.Buffer
+	g := gen.Ring(10)
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-9]
+	if _, err := ReadBinary(bytes.NewReader(trunc), 1); err == nil {
+		t.Fatal("accepted truncated input")
+	}
+}
+
+func TestWriteMETIS(t *testing.T) {
+	g := gen.Ring(4)
+	var buf bytes.Buffer
+	if err := WriteMETIS(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "4 4 001" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5", len(lines))
+	}
+	// Vertex 0's neighbors are 1 and 3 → 1-based "2 1" and "4 1".
+	if !strings.Contains(lines[1], "2 1") || !strings.Contains(lines[1], "4 1") {
+		t.Fatalf("vertex 0 adjacency %q", lines[1])
+	}
+}
+
+func TestWriteCommunities(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCommunities(&buf, []int64{0, 0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	want := "0 0\n1 0\n2 1\n3 2\n"
+	if buf.String() != want {
+		t.Fatalf("got %q, want %q", buf.String(), want)
+	}
+}
+
+func assertSameGraph(t *testing.T, a, b *graph.Graph) {
+	t.Helper()
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("shape differs: %d/%d vs %d/%d",
+			a.NumVertices(), a.NumEdges(), b.NumVertices(), b.NumEdges())
+	}
+	if a.TotalWeight(1) != b.TotalWeight(1) {
+		t.Fatalf("weight differs: %d vs %d", a.TotalWeight(1), b.TotalWeight(1))
+	}
+	ae, be := a.Edges(), b.Edges()
+	sortEdges(ae)
+	sortEdges(be)
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ae[i], be[i])
+		}
+	}
+	for x := int64(0); x < a.NumVertices(); x++ {
+		if a.Self[x] != b.Self[x] {
+			t.Fatalf("Self[%d] differs: %d vs %d", x, a.Self[x], b.Self[x])
+		}
+	}
+}
+
+func sortEdges(es []graph.Edge) {
+	par.Sort(1, es, func(a, b graph.Edge) bool {
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		return a.V < b.V
+	})
+}
+
+// failWriter errors after a fixed number of bytes, exercising the writers'
+// error propagation.
+type failWriter struct{ left int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.left <= 0 {
+		return 0, errWriteFailed
+	}
+	n := len(p)
+	if n > f.left {
+		n = f.left
+	}
+	f.left -= n
+	if n < len(p) {
+		return n, errWriteFailed
+	}
+	return n, nil
+}
+
+var errWriteFailed = fmt.Errorf("graphio test: write failed")
+
+func TestWritersPropagateErrors(t *testing.T) {
+	g, _, err := gen.SBM(1, gen.SBMConfig{Blocks: []int64{20, 20}, PIn: 0.5, POut: 0.05, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Self[0] = 3
+	writers := map[string]func(io.Writer) error{
+		"edgelist": func(w io.Writer) error { return WriteEdgeList(w, g) },
+		"binary":   func(w io.Writer) error { return WriteBinary(w, g) },
+		"metis":    func(w io.Writer) error { return WriteMETIS(w, g) },
+		"communities": func(w io.Writer) error {
+			return WriteCommunities(w, make([]int64, 100000))
+		},
+	}
+	for name, write := range writers {
+		for _, budget := range []int{0, 10, 100} {
+			if err := write(&failWriter{left: budget}); err == nil {
+				t.Errorf("%s: no error with %d-byte budget", name, budget)
+			}
+		}
+		// Sanity: a big enough budget succeeds.
+		if err := write(&failWriter{left: 1 << 26}); err != nil {
+			t.Errorf("%s: failed with ample budget: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,309 @@
+// Package harness drives the §V evaluation: thread-count sweeps with
+// repeated trials over the benchmark graphs, and renderers that print the
+// same rows and series the paper's tables and figures report. The paper's
+// platform axis (two Cray XMT generations, three Intel servers) becomes a
+// thread-count axis on the present host — see DESIGN.md for the
+// substitution rationale.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Record captures one detection run.
+type Record struct {
+	Graph       string
+	Vertices    int64
+	Edges       int64
+	Threads     int
+	Trial       int
+	Seconds     float64
+	EdgesPerSec float64
+	Phases      int
+	Communities int64
+	Coverage    float64
+	Modularity  float64
+	Termination string
+}
+
+// Config describes a sweep: which thread counts, how many trials each, and
+// the engine options to use (Options.Threads is overridden per run).
+type Config struct {
+	Threads []int
+	Trials  int
+	Options core.Options
+}
+
+// DefaultConfig mirrors the paper's §V methodology: powers of two up to the
+// available parallelism, three trials per point ("each experiment is run
+// three times to capture some of the variability ... in our
+// non-deterministic algorithm"), and coverage ≥ 0.5 termination.
+func DefaultConfig() Config {
+	return Config{
+		Threads: ThreadSeries(runtime.GOMAXPROCS(0)),
+		Trials:  3,
+		Options: core.Options{MinCoverage: 0.5},
+	}
+}
+
+// ThreadSeries returns 1, 2, 4, ... up to and including max.
+func ThreadSeries(max int) []int {
+	if max < 1 {
+		max = 1
+	}
+	var s []int
+	for t := 1; t < max; t *= 2 {
+		s = append(s, t)
+	}
+	return append(s, max)
+}
+
+// Sweep runs the configured trials of community detection on g and returns
+// one Record per (threads, trial).
+func Sweep(g *graph.Graph, name string, cfg Config) ([]Record, error) {
+	if cfg.Trials < 1 {
+		cfg.Trials = 1
+	}
+	if len(cfg.Threads) == 0 {
+		cfg.Threads = ThreadSeries(runtime.GOMAXPROCS(0))
+	}
+	var out []Record
+	for _, th := range cfg.Threads {
+		for trial := 0; trial < cfg.Trials; trial++ {
+			opt := cfg.Options
+			opt.Threads = th
+			start := time.Now()
+			res, err := core.Detect(g, opt)
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s threads=%d trial=%d: %w", name, th, trial, err)
+			}
+			secs := time.Since(start).Seconds()
+			out = append(out, Record{
+				Graph:       name,
+				Vertices:    g.NumVertices(),
+				Edges:       g.NumEdges(),
+				Threads:     th,
+				Trial:       trial,
+				Seconds:     secs,
+				EdgesPerSec: float64(g.NumEdges()) / secs,
+				Phases:      len(res.Stats),
+				Communities: res.NumCommunities,
+				Coverage:    res.FinalCoverage,
+				Modularity:  res.FinalModularity,
+				Termination: string(res.Termination),
+			})
+		}
+	}
+	return out, nil
+}
+
+// BestSeconds returns the fastest trial per (graph, threads).
+func BestSeconds(records []Record) map[string]map[int]float64 {
+	best := map[string]map[int]float64{}
+	for _, r := range records {
+		m, ok := best[r.Graph]
+		if !ok {
+			m = map[int]float64{}
+			best[r.Graph] = m
+		}
+		if cur, ok := m[r.Threads]; !ok || r.Seconds < cur {
+			m[r.Threads] = r.Seconds
+		}
+	}
+	return best
+}
+
+// graphsOf returns the distinct graph names in input order.
+func graphsOf(records []Record) []string {
+	var names []string
+	seen := map[string]bool{}
+	for _, r := range records {
+		if !seen[r.Graph] {
+			seen[r.Graph] = true
+			names = append(names, r.Graph)
+		}
+	}
+	return names
+}
+
+// threadsOf returns the distinct sorted thread counts.
+func threadsOf(records []Record) []int {
+	seen := map[int]bool{}
+	for _, r := range records {
+		seen[r.Threads] = true
+	}
+	var ts []int
+	for t := range seen {
+		ts = append(ts, t)
+	}
+	sort.Ints(ts)
+	return ts
+}
+
+// RenderTimeTable prints the Figure 1 data: best execution time (seconds)
+// per thread count and graph.
+func RenderTimeTable(w io.Writer, records []Record) error {
+	best := BestSeconds(records)
+	graphs := graphsOf(records)
+	threads := threadsOf(records)
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "threads")
+	for _, g := range graphs {
+		fmt.Fprintf(tw, "\t%s (s)", g)
+	}
+	fmt.Fprintln(tw)
+	for _, t := range threads {
+		fmt.Fprintf(tw, "%d", t)
+		for _, g := range graphs {
+			if s, ok := best[g][t]; ok {
+				fmt.Fprintf(tw, "\t%.3f", s)
+			} else {
+				fmt.Fprint(tw, "\t-")
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// Speedups returns speed-up relative to the best single-thread time per
+// graph, the quantity Figures 2 and 3 plot.
+func Speedups(records []Record) map[string]map[int]float64 {
+	best := BestSeconds(records)
+	out := map[string]map[int]float64{}
+	for g, byT := range best {
+		base, ok := byT[1]
+		if !ok {
+			continue
+		}
+		m := map[int]float64{}
+		for t, s := range byT {
+			m[t] = base / s
+		}
+		out[g] = m
+	}
+	return out
+}
+
+// RenderSpeedupTable prints the Figure 2/3 data: parallel speed-up per
+// thread count and graph, with the best speed-up flagged per graph.
+func RenderSpeedupTable(w io.Writer, records []Record) error {
+	sp := Speedups(records)
+	graphs := graphsOf(records)
+	threads := threadsOf(records)
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "threads")
+	for _, g := range graphs {
+		fmt.Fprintf(tw, "\t%s (x)", g)
+	}
+	fmt.Fprintln(tw)
+	for _, t := range threads {
+		fmt.Fprintf(tw, "%d", t)
+		for _, g := range graphs {
+			if s, ok := sp[g][t]; ok {
+				fmt.Fprintf(tw, "\t%.2f", s)
+			} else {
+				fmt.Fprint(tw, "\t-")
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	for _, g := range graphs {
+		bestT, bestS := 0, math.Inf(-1)
+		for t, s := range sp[g] {
+			if s > bestS {
+				bestT, bestS = t, s
+			}
+		}
+		if bestT != 0 {
+			fmt.Fprintf(tw, "# %s: best speed-up %.2fx at %d threads\n", g, bestS, bestT)
+		}
+	}
+	return tw.Flush()
+}
+
+// RenderRateTable prints the Table III data: peak processing rate in input
+// edges per second over the fastest run per graph.
+func RenderRateTable(w io.Writer, records []Record) error {
+	graphs := graphsOf(records)
+	type peak struct {
+		rate    float64
+		threads int
+	}
+	best := map[string]peak{}
+	for _, r := range records {
+		if p, ok := best[r.Graph]; !ok || r.EdgesPerSec > p.rate {
+			best[r.Graph] = peak{r.EdgesPerSec, r.Threads}
+		}
+	}
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "graph\tpeak edges/sec\tat threads")
+	for _, g := range graphs {
+		p := best[g]
+		fmt.Fprintf(tw, "%s\t%.3g\t%d\n", g, p.rate, p.threads)
+	}
+	return tw.Flush()
+}
+
+// WriteCSV emits every record as CSV with a header, for external plotting.
+func WriteCSV(w io.Writer, records []Record) error {
+	if _, err := fmt.Fprintln(w,
+		"graph,vertices,edges,threads,trial,seconds,edges_per_sec,phases,communities,coverage,modularity,termination"); err != nil {
+		return err
+	}
+	for _, r := range records {
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%.6f,%.1f,%d,%d,%.6f,%.6f,%s\n",
+			r.Graph, r.Vertices, r.Edges, r.Threads, r.Trial, r.Seconds, r.EdgesPerSec,
+			r.Phases, r.Communities, r.Coverage, r.Modularity, r.Termination); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PlatformTable prints the Table I stand-in: the characteristics of the
+// present host in place of the paper's five platforms.
+func PlatformTable(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "property\tvalue")
+	fmt.Fprintf(tw, "OS/arch\t%s/%s\n", runtime.GOOS, runtime.GOARCH)
+	fmt.Fprintf(tw, "logical CPUs\t%d\n", runtime.NumCPU())
+	fmt.Fprintf(tw, "GOMAXPROCS\t%d\n", runtime.GOMAXPROCS(0))
+	fmt.Fprintf(tw, "Go version\t%s\n", runtime.Version())
+	return tw.Flush()
+}
+
+// GraphTable prints the Table II stand-in: |V| and |E| per benchmark graph.
+func GraphTable(w io.Writer, rows []GraphInfo) error {
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "graph\t|V|\t|E|\tavg degree")
+	for _, r := range rows {
+		avg := 0.0
+		if r.Vertices > 0 {
+			avg = 2 * float64(r.Edges) / float64(r.Vertices)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f\n", r.Name, r.Vertices, r.Edges, avg)
+	}
+	return tw.Flush()
+}
+
+// GraphInfo is one Table II row.
+type GraphInfo struct {
+	Name     string
+	Vertices int64
+	Edges    int64
+}
+
+// Info summarizes a graph for GraphTable.
+func Info(name string, g *graph.Graph) GraphInfo {
+	return GraphInfo{Name: name, Vertices: g.NumVertices(), Edges: g.NumEdges()}
+}

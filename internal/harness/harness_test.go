@@ -1,0 +1,202 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func TestThreadSeries(t *testing.T) {
+	cases := []struct {
+		max  int
+		want []int
+	}{
+		{1, []int{1}},
+		{2, []int{1, 2}},
+		{3, []int{1, 2, 3}},
+		{8, []int{1, 2, 4, 8}},
+		{12, []int{1, 2, 4, 8, 12}},
+		{0, []int{1}},
+	}
+	for _, c := range cases {
+		got := ThreadSeries(c.max)
+		if len(got) != len(c.want) {
+			t.Fatalf("ThreadSeries(%d) = %v, want %v", c.max, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("ThreadSeries(%d) = %v, want %v", c.max, got, c.want)
+			}
+		}
+	}
+}
+
+func sweepSmall(t *testing.T) []Record {
+	t.Helper()
+	g, _, err := gen.LJSim(2, gen.DefaultLJSim(800, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Sweep(g, "lj-sim", Config{
+		Threads: []int{1, 2},
+		Trials:  2,
+		Options: core.Options{MinCoverage: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestSweepProducesRecords(t *testing.T) {
+	recs := sweepSmall(t)
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4", len(recs))
+	}
+	for _, r := range recs {
+		if r.Seconds <= 0 || r.EdgesPerSec <= 0 {
+			t.Fatalf("non-positive timing: %+v", r)
+		}
+		if r.Graph != "lj-sim" || r.Vertices != 800 {
+			t.Fatalf("bad metadata: %+v", r)
+		}
+		if r.Communities < 1 || r.Phases < 1 {
+			t.Fatalf("implausible result: %+v", r)
+		}
+		if r.Termination == "" {
+			t.Fatalf("missing termination: %+v", r)
+		}
+	}
+}
+
+func TestBestSecondsAndSpeedups(t *testing.T) {
+	recs := []Record{
+		{Graph: "a", Threads: 1, Seconds: 10},
+		{Graph: "a", Threads: 1, Seconds: 12},
+		{Graph: "a", Threads: 4, Seconds: 3},
+		{Graph: "a", Threads: 4, Seconds: 2.5},
+	}
+	best := BestSeconds(recs)
+	if best["a"][1] != 10 || best["a"][4] != 2.5 {
+		t.Fatalf("best = %v", best)
+	}
+	sp := Speedups(recs)
+	if sp["a"][4] != 4 {
+		t.Fatalf("speedup = %v, want 4", sp["a"][4])
+	}
+	if sp["a"][1] != 1 {
+		t.Fatalf("speedup at 1 thread = %v", sp["a"][1])
+	}
+}
+
+func TestSpeedupsSkipGraphsWithoutBaseline(t *testing.T) {
+	recs := []Record{{Graph: "b", Threads: 2, Seconds: 1}}
+	if sp := Speedups(recs); len(sp) != 0 {
+		t.Fatalf("speedups without 1-thread baseline: %v", sp)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	recs := sweepSmall(t)
+	var buf bytes.Buffer
+	if err := RenderTimeTable(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "lj-sim") || !strings.Contains(buf.String(), "threads") {
+		t.Fatalf("time table:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := RenderSpeedupTable(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "best speed-up") {
+		t.Fatalf("speedup table:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := RenderRateTable(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "peak edges/sec") {
+		t.Fatalf("rate table:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := PlatformTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "GOMAXPROCS") {
+		t.Fatalf("platform table:\n%s", buf.String())
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	recs := sweepSmall(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(recs)+1 {
+		t.Fatalf("%d CSV lines for %d records", len(lines), len(recs))
+	}
+	if !strings.HasPrefix(lines[0], "graph,vertices,edges,threads") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if strings.Count(l, ",") != 11 {
+			t.Fatalf("bad CSV row: %q", l)
+		}
+	}
+}
+
+func TestGraphTable(t *testing.T) {
+	g := gen.Ring(10)
+	var buf bytes.Buffer
+	if err := GraphTable(&buf, []GraphInfo{Info("ring", g)}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ring") || !strings.Contains(buf.String(), "10") {
+		t.Fatalf("graph table:\n%s", buf.String())
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Trials != 3 {
+		t.Fatalf("trials = %d, want 3 (paper's methodology)", cfg.Trials)
+	}
+	if cfg.Options.MinCoverage != 0.5 {
+		t.Fatalf("coverage target = %v, want 0.5", cfg.Options.MinCoverage)
+	}
+	if len(cfg.Threads) == 0 || cfg.Threads[0] != 1 {
+		t.Fatalf("thread series = %v", cfg.Threads)
+	}
+}
+
+func TestSweepPropagatesEngineErrors(t *testing.T) {
+	g := gen.Ring(10)
+	_, err := Sweep(g, "ring", Config{
+		Threads: []int{1},
+		Trials:  1,
+		Options: core.Options{MinCoverage: 2}, // invalid
+	})
+	if err == nil {
+		t.Fatal("invalid options accepted")
+	}
+}
+
+func TestSweepDefaults(t *testing.T) {
+	g := gen.CliqueChain(4, 4)
+	recs, err := Sweep(g, "chain", Config{}) // zero config: defaults kick in
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no records with default config")
+	}
+	if recs[0].Threads != 1 {
+		t.Fatalf("default sweep should start at 1 thread, got %d", recs[0].Threads)
+	}
+}

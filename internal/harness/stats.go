@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"text/tabwriter"
+)
+
+// PointStats aggregates the trials of one (graph, threads) sweep point —
+// the paper runs every experiment three times "to capture some of the
+// variability in platforms and in our non-deterministic algorithm" (§V),
+// and Figure 1 plots all trials.
+type PointStats struct {
+	Graph   string
+	Threads int
+	Trials  int
+	// Seconds statistics across trials.
+	Min, Median, Mean, Max, StdDev float64
+	// Modularity spread across trials (the non-determinism the paper's
+	// XMT2 timing variation traces back to "finding different community
+	// structures").
+	MinModularity, MaxModularity float64
+}
+
+// Aggregate reduces raw records to per-point statistics, ordered by graph
+// (input order) then thread count.
+func Aggregate(records []Record) []PointStats {
+	type key struct {
+		graph   string
+		threads int
+	}
+	group := map[key][]Record{}
+	var order []key
+	graphRank := map[string]int{}
+	for _, r := range records {
+		k := key{r.Graph, r.Threads}
+		if _, ok := group[k]; !ok {
+			order = append(order, k)
+		}
+		if _, ok := graphRank[r.Graph]; !ok {
+			graphRank[r.Graph] = len(graphRank)
+		}
+		group[k] = append(group[k], r)
+	}
+	// Graphs keep first-seen order; thread counts sort within a graph.
+	sort.SliceStable(order, func(i, j int) bool {
+		ri, rj := graphRank[order[i].graph], graphRank[order[j].graph]
+		if ri != rj {
+			return ri < rj
+		}
+		return order[i].threads < order[j].threads
+	})
+	out := make([]PointStats, 0, len(order))
+	for _, k := range order {
+		rs := group[k]
+		secs := make([]float64, len(rs))
+		ps := PointStats{
+			Graph: k.graph, Threads: k.threads, Trials: len(rs),
+			MinModularity: math.Inf(1), MaxModularity: math.Inf(-1),
+		}
+		var sum float64
+		for i, r := range rs {
+			secs[i] = r.Seconds
+			sum += r.Seconds
+			if r.Modularity < ps.MinModularity {
+				ps.MinModularity = r.Modularity
+			}
+			if r.Modularity > ps.MaxModularity {
+				ps.MaxModularity = r.Modularity
+			}
+		}
+		sort.Float64s(secs)
+		ps.Min = secs[0]
+		ps.Max = secs[len(secs)-1]
+		ps.Median = secs[len(secs)/2]
+		ps.Mean = sum / float64(len(secs))
+		var sq float64
+		for _, s := range secs {
+			d := s - ps.Mean
+			sq += d * d
+		}
+		if len(secs) > 1 {
+			ps.StdDev = math.Sqrt(sq / float64(len(secs)-1))
+		}
+		out = append(out, ps)
+	}
+	return out
+}
+
+// RenderStatsTable prints per-point trial statistics: the detail behind the
+// Figure 1 scatter.
+func RenderStatsTable(w io.Writer, records []Record) error {
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "graph\tthreads\ttrials\tmin(s)\tmedian(s)\tmean(s)\tmax(s)\tstddev(s)\tQ range")
+	for _, ps := range Aggregate(records) {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t[%.3f, %.3f]\n",
+			ps.Graph, ps.Threads, ps.Trials, ps.Min, ps.Median, ps.Mean, ps.Max, ps.StdDev,
+			ps.MinModularity, ps.MaxModularity)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAggregate(t *testing.T) {
+	recs := []Record{
+		{Graph: "a", Threads: 1, Seconds: 3, Modularity: 0.5},
+		{Graph: "a", Threads: 1, Seconds: 1, Modularity: 0.6},
+		{Graph: "a", Threads: 1, Seconds: 2, Modularity: 0.55},
+		{Graph: "a", Threads: 2, Seconds: 1.5, Modularity: 0.5},
+		{Graph: "b", Threads: 1, Seconds: 10, Modularity: 0.4},
+	}
+	pts := Aggregate(recs)
+	if len(pts) != 3 {
+		t.Fatalf("got %d points, want 3", len(pts))
+	}
+	p := pts[0]
+	if p.Graph != "a" || p.Threads != 1 || p.Trials != 3 {
+		t.Fatalf("first point %+v", p)
+	}
+	if p.Min != 1 || p.Max != 3 || p.Median != 2 || math.Abs(p.Mean-2) > 1e-12 {
+		t.Fatalf("stats %+v", p)
+	}
+	if math.Abs(p.StdDev-1) > 1e-12 {
+		t.Fatalf("stddev %v, want 1", p.StdDev)
+	}
+	if p.MinModularity != 0.5 || p.MaxModularity != 0.6 {
+		t.Fatalf("modularity range %+v", p)
+	}
+	// Single-trial point has zero stddev.
+	if pts[1].StdDev != 0 || pts[1].Trials != 1 {
+		t.Fatalf("single-trial point %+v", pts[1])
+	}
+}
+
+func TestAggregatePreservesGraphOrder(t *testing.T) {
+	recs := []Record{
+		{Graph: "z", Threads: 2, Seconds: 1},
+		{Graph: "a", Threads: 1, Seconds: 1},
+		{Graph: "z", Threads: 1, Seconds: 1},
+	}
+	pts := Aggregate(recs)
+	if pts[0].Graph != "z" || pts[0].Threads != 1 || pts[1].Threads != 2 || pts[2].Graph != "a" {
+		t.Fatalf("order: %+v", pts)
+	}
+}
+
+func TestRenderStatsTable(t *testing.T) {
+	recs := []Record{
+		{Graph: "g", Threads: 1, Seconds: 1, Modularity: 0.3},
+		{Graph: "g", Threads: 1, Seconds: 2, Modularity: 0.4},
+	}
+	var buf bytes.Buffer
+	if err := RenderStatsTable(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "median(s)") || !strings.Contains(out, "[0.300, 0.400]") {
+		t.Fatalf("table:\n%s", out)
+	}
+}

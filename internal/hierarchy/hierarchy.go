@@ -1,0 +1,140 @@
+// Package hierarchy turns the engine's per-phase contraction maps into a
+// queryable community dendrogram. Every agglomeration phase is one level of
+// the hierarchy; cutting the dendrogram at a level yields that phase's
+// partition of the original graph. This supports the use case the paper's
+// introduction motivates: communities "can be analyzed more thoroughly or
+// form the basis for multi-level algorithms".
+package hierarchy
+
+import (
+	"fmt"
+)
+
+// Dendrogram is the merge hierarchy of one detection run.
+type Dendrogram struct {
+	n      int64
+	levels [][]int64
+	// partitions[l] caches the composed vertex→community map after l
+	// levels; partitions[0] is the identity.
+	partitions [][]int64
+	counts     []int64
+}
+
+// New builds a dendrogram for n original vertices from per-level community
+// maps, outermost (finest) first: levels[l] maps the level-l community ids
+// to level-l+1 ids and must be dense. The engine's Result.Levels has
+// exactly this shape (when Options.RefineEveryPhase is off).
+func New(n int64, levels [][]int64) (*Dendrogram, error) {
+	d := &Dendrogram{n: n, levels: levels}
+	cur := make([]int64, n)
+	for i := range cur {
+		cur[i] = int64(i)
+	}
+	d.partitions = append(d.partitions, append([]int64(nil), cur...))
+	d.counts = append(d.counts, n)
+	prevK := n
+	for l, level := range levels {
+		k := int64(len(level))
+		if k != prevK {
+			return nil, fmt.Errorf("hierarchy: level %d maps %d communities, previous level has %d", l, k, prevK)
+		}
+		var maxID int64 = -1
+		for _, c := range level {
+			if c < 0 {
+				return nil, fmt.Errorf("hierarchy: level %d has negative community id", l)
+			}
+			if c > maxID {
+				maxID = c
+			}
+		}
+		nextK := maxID + 1
+		seen := make([]bool, nextK)
+		for _, c := range level {
+			seen[c] = true
+		}
+		for c, ok := range seen {
+			if !ok {
+				return nil, fmt.Errorf("hierarchy: level %d community %d empty", l, c)
+			}
+		}
+		for v := range cur {
+			cur[v] = level[cur[v]]
+		}
+		d.partitions = append(d.partitions, append([]int64(nil), cur...))
+		d.counts = append(d.counts, nextK)
+		prevK = nextK
+	}
+	return d, nil
+}
+
+// NumLevels returns the number of merge levels (0 means no contraction ran).
+func (d *Dendrogram) NumLevels() int { return len(d.levels) }
+
+// NumVertices returns the number of original vertices.
+func (d *Dendrogram) NumVertices() int64 { return d.n }
+
+// AtLevel returns the partition of the original vertices after level merge
+// phases (level 0 = singletons) and its community count. The returned slice
+// is shared; callers must not modify it.
+func (d *Dendrogram) AtLevel(level int) (comm []int64, k int64, err error) {
+	if level < 0 || level > d.NumLevels() {
+		return nil, 0, fmt.Errorf("hierarchy: level %d outside [0,%d]", level, d.NumLevels())
+	}
+	return d.partitions[level], d.counts[level], nil
+}
+
+// Final returns the coarsest partition.
+func (d *Dendrogram) Final() (comm []int64, k int64) {
+	return d.partitions[d.NumLevels()], d.counts[d.NumLevels()]
+}
+
+// CommunityCounts returns the community count per level, finest first
+// (entry 0 is the vertex count).
+func (d *Dendrogram) CommunityCounts() []int64 {
+	return append([]int64(nil), d.counts...)
+}
+
+// CutAtCount returns the finest partition with at most target communities,
+// or the coarsest available if every level exceeds target. This is how an
+// application imposes "a minimum number of communities" after the fact
+// instead of during the run.
+func (d *Dendrogram) CutAtCount(target int64) (comm []int64, k int64, level int) {
+	for l := 0; l <= d.NumLevels(); l++ {
+		if d.counts[l] <= target {
+			return d.partitions[l], d.counts[l], l
+		}
+	}
+	last := d.NumLevels()
+	return d.partitions[last], d.counts[last], last
+}
+
+// Members returns the original vertices of community c at the given level.
+func (d *Dendrogram) Members(level int, c int64) ([]int64, error) {
+	comm, k, err := d.AtLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	if c < 0 || c >= k {
+		return nil, fmt.Errorf("hierarchy: community %d outside [0,%d)", c, k)
+	}
+	var out []int64
+	for v, cc := range comm {
+		if cc == c {
+			out = append(out, int64(v))
+		}
+	}
+	return out, nil
+}
+
+// TraceVertex returns the community id of vertex v at every level, finest
+// first (entry 0 is v itself).
+func (d *Dendrogram) TraceVertex(v int64) ([]int64, error) {
+	if v < 0 || v >= d.n {
+		return nil, fmt.Errorf("hierarchy: vertex %d outside [0,%d)", v, d.n)
+	}
+	out := make([]int64, d.NumLevels()+1)
+	for l := 0; l <= d.NumLevels(); l++ {
+		out[l] = d.partitions[l][v]
+	}
+	return out, nil
+}

@@ -1,0 +1,24 @@
+package matching
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// addFloatAtomic adds delta to the float64 stored as bits in *addr with a
+// compare-and-swap loop. Matching weight accumulation is the only float
+// reduction on the kernel's hot path; per-worker partials would also work
+// but the CAS runs once per worker, not per edge.
+func addFloatAtomic(addr *uint64, delta float64) {
+	for {
+		old := atomic.LoadUint64(addr)
+		cur := math.Float64frombits(old)
+		if atomic.CompareAndSwapUint64(addr, old, math.Float64bits(cur+delta)) {
+			return
+		}
+	}
+}
+
+func floatFromBits(bits uint64) float64 {
+	return math.Float64frombits(bits)
+}

@@ -1,0 +1,376 @@
+// Package matching implements step 2 of the agglomerative loop (§III,
+// §IV-B): a greedy approximately-maximum-weight maximal matching over the
+// positively scored community-graph edges. Matched pairs merge in the
+// contraction step; the greedy construction guarantees the matching weight
+// is within a factor of two of the maximum (Preis; Hoepman;
+// Manne–Bisseling).
+//
+// Two kernels are provided:
+//
+//   - Worklist: the paper's improved algorithm. An explicit array of
+//     currently unmatched vertices is swept in parallel; each vertex scans
+//     its own edge bucket for its best unmatched neighbor, compares its
+//     choice against the other side's candidate under a total order, and
+//     claims both sides with per-vertex locks. Vertices whose claim fails
+//     but that still have an unmatched positive neighbor stay on the list.
+//
+//   - EdgeSweep: the 2011 algorithm kept as an ablation baseline. Every
+//     sweep runs over the whole edge array and funnels the per-vertex best
+//     through a lock per endpoint — the "frequent hot spots" that were
+//     tolerable with the Cray XMT's full/empty bits but crippled the
+//     OpenMP port.
+//
+// Both kernels are non-deterministic under parallel execution: different
+// runs may return different maximal matchings, exactly as the paper notes.
+package matching
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// Unmatched marks a vertex without a partner in Result.Match.
+const Unmatched = int64(-1)
+
+// Result describes one matching.
+type Result struct {
+	// Match[v] is v's partner, or Unmatched. Symmetric:
+	// Match[Match[v]] == v for every matched v.
+	Match []int64
+	// Pairs is the number of matched pairs.
+	Pairs int64
+	// Weight is the total score of the matched edges.
+	Weight float64
+	// Passes is the number of parallel sweeps the kernel ran.
+	Passes int
+}
+
+// edgeKey orders candidate edges: first by score, then by a hash of the
+// stored endpoints, then by the endpoints themselves, making the order
+// total (§IV-B "first score and then the vertex indices"). Breaking score
+// ties by raw index builds long dependency chains along the vertex
+// numbering — each chain element defers to the next, one pass each — so the
+// hash shatters ties into random tournaments and keeps the pass count
+// logarithmic.
+type edgeKey struct {
+	score         float64
+	tie           uint64
+	first, second int64
+}
+
+func makeKey(score float64, first, second int64) edgeKey {
+	h := uint64(first)<<32 ^ uint64(second)
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	h ^= h >> 31
+	return edgeKey{score, h, first, second}
+}
+
+func (k edgeKey) less(o edgeKey) bool {
+	if k.score != o.score {
+		return k.score < o.score
+	}
+	if k.tie != o.tie {
+		return k.tie < o.tie
+	}
+	if k.first != o.first {
+		return k.first < o.first
+	}
+	return k.second < o.second
+}
+
+// Worklist computes a greedy heavy maximal matching with the paper's
+// unmatched-vertex-list algorithm using p workers. Only edges with a
+// strictly positive score participate.
+//
+// Each pass parallelizes over the array of still-active vertices. An active
+// vertex scans its own bucket (each edge is stored exactly once) and pushes
+// every available edge as a candidate proposal to *both* endpoints under the
+// total order (score, stored endpoints); "if edge {i, j} dominates the
+// scores adjacent to i and j, that edge will be found by one of the two
+// vertices" (§IV-B). A vertex then claims its best candidate edge exactly
+// when the other side's best candidate is the same edge — the
+// locally-dominant discipline of Hoepman and Manne–Bisseling, which
+// guarantees weight within 2× of the maximum. Vertices whose claim was
+// frustrated but that still saw an available edge stay on the list; the
+// matching is maximal when the list drains.
+func Worklist(p int, g *graph.Graph, scores []float64) Result {
+	n := int(g.NumVertices())
+	match := make([]int64, n)
+	par.For(p, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			match[i] = Unmatched
+		}
+	})
+	locks := par.NewSpinLocks(n)
+
+	// Per-vertex best candidate edge, stamped by pass so it never needs
+	// clearing. Guarded by locks during phase A; read freely in phase B
+	// (the phases are barrier-separated).
+	candE := make([]int64, n)
+	candKey := make([]edgeKey, n)
+	candPass := make([]int64, n)
+	for i := range candPass {
+		candPass[i] = -1
+	}
+
+	// Initial worklist: vertices owning at least one edge. Vertices with
+	// empty buckets are passive — they receive proposals but the owning
+	// side performs the claim.
+	list := make([]int64, 0, n)
+	for x := int64(0); x < int64(n); x++ {
+		if g.End[x] > g.Start[x] {
+			list = append(list, x)
+		}
+	}
+
+	passes := 0
+	for len(list) > 0 {
+		pass := int64(passes)
+		// Phase A: active vertices scan their buckets and push proposals to
+		// both endpoints of every available positive edge.
+		par.ForDynamic(p, len(list), 0, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				u := list[i]
+				if atomic.LoadInt64(&match[u]) != Unmatched {
+					continue
+				}
+				for e := g.Start[u]; e < g.End[u]; e++ {
+					s := scores[e]
+					if s <= 0 {
+						continue
+					}
+					v := g.V[e]
+					if atomic.LoadInt64(&match[v]) != Unmatched {
+						continue
+					}
+					k := makeKey(s, g.U[e], g.V[e])
+					for _, side := range [2]int64{u, v} {
+						locks.Lock(side)
+						if candPass[side] != pass || candKey[side].less(k) {
+							candPass[side] = pass
+							candKey[side] = k
+							candE[side] = e
+						}
+						locks.Unlock(side)
+					}
+				}
+			}
+		})
+		// Phase B: claim mutual best edges; compact the worklist.
+		keep := make([]int64, len(list))
+		par.ForDynamic(p, len(list), 0, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				u := list[i]
+				if atomic.LoadInt64(&match[u]) != Unmatched {
+					continue // matched; drop
+				}
+				if candPass[u] != pass {
+					continue // no available edge anywhere near u; drop for good
+				}
+				e := candE[u]
+				a, b := g.U[e], g.V[e]
+				o := a // other endpoint of our best edge
+				if o == u {
+					o = b
+				}
+				if candPass[o] == pass && candE[o] == e {
+					// Mutually best: claim both sides. Both endpoints may
+					// run this claim; Lock2 serializes and the second sees
+					// the pair already made.
+					locks.Lock2(u, o)
+					if match[u] == Unmatched && match[o] == Unmatched {
+						atomic.StoreInt64(&match[u], o)
+						atomic.StoreInt64(&match[o], u)
+					}
+					locks.Unlock2(u, o)
+				}
+				if atomic.LoadInt64(&match[u]) == Unmatched {
+					// Still free but edges remain in reach: try again.
+					keep[i] = 1
+				}
+			}
+		})
+		list = par.Pack(p, list, keep)
+		passes++
+	}
+	return finishResult(p, g, scores, match, passes)
+}
+
+// EdgeSweep computes the matching with the 2011 whole-edge-array algorithm
+// using p workers: every sweep updates a per-vertex best edge through a
+// vertex lock (the full/empty-bit hot spot), then matches mutually best
+// edges. Kept as the ablation baseline for the paper's claim that the
+// worklist algorithm's gains are "marginal on the Cray XMT but drastic on
+// Intel-based platforms".
+func EdgeSweep(p int, g *graph.Graph, scores []float64) Result {
+	n := int(g.NumVertices())
+	match := make([]int64, n)
+	par.For(p, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			match[i] = Unmatched
+		}
+	})
+	locks := par.NewSpinLocks(n)
+	bestEdge := make([]int64, n)
+	bestKey := make([]edgeKey, n)
+	bestPass := make([]int64, n)
+	for i := range bestPass {
+		bestPass[i] = -1
+	}
+
+	passes := 0
+	for {
+		pass := int64(passes)
+		var eligible int64
+		// Sweep 1: per-endpoint best via locks (the hot spot).
+		par.ForDynamic(p, n, 0, func(lo, hi int) {
+			local := false
+			for x := int64(lo); x < int64(hi); x++ {
+				for e := g.Start[x]; e < g.End[x]; e++ {
+					s := scores[e]
+					if s <= 0 {
+						continue
+					}
+					u, v := g.U[e], g.V[e]
+					if atomic.LoadInt64(&match[u]) != Unmatched ||
+						atomic.LoadInt64(&match[v]) != Unmatched {
+						continue
+					}
+					local = true
+					k := makeKey(s, u, v)
+					for _, side := range [2]int64{u, v} {
+						locks.Lock(side)
+						if bestPass[side] != pass || bestKey[side].less(k) {
+							bestPass[side] = pass
+							bestKey[side] = k
+							bestEdge[side] = e
+						}
+						locks.Unlock(side)
+					}
+				}
+			}
+			if local {
+				atomic.StoreInt64(&eligible, 1)
+			}
+		})
+		if eligible == 0 {
+			break
+		}
+		// Sweep 2: match mutually best edges.
+		par.ForDynamic(p, n, 0, func(lo, hi int) {
+			for x := int64(lo); x < int64(hi); x++ {
+				for e := g.Start[x]; e < g.End[x]; e++ {
+					if scores[e] <= 0 {
+						continue
+					}
+					u, v := g.U[e], g.V[e]
+					if bestPass[u] != pass || bestPass[v] != pass {
+						continue
+					}
+					if bestEdge[u] != e || bestEdge[v] != e {
+						continue
+					}
+					locks.Lock2(u, v)
+					if match[u] == Unmatched && match[v] == Unmatched {
+						atomic.StoreInt64(&match[u], v)
+						atomic.StoreInt64(&match[v], u)
+					}
+					locks.Unlock2(u, v)
+				}
+			}
+		})
+		passes++
+	}
+	return finishResult(p, g, scores, match, passes)
+}
+
+// finishResult counts pairs and sums matched-edge scores.
+func finishResult(p int, g *graph.Graph, scores []float64, match []int64, passes int) Result {
+	var pairs int64
+	var weightBits uint64
+	n := int(g.NumVertices())
+	par.ForDynamic(p, n, 0, func(lo, hi int) {
+		var localPairs int64
+		var localWeight float64
+		for x := int64(lo); x < int64(hi); x++ {
+			if m := match[x]; m != Unmatched && x < m {
+				localPairs++
+			}
+			for e := g.Start[x]; e < g.End[x]; e++ {
+				if match[g.U[e]] == g.V[e] {
+					localWeight += scores[e]
+				}
+			}
+		}
+		atomic.AddInt64(&pairs, localPairs)
+		addFloatAtomic(&weightBits, localWeight)
+	})
+	return Result{Match: match, Pairs: pairs, Weight: floatFromBits(weightBits), Passes: passes}
+}
+
+// Verify checks that match is a valid maximal matching of the positively
+// scored edges of g: symmetry, partner validity, adjacency of matched
+// pairs via a positive edge, and maximality (no positive edge joins two
+// unmatched vertices). Intended for tests and debugging.
+func Verify(g *graph.Graph, scores []float64, match []int64) error {
+	n := g.NumVertices()
+	if int64(len(match)) != n {
+		return fmt.Errorf("matching: match has %d entries for %d vertices", len(match), n)
+	}
+	for x := int64(0); x < n; x++ {
+		m := match[x]
+		if m == Unmatched {
+			continue
+		}
+		if m < 0 || m >= n {
+			return fmt.Errorf("matching: match[%d] = %d out of range", x, m)
+		}
+		if m == x {
+			return fmt.Errorf("matching: vertex %d matched to itself", x)
+		}
+		if match[m] != x {
+			return fmt.Errorf("matching: asymmetric pair (%d, %d)", x, m)
+		}
+	}
+	// Matched pairs must share a positive stored edge; maximality over
+	// positive edges.
+	paired := make(map[[2]int64]bool)
+	var violation error
+	g.ForEachEdge(func(e int64, u, v, _ int64) {
+		if violation != nil {
+			return
+		}
+		if scores[e] > 0 && match[u] == Unmatched && match[v] == Unmatched {
+			violation = fmt.Errorf("matching: not maximal, positive edge {%d,%d} unmatched on both sides", u, v)
+			return
+		}
+		if match[u] == v {
+			a, b := u, v
+			if a > b {
+				a, b = b, a
+			}
+			if scores[e] <= 0 {
+				violation = fmt.Errorf("matching: pair (%d,%d) uses non-positive edge score %v", u, v, scores[e])
+				return
+			}
+			paired[[2]int64{a, b}] = true
+		}
+	})
+	if violation != nil {
+		return violation
+	}
+	for x := int64(0); x < n; x++ {
+		m := match[x]
+		if m == Unmatched || x > m {
+			continue
+		}
+		if !paired[[2]int64{x, m}] {
+			return fmt.Errorf("matching: pair (%d,%d) has no positive stored edge", x, m)
+		}
+	}
+	return nil
+}

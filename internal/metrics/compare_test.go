@@ -1,0 +1,164 @@
+package metrics_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/par"
+)
+
+func TestCompareIdenticalPartitions(t *testing.T) {
+	comm := []int64{0, 0, 1, 1, 2}
+	a, err := metrics.Compare(comm, 3, comm, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.NMI-1) > 1e-12 || math.Abs(a.ARI-1) > 1e-12 || math.Abs(a.PairF1-1) > 1e-12 {
+		t.Fatalf("identical partitions: %+v", a)
+	}
+}
+
+func TestCompareRelabelingInvariant(t *testing.T) {
+	pred := []int64{0, 0, 1, 1, 2, 2}
+	relabeled := []int64{2, 2, 0, 0, 1, 1}
+	a, err := metrics.Compare(pred, 3, relabeled, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.NMI-1) > 1e-12 || math.Abs(a.ARI-1) > 1e-12 {
+		t.Fatalf("relabeled partitions should agree fully: %+v", a)
+	}
+}
+
+func TestCompareOrthogonalPartitions(t *testing.T) {
+	// 4 vertices: pred splits {01|23}, truth splits {02|13}. Contingency is
+	// uniform → MI = 0, ARI ≈ negative-or-zero.
+	pred := []int64{0, 0, 1, 1}
+	truth := []int64{0, 1, 0, 1}
+	a, err := metrics.Compare(pred, 2, truth, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.NMI) > 1e-12 {
+		t.Fatalf("orthogonal NMI = %v, want 0", a.NMI)
+	}
+	if a.ARI > 0.01 {
+		t.Fatalf("orthogonal ARI = %v, want <= 0", a.ARI)
+	}
+}
+
+func TestCompareTrivialPartitions(t *testing.T) {
+	one := []int64{0, 0, 0, 0}
+	a, err := metrics.Compare(one, 1, one, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NMI != 1 || a.ARI != 1 {
+		t.Fatalf("trivial vs trivial: %+v", a)
+	}
+	singles := []int64{0, 1, 2, 3}
+	b, err := metrics.Compare(singles, 4, one, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NMI != 0 {
+		t.Fatalf("singletons vs single community NMI = %v, want 0", b.NMI)
+	}
+}
+
+func TestCompareKnownARI(t *testing.T) {
+	// Classic small example: n=6, pred {012|345}, truth {01|2345}.
+	// Contingency: [2,1;0,3]. sumCells = C(2)+C(1)+C(3) = 1+0+3 = 4.
+	// sumRows = 3+3 = 6... C(3,2)=3 each → 6. sumCols = C(2,2)+C(4,2) = 1+6 = 7.
+	// total = C(6,2) = 15. expected = 6*7/15 = 2.8; max = 6.5.
+	// ARI = (4-2.8)/(6.5-2.8) = 1.2/3.7.
+	pred := []int64{0, 0, 0, 1, 1, 1}
+	truth := []int64{0, 0, 1, 1, 1, 1}
+	a, err := metrics.Compare(pred, 2, truth, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.2 / 3.7
+	if math.Abs(a.ARI-want) > 1e-12 {
+		t.Fatalf("ARI = %v, want %v", a.ARI, want)
+	}
+	// Pair F1: prec = 4/6, rec = 4/7 → F1 = 2·(4/6)(4/7)/((4/6)+(4/7)).
+	prec, rec := 4.0/6.0, 4.0/7.0
+	wantF1 := 2 * prec * rec / (prec + rec)
+	if math.Abs(a.PairF1-wantF1) > 1e-12 {
+		t.Fatalf("PairF1 = %v, want %v", a.PairF1, wantF1)
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	if _, err := metrics.Compare([]int64{0, 0}, 1, []int64{0}, 1); err == nil {
+		t.Fatal("accepted length mismatch")
+	}
+	if _, err := metrics.Compare([]int64{0, 5}, 2, []int64{0, 0}, 1); err == nil {
+		t.Fatal("accepted invalid pred")
+	}
+	if _, err := metrics.Compare([]int64{0, 1}, 2, []int64{0, 9}, 1); err == nil {
+		t.Fatal("accepted invalid truth")
+	}
+	if a, err := metrics.Compare(nil, 0, nil, 0); err != nil || a.NMI != 0 {
+		t.Fatalf("empty partitions: %+v err=%v", a, err)
+	}
+}
+
+func TestCompareLouvainRecoversSBM(t *testing.T) {
+	g, truth, err := gen.SBM(2, gen.SBMConfig{
+		Blocks: []int64{50, 50, 50}, PIn: 0.4, POut: 0.005, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := baseline.Louvain(g, 2)
+	truthD, kT := metrics.Densify(truth)
+	a, err := metrics.Compare(res.CommunityOf, res.NumCommunities, truthD, kT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NMI < 0.95 || a.ARI < 0.95 {
+		t.Fatalf("Louvain should recover a well-separated SBM: %+v", a)
+	}
+}
+
+func TestCompareBoundsProperty(t *testing.T) {
+	r := par.NewRNG(4)
+	for trial := 0; trial < 50; trial++ {
+		n := 5 + r.Intn(50)
+		kp := int64(1 + r.Intn(5))
+		kt := int64(1 + r.Intn(5))
+		pred := make([]int64, n)
+		truth := make([]int64, n)
+		for i := 0; i < n; i++ {
+			pred[i] = r.Int63n(kp)
+			truth[i] = r.Int63n(kt)
+		}
+		pd, pk := metrics.Densify(pred)
+		td, tk := metrics.Densify(truth)
+		a, err := metrics.Compare(pd, pk, td, tk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.NMI < -1e-9 || a.NMI > 1+1e-9 {
+			t.Fatalf("NMI %v out of bounds", a.NMI)
+		}
+		if a.ARI < -1-1e-9 || a.ARI > 1+1e-9 {
+			t.Fatalf("ARI %v out of bounds", a.ARI)
+		}
+		if a.PairF1 < 0 || a.PairF1 > 1+1e-9 {
+			t.Fatalf("PairF1 %v out of bounds", a.PairF1)
+		}
+		// Symmetry of NMI and ARI.
+		b, err := metrics.Compare(td, tk, pd, pk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a.NMI-b.NMI) > 1e-9 || math.Abs(a.ARI-b.ARI) > 1e-9 {
+			t.Fatalf("asymmetric: %+v vs %+v", a, b)
+		}
+	}
+}

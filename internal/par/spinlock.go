@@ -1,0 +1,67 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// SpinLocks is an array of tiny test-and-test-and-set spinlocks, one per
+// element of some vertex-indexed structure. It stands in for the Cray XMT's
+// per-word full/empty bits and for the "|V| locks on OpenMP platforms" the
+// paper allocates for the matching phase (§IV-B).
+//
+// Locks are expected to be held for a handful of instructions (claiming a
+// matching pair), so spinning with an occasional Gosched beats parking a
+// goroutine on a sync.Mutex.
+type SpinLocks struct {
+	bits []atomic.Uint32
+}
+
+// NewSpinLocks returns n unlocked spinlocks.
+func NewSpinLocks(n int) *SpinLocks {
+	return &SpinLocks{bits: make([]atomic.Uint32, n)}
+}
+
+// Len returns the number of locks.
+func (s *SpinLocks) Len() int { return len(s.bits) }
+
+// Lock acquires lock i, spinning until it is free.
+func (s *SpinLocks) Lock(i int64) {
+	b := &s.bits[i]
+	for spins := 0; ; spins++ {
+		if b.Load() == 0 && b.CompareAndSwap(0, 1) {
+			return
+		}
+		if spins&63 == 63 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// TryLock attempts to acquire lock i without blocking and reports success.
+func (s *SpinLocks) TryLock(i int64) bool {
+	b := &s.bits[i]
+	return b.Load() == 0 && b.CompareAndSwap(0, 1)
+}
+
+// Unlock releases lock i. Unlocking a lock that is not held corrupts the
+// lock state, exactly as with sync.Mutex.
+func (s *SpinLocks) Unlock(i int64) {
+	s.bits[i].Store(0)
+}
+
+// Lock2 acquires locks i and j (i != j) in index order, which makes
+// concurrent pair claims deadlock-free.
+func (s *SpinLocks) Lock2(i, j int64) {
+	if i > j {
+		i, j = j, i
+	}
+	s.Lock(i)
+	s.Lock(j)
+}
+
+// Unlock2 releases locks i and j acquired with Lock2.
+func (s *SpinLocks) Unlock2(i, j int64) {
+	s.Unlock(i)
+	s.Unlock(j)
+}

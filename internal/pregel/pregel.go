@@ -1,0 +1,186 @@
+// Package pregel is a vertex-centric bulk-synchronous-parallel (BSP)
+// execution substrate in the style of Malewicz et al.'s Pregel — the second
+// execution model the paper's §VI names as a target for the algorithm's
+// primitives ("possibly cloud-based implementations through environments
+// like Pregel"). Computation proceeds in supersteps: every active vertex
+// receives the messages sent to it in the previous superstep, updates its
+// value, sends messages along its edges, and may vote to halt; the run ends
+// when no vertex is active and no messages are in flight.
+//
+// The package ships two programs built on the substrate, each cross-checked
+// against the direct implementations elsewhere in the repository:
+// connected components (vs. graph.Components) and label-propagation
+// community detection (an extra baseline for the evaluation).
+package pregel
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// Context gives a vertex program access to its vertex during a superstep.
+type Context struct {
+	// Superstep is the current superstep number, starting at 0.
+	Superstep int
+	// Vertex is the vertex id this invocation runs for.
+	Vertex int64
+	// Degree is the number of neighbors.
+	Degree int
+
+	engine *Engine
+	halted *bool
+}
+
+// Value returns the vertex's current value.
+func (c *Context) Value() int64 { return c.engine.values[c.Vertex] }
+
+// SetValue replaces the vertex's value.
+func (c *Context) SetValue(v int64) { c.engine.values[c.Vertex] = v }
+
+// SendToNeighbors sends msg along every incident edge, to be delivered next
+// superstep.
+func (c *Context) SendToNeighbors(msg int64) {
+	adj, _ := c.engine.csr.Neighbors(c.Vertex)
+	out := &c.engine.outbox[c.Vertex]
+	for _, u := range adj {
+		*out = append(*out, message{u, msg})
+	}
+}
+
+// Send sends msg to one vertex (any vertex, not only neighbors), delivered
+// next superstep.
+func (c *Context) Send(to int64, msg int64) {
+	c.engine.outbox[c.Vertex] = append(c.engine.outbox[c.Vertex], message{to, msg})
+}
+
+// Neighbors returns the vertex's adjacency (shared slices; do not modify).
+func (c *Context) Neighbors() (adj, wgt []int64) { return c.engine.csr.Neighbors(c.Vertex) }
+
+// VoteToHalt deactivates the vertex; an incoming message reactivates it.
+func (c *Context) VoteToHalt() { *c.halted = true }
+
+// Program is a vertex program: called once per active vertex per superstep
+// with the messages delivered to it.
+type Program func(ctx *Context, messages []int64)
+
+// message is an addressed in-flight value.
+type message struct {
+	to  int64
+	val int64
+}
+
+// Engine runs vertex programs over a graph with p workers.
+type Engine struct {
+	csr    *graph.CSR
+	n      int64
+	p      int
+	values []int64
+	active []bool
+	// outbox[v] collects v's outgoing messages during a superstep; they are
+	// redistributed into per-vertex inboxes at the barrier, keeping sends
+	// lock-free.
+	outbox  [][]message
+	inbox   [][]int64
+	maxStep int
+}
+
+// NewEngine prepares a BSP engine over g. maxSupersteps bounds the run
+// (<= 0 means 1000, a safety stop well above any program here).
+func NewEngine(p int, g *graph.Graph, maxSupersteps int) *Engine {
+	if maxSupersteps <= 0 {
+		maxSupersteps = 1000
+	}
+	n := g.NumVertices()
+	e := &Engine{
+		csr:     graph.ToCSR(p, g),
+		n:       n,
+		p:       p,
+		values:  make([]int64, n),
+		active:  make([]bool, n),
+		outbox:  make([][]message, n),
+		inbox:   make([][]int64, n),
+		maxStep: maxSupersteps,
+	}
+	return e
+}
+
+// Values returns the vertex value array (live; owned by the engine).
+func (e *Engine) Values() []int64 { return e.values }
+
+// Run initializes every vertex value with init and executes the program
+// until every vertex has halted with no messages in flight, or the
+// superstep bound is hit. It returns the number of supersteps executed.
+func (e *Engine) Run(program Program, init func(v int64) int64) (int, error) {
+	n := int(e.n)
+	par.For(e.p, n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			e.values[v] = init(int64(v))
+			e.active[v] = true
+		}
+	})
+	steps := 0
+	for ; steps < e.maxStep; steps++ {
+		// Compute phase: run active vertices.
+		par.ForDynamic(e.p, n, 0, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				if !e.active[v] {
+					continue
+				}
+				halted := false
+				ctx := Context{
+					Superstep: steps,
+					Vertex:    int64(v),
+					Degree:    int(e.csr.Degree(int64(v))),
+					engine:    e,
+					halted:    &halted,
+				}
+				program(&ctx, e.inbox[v])
+				if halted {
+					e.active[v] = false
+				}
+			}
+		})
+		// Barrier: deliver messages; receiving mail reactivates a vertex.
+		// Delivery is sharded by receiver range, so appends to a given
+		// inbox happen on exactly one worker and no locks are needed (each
+		// worker scans all outboxes — wasted reads, simple correctness; a
+		// production engine would bucket by receiver first).
+		par.For(e.p, n, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				e.inbox[v] = e.inbox[v][:0]
+			}
+		})
+		par.ForWorker(e.p, n, func(_, lo, hi int) {
+			for src := 0; src < n; src++ {
+				for _, m := range e.outbox[src] {
+					if m.to >= int64(lo) && m.to < int64(hi) {
+						e.inbox[m.to] = append(e.inbox[m.to], m.val)
+						e.active[m.to] = true
+					}
+				}
+			}
+		})
+		par.For(e.p, n, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				e.outbox[v] = e.outbox[v][:0]
+			}
+		})
+		// The run ends when every vertex has halted; pending mail would
+		// have reactivated its receiver above.
+		if !anyActiveLeft(e) {
+			return steps + 1, nil
+		}
+	}
+	return steps, fmt.Errorf("pregel: superstep bound %d hit with active vertices", e.maxStep)
+}
+
+func anyActiveLeft(e *Engine) bool {
+	for _, a := range e.active {
+		if a {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,196 @@
+package pregel
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/par"
+)
+
+func TestEngineHaltsImmediatelyWhenAllVote(t *testing.T) {
+	g := gen.Ring(8)
+	e := NewEngine(2, g, 0)
+	steps, err := e.Run(func(ctx *Context, _ []int64) {
+		ctx.VoteToHalt()
+	}, func(v int64) int64 { return v })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 1 {
+		t.Fatalf("steps = %d, want 1", steps)
+	}
+}
+
+func TestEngineSuperstepBound(t *testing.T) {
+	g := gen.Ring(4)
+	e := NewEngine(1, g, 3)
+	// A program that never stops: always message neighbors.
+	_, err := e.Run(func(ctx *Context, _ []int64) {
+		ctx.SendToNeighbors(1)
+		ctx.VoteToHalt()
+	}, func(v int64) int64 { return v })
+	if err == nil {
+		t.Fatal("expected superstep bound error")
+	}
+}
+
+func TestEngineMessageDelivery(t *testing.T) {
+	// Directed accumulation: every vertex sends its id to vertex 0 in
+	// superstep 0; vertex 0 sums incoming mail in superstep 1.
+	g := gen.Star(5)
+	e := NewEngine(2, g, 0)
+	_, err := e.Run(func(ctx *Context, msgs []int64) {
+		switch ctx.Superstep {
+		case 0:
+			if ctx.Vertex != 0 {
+				ctx.Send(0, ctx.Vertex)
+			}
+		case 1:
+			if ctx.Vertex == 0 {
+				var sum int64
+				for _, m := range msgs {
+					sum += m
+				}
+				ctx.SetValue(sum)
+			}
+		}
+		ctx.VoteToHalt()
+	}, func(v int64) int64 { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Values()[0] != 1+2+3+4 {
+		t.Fatalf("vertex 0 accumulated %d, want 10", e.Values()[0])
+	}
+}
+
+func TestConnectedComponentsMatchesDirectKernel(t *testing.T) {
+	r := par.NewRNG(9)
+	for trial := 0; trial < 8; trial++ {
+		n := int64(20 + r.Intn(80))
+		var edges []graph.Edge
+		for i := 0; i < int(n); i++ {
+			edges = append(edges, graph.Edge{U: r.Int63n(n), V: r.Int63n(n), W: 1})
+		}
+		g := graph.MustBuild(2, n, edges)
+		want, wantK := graph.Components(2, g)
+		got, _, err := ConnectedComponents(2, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var gotK int64
+		for v, c := range got {
+			if c != want[v] {
+				t.Fatalf("trial %d: vertex %d labeled %d, direct kernel %d", trial, v, c, want[v])
+			}
+			if c == int64(v) {
+				gotK++
+			}
+		}
+		if gotK != wantK {
+			t.Fatalf("trial %d: %d components, want %d", trial, gotK, wantK)
+		}
+	}
+}
+
+func TestConnectedComponentsPath(t *testing.T) {
+	// A path propagates the min label across its full length: superstep
+	// count ≈ path length, exercising long message chains.
+	const n = 200
+	var edges []graph.Edge
+	for i := int64(0); i < n-1; i++ {
+		edges = append(edges, graph.Edge{U: i, V: i + 1, W: 1})
+	}
+	g := graph.MustBuild(2, n, edges)
+	comp, steps, err := ConnectedComponents(2, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range comp {
+		if c != 0 {
+			t.Fatalf("vertex %d labeled %d", v, c)
+		}
+	}
+	if steps < n-2 {
+		t.Fatalf("min label crossed a %d-path in %d supersteps?", n, steps)
+	}
+}
+
+func TestLabelPropagationOnDisjointCliques(t *testing.T) {
+	var edges []graph.Edge
+	for c := int64(0); c < 3; c++ {
+		for i := int64(0); i < 6; i++ {
+			for j := i + 1; j < 6; j++ {
+				edges = append(edges, graph.Edge{U: c*6 + i, V: c*6 + j, W: 1})
+			}
+		}
+	}
+	g := graph.MustBuild(2, 18, edges)
+	comm, k, steps, err := LabelPropagation(2, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps < 2 {
+		t.Fatalf("converged suspiciously fast: %d supersteps", steps)
+	}
+	if k != 3 {
+		t.Fatalf("LPA found %d communities on 3 disjoint cliques", k)
+	}
+	for c := int64(0); c < 3; c++ {
+		first := comm[c*6]
+		for i := int64(1); i < 6; i++ {
+			if comm[c*6+i] != first {
+				t.Fatalf("clique %d split: %v", c, comm[c*6:c*6+6])
+			}
+		}
+	}
+}
+
+func TestLabelPropagationIsValidPartition(t *testing.T) {
+	g, _, err := gen.LJSim(2, gen.DefaultLJSim(2000, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm, k, _, err := LabelPropagation(2, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.ValidatePartition(comm, g.NumVertices(), k); err != nil {
+		t.Fatal(err)
+	}
+	// On a strongly community-structured graph LPA should find meaningful
+	// structure (positive modularity, far fewer groups than vertices).
+	q := metrics.Modularity(2, g, comm, k)
+	if q < 0.2 {
+		t.Fatalf("LPA modularity %v suspiciously low", q)
+	}
+	if k >= g.NumVertices()/2 {
+		t.Fatalf("LPA found %d communities for %d vertices", k, g.NumVertices())
+	}
+}
+
+func TestEngineValuesAndContextAccessors(t *testing.T) {
+	g := gen.Clique(4)
+	e := NewEngine(1, g, 0)
+	_, err := e.Run(func(ctx *Context, _ []int64) {
+		if ctx.Degree != 3 {
+			t.Errorf("degree %d, want 3", ctx.Degree)
+		}
+		adj, wgt := ctx.Neighbors()
+		if len(adj) != 3 || len(wgt) != 3 {
+			t.Errorf("neighbors %v %v", adj, wgt)
+		}
+		ctx.SetValue(ctx.Value() * 2)
+		ctx.VoteToHalt()
+	}, func(v int64) int64 { return v + 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, val := range e.Values() {
+		if val != 2*(int64(v)+1) {
+			t.Fatalf("value[%d] = %d", v, val)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package report serializes detection runs as JSON so experiments can be
+// archived and post-processed (plotting Figure 1/2/3-style series, diffing
+// quality across code versions) without scraping log text.
+package report
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+// Run is one detection run, flattened for JSON.
+type Run struct {
+	Graph    GraphInfo `json:"graph"`
+	Options  Options   `json:"options"`
+	Phases   []Phase   `json:"phases"`
+	Summary  Summary   `json:"summary"`
+	Recorded time.Time `json:"recorded,omitempty"`
+}
+
+// GraphInfo identifies the workload.
+type GraphInfo struct {
+	Name     string `json:"name"`
+	Vertices int64  `json:"vertices"`
+	Edges    int64  `json:"edges"`
+	Weight   int64  `json:"total_weight"`
+}
+
+// Options mirrors the engine configuration that produced the run.
+type Options struct {
+	Threads          int     `json:"threads"`
+	Scorer           string  `json:"scorer"`
+	Matching         string  `json:"matching"`
+	Contraction      string  `json:"contraction"`
+	MinCoverage      float64 `json:"min_coverage,omitempty"`
+	MaxPhases        int     `json:"max_phases,omitempty"`
+	MinCommunities   int64   `json:"min_communities,omitempty"`
+	MaxCommunitySize int64   `json:"max_community_size,omitempty"`
+	RefineEveryPhase bool    `json:"refine_every_phase,omitempty"`
+}
+
+// Phase mirrors core.PhaseStats with times in seconds.
+type Phase struct {
+	Phase        int     `json:"phase"`
+	Vertices     int64   `json:"vertices"`
+	Edges        int64   `json:"edges"`
+	Coverage     float64 `json:"coverage"`
+	Modularity   float64 `json:"modularity"`
+	MatchedPairs int64   `json:"matched_pairs"`
+	MatchPasses  int     `json:"match_passes"`
+	ScoreSec     float64 `json:"score_sec"`
+	MatchSec     float64 `json:"match_sec"`
+	ContractSec  float64 `json:"contract_sec"`
+}
+
+// Summary mirrors the final result.
+type Summary struct {
+	Communities int64   `json:"communities"`
+	Coverage    float64 `json:"coverage"`
+	Modularity  float64 `json:"modularity"`
+	Termination string  `json:"termination"`
+	TotalSec    float64 `json:"total_sec"`
+	EdgesPerSec float64 `json:"edges_per_sec"`
+	// Quality duplicates the metrics summary for convenience.
+	MeanConductance float64 `json:"mean_conductance"`
+	MinSize         int64   `json:"min_size"`
+	MedianSize      int64   `json:"median_size"`
+	MaxSize         int64   `json:"max_size"`
+}
+
+// FromResult assembles a Run from a finished detection.
+func FromResult(name string, g *graph.Graph, opt core.Options, res *core.Result) *Run {
+	scorer := "modularity"
+	if opt.Scorer != nil {
+		scorer = opt.Scorer.Name()
+	}
+	run := &Run{
+		Graph: GraphInfo{
+			Name:     name,
+			Vertices: g.NumVertices(),
+			Edges:    g.NumEdges(),
+			Weight:   g.TotalWeight(opt.Threads),
+		},
+		Options: Options{
+			Threads:          opt.Threads,
+			Scorer:           scorer,
+			Matching:         opt.Matching.String(),
+			Contraction:      opt.Contraction.String(),
+			MinCoverage:      opt.MinCoverage,
+			MaxPhases:        opt.MaxPhases,
+			MinCommunities:   opt.MinCommunities,
+			MaxCommunitySize: opt.MaxCommunitySize,
+			RefineEveryPhase: opt.RefineEveryPhase,
+		},
+	}
+	for _, st := range res.Stats {
+		run.Phases = append(run.Phases, Phase{
+			Phase:        st.Phase,
+			Vertices:     st.Vertices,
+			Edges:        st.Edges,
+			Coverage:     st.Coverage,
+			Modularity:   st.Modularity,
+			MatchedPairs: st.MatchedPairs,
+			MatchPasses:  st.MatchPasses,
+			ScoreSec:     st.ScoreTime.Seconds(),
+			MatchSec:     st.MatchTime.Seconds(),
+			ContractSec:  st.ContractTime.Seconds(),
+		})
+	}
+	sum := metrics.Evaluate(opt.Threads, g, res.CommunityOf, res.NumCommunities)
+	run.Summary = Summary{
+		Communities:     res.NumCommunities,
+		Coverage:        res.FinalCoverage,
+		Modularity:      res.FinalModularity,
+		Termination:     string(res.Termination),
+		TotalSec:        res.Total.Seconds(),
+		EdgesPerSec:     float64(g.NumEdges()) / res.Total.Seconds(),
+		MeanConductance: sum.MeanConductance,
+		MinSize:         sum.MinSize,
+		MedianSize:      sum.MedianSize,
+		MaxSize:         sum.MaxSize,
+	}
+	return run
+}
+
+// WriteJSON writes the run as indented JSON.
+func (r *Run) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadJSON parses a run written by WriteJSON.
+func ReadJSON(r io.Reader) (*Run, error) {
+	var run Run
+	if err := json.NewDecoder(r).Decode(&run); err != nil {
+		return nil, err
+	}
+	return &run, nil
+}

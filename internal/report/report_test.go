@@ -1,0 +1,82 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/scoring"
+)
+
+func TestFromResultAndRoundTrip(t *testing.T) {
+	g, _, err := gen.LJSim(2, gen.DefaultLJSim(800, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.Options{Threads: 2, MinCoverage: 0.5}
+	res, err := core.Detect(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := FromResult("lj-sim-800", g, opt, res)
+	if run.Graph.Name != "lj-sim-800" || run.Graph.Vertices != 800 {
+		t.Fatalf("graph info %+v", run.Graph)
+	}
+	if run.Options.Scorer != "modularity" || run.Options.Matching != "worklist" {
+		t.Fatalf("options %+v", run.Options)
+	}
+	if len(run.Phases) != len(res.Stats) {
+		t.Fatalf("%d phases recorded for %d stats", len(run.Phases), len(res.Stats))
+	}
+	if run.Summary.Communities != res.NumCommunities ||
+		math.Abs(run.Summary.Modularity-res.FinalModularity) > 1e-12 {
+		t.Fatalf("summary %+v", run.Summary)
+	}
+	if run.Summary.TotalSec <= 0 || run.Summary.EdgesPerSec <= 0 {
+		t.Fatalf("timings %+v", run.Summary)
+	}
+
+	var buf bytes.Buffer
+	if err := run.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"termination"`) {
+		t.Fatalf("JSON missing fields: %s", buf.String()[:200])
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Summary.Communities != run.Summary.Communities ||
+		back.Graph.Edges != run.Graph.Edges ||
+		len(back.Phases) != len(run.Phases) {
+		t.Fatal("round trip changed the run")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{nope")); err == nil {
+		t.Fatal("accepted bad JSON")
+	}
+}
+
+func TestFromResultCustomScorerName(t *testing.T) {
+	g := gen.CliqueChain(3, 4)
+	opt := core.Options{Threads: 1, Scorer: namedScorer{}}
+	res, err := core.Detect(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := FromResult("chain", g, opt, res)
+	if run.Options.Scorer != "custom" {
+		t.Fatalf("scorer name %q", run.Options.Scorer)
+	}
+}
+
+// namedScorer overrides only the name; scoring behavior is modularity's.
+type namedScorer struct{ scoring.Modularity }
+
+func (namedScorer) Name() string { return "custom" }

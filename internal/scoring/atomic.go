@@ -1,0 +1,7 @@
+package scoring
+
+import "sync/atomic"
+
+func atomicStoreOne(addr *int64) {
+	atomic.StoreInt64(addr, 1)
+}

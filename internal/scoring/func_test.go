@@ -1,0 +1,71 @@
+package scoring
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestFuncAdapterMatchesModularity(t *testing.T) {
+	// Expressing ΔQ through the Func adapter must agree with the dedicated
+	// Modularity scorer bit-for-bit.
+	dq := Func{
+		Label: "dq-via-func",
+		F: func(w, degU, degV, _, _, m int64) float64 {
+			fm := float64(m)
+			return float64(w)/fm - float64(degU)*float64(degV)/(2*fm*fm)
+		},
+	}
+	g, _, err := gen.LJSim(2, gen.DefaultLJSim(500, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := scoreAll(t, Modularity{}, g, 2)
+	got := scoreAll(t, dq, g, 2)
+	for i := range want {
+		// The dedicated scorer hoists reciprocals, so allow one ulp-ish of
+		// drift versus the per-edge divisions here.
+		if math.Abs(want[i]-got[i]) > 1e-12 {
+			t.Fatalf("score %d: %v != %v", i, got[i], want[i])
+		}
+	}
+	if dq.Name() != "dq-via-func" {
+		t.Fatal("name")
+	}
+}
+
+func TestHeavyEdgeScoresWeights(t *testing.T) {
+	g := graph.MustBuild(1, 3, []graph.Edge{{U: 0, V: 1, W: 5}, {U: 1, V: 2, W: 2}})
+	scores := scoreAll(t, HeavyEdge(), g, 1)
+	g.ForEachEdge(func(e int64, _, _, w int64) {
+		if scores[e] != float64(w) {
+			t.Fatalf("heavy-edge score %v for weight %d", scores[e], w)
+		}
+	})
+}
+
+func TestHeavyEdgeNormalizedPrefersLowDegree(t *testing.T) {
+	// A star plus one pendant pair: the pendant edge (low degrees) must
+	// outscore the hub edges of equal weight.
+	g := graph.MustBuild(1, 6, []graph.Edge{
+		{U: 0, V: 1, W: 1}, {U: 0, V: 2, W: 1}, {U: 0, V: 3, W: 1},
+		{U: 4, V: 5, W: 1},
+	})
+	scores := scoreAll(t, HeavyEdgeNormalized(), g, 1)
+	var pendant, hub float64
+	g.ForEachEdge(func(e int64, u, v, _ int64) {
+		if u >= 4 || v >= 4 {
+			pendant = scores[e]
+		} else {
+			hub = scores[e]
+		}
+	})
+	if !(pendant > hub) {
+		t.Fatalf("pendant %v not above hub %v", pendant, hub)
+	}
+	if math.IsNaN(pendant) || math.IsInf(pendant, 0) {
+		t.Fatalf("pendant score %v", pendant)
+	}
+}

@@ -1,0 +1,131 @@
+// Package scoring implements the edge-scoring step of the agglomerative
+// loop (§III step 1, §IV-B): every community-graph edge {c, d} receives the
+// change in the optimization metric that merging c and d would cause. The
+// algorithm is agnostic to the metric; modularity maximization and
+// conductance minimization (negated into a maximization) are provided, and
+// any problem-specific Scorer can be plugged into the engine.
+package scoring
+
+import (
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// Scorer computes per-edge merge scores for a community graph.
+//
+// Score must fill scores[e] for every live edge index e of g (the slice is
+// as long as g's edge arrays; entries at gap positions are ignored). deg is
+// g.WeightedDegrees — the community volumes d_c = 2·self_c + Σ incident
+// weight — and totalWeight is the *input* graph's total edge weight m,
+// which contraction preserves. Implementations must be safe for concurrent
+// use and must not retain the slices.
+type Scorer interface {
+	Name() string
+	Score(p int, g *graph.Graph, deg []int64, totalWeight int64, scores []float64)
+}
+
+// Modularity scores an edge {c, d} with the Newman–Girvan modularity change
+//
+//	ΔQ = w_cd/m − d_c·d_d/(2m²),
+//
+// the closed form the CNM family uses: only the edge weight and the
+// adjacent community volumes are needed (§III).
+type Modularity struct{}
+
+// Name implements Scorer.
+func (Modularity) Name() string { return "modularity" }
+
+// Score implements Scorer.
+func (Modularity) Score(p int, g *graph.Graph, deg []int64, totalWeight int64, scores []float64) {
+	if totalWeight <= 0 {
+		scoreConstant(p, g, scores, 0)
+		return
+	}
+	m := float64(totalWeight)
+	inv := 1 / m
+	half := 1 / (2 * m * m)
+	n := int(g.NumVertices())
+	par.ForDynamic(p, n, 0, func(lo, hi int) {
+		for x := lo; x < hi; x++ {
+			for e := g.Start[x]; e < g.End[x]; e++ {
+				scores[e] = float64(g.W[e])*inv - float64(deg[g.U[e]])*float64(deg[g.V[e]])*half
+			}
+		}
+	})
+}
+
+// Conductance scores an edge {c, d} with the negated change in the sum of
+// community conductances, converting the minimization into the
+// maximization the engine performs (§III):
+//
+//	score = φ(c) + φ(d) − φ(c ∪ d),
+//
+// where φ(c) = cut_c / min(vol_c, 2m − vol_c), cut_c = vol_c − 2·self_c.
+// Isolated communities (zero volume or zero complement) contribute φ = 0.
+type Conductance struct{}
+
+// Name implements Scorer.
+func (Conductance) Name() string { return "conductance" }
+
+// Score implements Scorer.
+func (Conductance) Score(p int, g *graph.Graph, deg []int64, totalWeight int64, scores []float64) {
+	if totalWeight <= 0 {
+		scoreConstant(p, g, scores, 0)
+		return
+	}
+	twoM := 2 * float64(totalWeight)
+	phi := func(vol, internal int64) float64 {
+		cut := float64(vol - 2*internal)
+		denom := float64(vol)
+		if other := twoM - float64(vol); other < denom {
+			denom = other
+		}
+		if denom <= 0 {
+			return 0
+		}
+		return cut / denom
+	}
+	n := int(g.NumVertices())
+	par.ForDynamic(p, n, 0, func(lo, hi int) {
+		for x := lo; x < hi; x++ {
+			for e := g.Start[x]; e < g.End[x]; e++ {
+				u, v, w := g.U[e], g.V[e], g.W[e]
+				phiU := phi(deg[u], g.Self[u])
+				phiV := phi(deg[v], g.Self[v])
+				merged := phi(deg[u]+deg[v], g.Self[u]+g.Self[v]+w)
+				scores[e] = phiU + phiV - merged
+			}
+		}
+	})
+}
+
+// scoreConstant fills every live edge's score with c.
+func scoreConstant(p int, g *graph.Graph, scores []float64, c float64) {
+	n := int(g.NumVertices())
+	par.ForDynamic(p, n, 0, func(lo, hi int) {
+		for x := lo; x < hi; x++ {
+			for e := g.Start[x]; e < g.End[x]; e++ {
+				scores[e] = c
+			}
+		}
+	})
+}
+
+// HasPositive reports whether any live edge of g has a strictly positive
+// score; if none does the engine has reached a local maximum and terminates
+// (§III).
+func HasPositive(p int, g *graph.Graph, scores []float64) bool {
+	n := int(g.NumVertices())
+	var found int64
+	par.ForDynamic(p, n, 0, func(lo, hi int) {
+		for x := lo; x < hi; x++ {
+			for e := g.Start[x]; e < g.End[x]; e++ {
+				if scores[e] > 0 {
+					atomicStoreOne(&found)
+					return
+				}
+			}
+		}
+	})
+	return found != 0
+}
