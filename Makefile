@@ -1,0 +1,30 @@
+GO      ?= go
+PKGS    ?= ./...
+BENCH   ?= Detect
+DATE    := $(shell date +%Y-%m-%d)
+
+.PHONY: all build test race vet bench clean
+
+all: build vet test
+
+build:
+	$(GO) build $(PKGS)
+
+test:
+	$(GO) test $(PKGS)
+
+race:
+	$(GO) test -race $(PKGS)
+
+vet:
+	$(GO) vet $(PKGS)
+
+# Runs the arena-vs-fresh detection benchmarks (and anything else matching
+# $(BENCH)) with allocation stats, archiving the raw `go test -json` event
+# stream for later comparison.
+bench:
+	$(GO) test -run=NONE -bench='$(BENCH)' -benchmem -json . | tee BENCH_$(DATE).json
+
+clean:
+	$(GO) clean -testcache
+	rm -f BENCH_*.json

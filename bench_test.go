@@ -86,6 +86,50 @@ func detectOnce(b *testing.B, g *graph.Graph, opt core.Options) *core.Result {
 	return res
 }
 
+// --- scratch-arena allocation benchmarks ---------------------------------
+// BenchmarkDetect_Arena reuses one core.Scratch across iterations, the
+// steady-state regime a sweep or repeated detection reaches; _Fresh opts out
+// and allocates every buffer per run. Run with
+//
+//	go test -run=NONE -bench=Detect -benchmem
+//
+// to compare allocs/op and edges/s between the two regimes.
+
+func benchDetectAllocs(b *testing.B, scratch *core.Scratch, opt core.Options) {
+	_, lj, _ := loadBenchGraphs(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.DetectWith(lj, opt, scratch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(lj.NumEdges())*float64(b.N)/elapsed, "edges/s")
+	}
+}
+
+func BenchmarkDetect_Arena(b *testing.B) {
+	opt := paperOptions(0)
+	opt.DiscardLevels = true
+	scratch := core.NewScratch()
+	// Warm the arena once so every iteration measures steady state.
+	_, lj, _ := loadBenchGraphs(b)
+	if _, err := core.DetectWith(lj, opt, scratch); err != nil {
+		b.Fatal(err)
+	}
+	benchDetectAllocs(b, scratch, opt)
+}
+
+func BenchmarkDetect_Fresh(b *testing.B) {
+	opt := paperOptions(0)
+	opt.DiscardLevels = true
+	opt.NoScratch = true
+	benchDetectAllocs(b, nil, opt)
+}
+
 // --- Table II: graph generation pipelines -------------------------------
 
 func BenchmarkTable2_GenerateRMAT(b *testing.B) {

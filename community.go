@@ -82,7 +82,26 @@ type ModularityScorer = scoring.Modularity
 type ConductanceScorer = scoring.Conductance
 
 // Detect runs the parallel agglomerative community detection algorithm.
+// Unless Options.NoScratch is set it constructs a reusable scratch arena
+// internally, so only the first phase of a run allocates; long-lived
+// callers hand DetectWith an explicit Scratch to amortize even that across
+// runs.
 func Detect(g *Graph, opt Options) (*Result, error) { return core.Detect(g, opt) }
+
+// Scratch is the engine's reusable buffer arena: scores, degrees, matching
+// state, contraction histograms, and ping-pong community-graph storage,
+// grown once and recycled across phases and runs. A zero Scratch is ready
+// to use; it must not be shared by concurrent runs.
+type Scratch = core.Scratch
+
+// NewScratch returns an empty arena for DetectWith.
+func NewScratch() *Scratch { return core.NewScratch() }
+
+// DetectWith is Detect reusing s's buffers across calls. Results never
+// alias arena memory.
+func DetectWith(g *Graph, opt Options, s *Scratch) (*Result, error) {
+	return core.DetectWith(g, opt, s)
+}
 
 // Build assembles a Graph from raw edges with p workers, accumulating
 // duplicates and folding self-loops.

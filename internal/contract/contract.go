@@ -52,14 +52,81 @@ func (l Layout) String() string {
 	return "noncontiguous"
 }
 
+// Scratch holds the bucket kernel's reusable working state: the per-bucket
+// counts, the per-worker count and self-loop histogram stripes, and the
+// edge-balanced partition workspace. A zero Scratch is ready to use;
+// buffers grow to the largest graph seen and are reused for every smaller
+// one, so the engine's steady-state phases allocate nothing here. A Scratch
+// must not be shared by concurrent contractions.
+type Scratch struct {
+	counts      []int64 // per-new-vertex surviving-edge counts
+	cntStripes  []int64 // workers × k edge-count histogram / write cursors
+	selfStripes []int64 // workers × k self-loop weight partials
+	vtxWeight   []int64 // per-old-vertex work estimate, then its prefix sum
+	bounds      []int   // workers+1 vertex range boundaries
+}
+
+// growInt64 reslices xs to n entries, reallocating only when capacity is
+// short; contents are unspecified and callers overwrite or zero them.
+func growInt64(xs []int64, n int) []int64 {
+	if cap(xs) < n {
+		return make([]int64, n)
+	}
+	return xs[:n]
+}
+
+// orNew returns s, or a fresh Scratch when s is nil, keeping the kernels'
+// scratch in a single-assignment variable.
+func (s *Scratch) orNew() *Scratch {
+	if s != nil {
+		return s
+	}
+	return &Scratch{}
+}
+
+// prepDst readies dst as a k-vertex destination graph, allocating a fresh
+// one when dst is nil.
+func prepDst(dst *graph.Graph, k int64) *graph.Graph {
+	if dst == nil {
+		return graph.NewEmpty(k)
+	}
+	dst.ResizeVertices(k)
+	return dst
+}
+
 // Relabel computes the old→new vertex mapping induced by a matching:
 // matched pairs share the new id of their smaller endpoint, unmatched
 // vertices keep their own, and new ids are dense in [0, k). It returns the
 // mapping and k.
 func Relabel(p int, g *graph.Graph, match []int64) (mapping []int64, k int64) {
+	return RelabelInto(p, g, match, nil)
+}
+
+// RelabelInto is Relabel writing the mapping into buf when its capacity
+// suffices (growing it otherwise); buf may be nil. The results are unnamed
+// and the mapping lives in a single-assignment local so no closure capture
+// heap-boxes it (see the worklist kernel for the boxing rule).
+func RelabelInto(p int, g *graph.Graph, match []int64, buf []int64) ([]int64, int64) {
 	n := int(g.NumVertices())
-	mapping = make([]int64, n)
+	mapping := growInt64(buf, n)
 	// mapping temporarily holds a leader flag, then its prefix sum.
+	if par.Serial(p, n) {
+		for x := 0; x < n; x++ {
+			m := match[x]
+			if m == matching.Unmatched || int64(x) < m {
+				mapping[x] = 1
+			} else {
+				mapping[x] = 0
+			}
+		}
+		k := par.ExclusiveSumInt64(1, mapping)
+		for x := 0; x < n; x++ {
+			if m := match[x]; m != matching.Unmatched && m < int64(x) {
+				mapping[x] = mapping[m]
+			}
+		}
+		return mapping, k
+	}
 	par.For(p, n, func(lo, hi int) {
 		for x := lo; x < hi; x++ {
 			m := match[x]
@@ -70,7 +137,7 @@ func Relabel(p int, g *graph.Graph, match []int64) (mapping []int64, k int64) {
 			}
 		}
 	})
-	k = par.ExclusiveSumInt64(p, mapping)
+	k := par.ExclusiveSumInt64(p, mapping)
 	// Followers copy their leader's dense id. Leaders already hold theirs.
 	par.For(p, n, func(lo, hi int) {
 		for x := lo; x < hi; x++ {
@@ -86,8 +153,16 @@ func Relabel(p int, g *graph.Graph, match []int64) (mapping []int64, k int64) {
 // kernel with p workers and the chosen bucket layout. It returns the new
 // community graph and the old→new vertex mapping. g is not modified.
 func Bucket(p int, g *graph.Graph, match []int64, layout Layout) (*graph.Graph, []int64) {
-	mapping, k := Relabel(p, g, match)
-	return ByMapping(p, g, mapping, k, layout), mapping
+	return BucketWith(p, g, match, layout, nil, nil, nil)
+}
+
+// BucketWith is Bucket with arena support: s supplies the kernel's scratch
+// buffers, dst the destination graph whose arrays are reused in place, and
+// mapBuf the storage for the returned mapping. Any of them may be nil for
+// fresh allocations.
+func BucketWith(p int, g *graph.Graph, match []int64, layout Layout, s *Scratch, dst *graph.Graph, mapBuf []int64) (*graph.Graph, []int64) {
+	mapping, k := RelabelInto(p, g, match, mapBuf)
+	return ByMappingWith(p, g, mapping, k, layout, s, dst), mapping
 }
 
 // ByMapping contracts g under an arbitrary old→new vertex mapping with
@@ -96,102 +171,239 @@ func Bucket(p int, g *graph.Graph, match []int64, layout Layout) (*graph.Graph, 
 // whole groups, which the engine's refinement integration uses to rebuild
 // the community graph from a refined partition.
 func ByMapping(p int, g *graph.Graph, mapping []int64, k int64, layout Layout) *graph.Graph {
-	ng := graph.NewEmpty(k)
+	return ByMappingWith(p, g, mapping, k, layout, nil, nil)
+}
+
+// ByMappingWith is ByMapping with arena support: s supplies reusable scratch
+// and dst the output graph whose arrays are recycled (both may be nil for
+// fresh allocations — ByMapping's behavior).
+//
+// Unlike the seed kernel, the count and scatter sweeps never touch a shared
+// atomic per edge. Vertices are partitioned once into worker ranges balanced
+// by bucket length; each worker counts surviving edges (and accumulates
+// collapsed-edge and old self-loop weight) into its own k-wide histogram
+// stripe; par.StripeOffsets turns the stripes into per-(worker, bucket)
+// write cursors by a parallel reduction; and the scatter sweep replays the
+// identical vertex ranges, so every worker writes a disjoint sub-range of
+// each destination bucket with plain stores. This is the radix-partition
+// discipline Staudt & Meyerhenke and Lu & Halappanavar use in place of
+// fetch-and-add on cache-based machines: the XMT's cheap hot-spot atomics
+// have no analogue here, and one atomic per edge serializes exactly on the
+// high-degree communities the parity hash is meant to spread.
+func ByMappingWith(p int, g *graph.Graph, mapping []int64, k int64, layout Layout, scratch *Scratch, dst *graph.Graph) *graph.Graph {
+	s := scratch.orNew()
+	ng := prepDst(dst, k) // single-assignment: ng is closure-captured below
 	n := int(g.NumVertices())
+	if n == 0 || k == 0 {
+		ng.ResizeEdges(0)
+		ng.SetCounts(k, 0)
+		par.ZeroInt64(p, ng.Self)
+		par.ZeroInt64(p, ng.Start)
+		par.ZeroInt64(p, ng.End)
+		return ng
+	}
 
-	// Fold old self-loops into the new vertices.
-	par.For(p, n, func(lo, hi int) {
-		for x := lo; x < hi; x++ {
-			if s := g.Self[x]; s != 0 {
-				atomic.AddInt64(&ng.Self[mapping[x]], s)
+	// Partition the old vertices into worker ranges balanced by bucket
+	// length (+1 per vertex for the constant work), so the count and
+	// scatter sweeps agree on which worker owns which vertices — the
+	// precondition for histogram stripes replacing atomics. The parity hash
+	// already scatters high-degree communities across many buckets, so
+	// balancing whole buckets is enough.
+	workers := par.Workers(p, n)
+	serial := workers == 1
+	s.vtxWeight = growInt64(s.vtxWeight, n)
+	vw := s.vtxWeight
+	if serial {
+		for x := 0; x < n; x++ {
+			vw[x] = g.End[x] - g.Start[x] + 1
+		}
+	} else {
+		par.For(p, n, func(lo, hi int) {
+			for x := lo; x < hi; x++ {
+				vw[x] = g.End[x] - g.Start[x] + 1
+			}
+		})
+	}
+	totalWork := par.ExclusiveSumInt64(p, vw) // vw becomes its prefix sum
+	if cap(s.bounds) < workers+1 {
+		s.bounds = make([]int, workers+1)
+	}
+	bounds := s.bounds[:workers+1]
+	for w := 0; w <= workers; w++ {
+		target := totalWork * int64(w) / int64(workers)
+		// First vertex whose prefix work reaches the target.
+		lo, hi := 0, n
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if vw[mid] < target {
+				lo = mid + 1
+			} else {
+				hi = mid
 			}
 		}
-	})
+		bounds[w] = lo
+	}
+	bounds[workers] = n
 
-	// Count surviving cross edges per new bucket; collapsed edges (both
-	// endpoints in one community) accumulate into the new self-loops here,
-	// so the sweep below only sees cross edges.
-	counts := make([]int64, k)
-	par.ForDynamic(p, n, 0, func(lo, hi int) {
-		for x := lo; x < hi; x++ {
-			for e := g.Start[x]; e < g.End[x]; e++ {
-				ni, nj := mapping[g.U[e]], mapping[g.V[e]]
-				if ni == nj {
-					atomic.AddInt64(&ng.Self[ni], g.W[e])
-					continue
-				}
-				first, _ := graph.StoredOrder(ni, nj)
-				atomic.AddInt64(&counts[first], 1)
-			}
-		}
-	})
+	// Count surviving cross edges per (worker, new bucket) stripe; collapsed
+	// edges (both endpoints in one community) and old self-loops accumulate
+	// into the worker's self-loop stripe in the same sweep.
+	kk := int(k)
+	s.cntStripes = growInt64(s.cntStripes, workers*kk)
+	s.selfStripes = growInt64(s.selfStripes, workers*kk)
+	cntS, selfS := s.cntStripes, s.selfStripes
+	par.ZeroInt64(p, cntS)
+	par.ZeroInt64(p, selfS)
+	// The sweep bodies are plain functions (closure literals handed to
+	// par.For escape and heap-allocate even on the one-worker path, which
+	// would break the arena's zero-allocation steady state).
+	if serial {
+		countSweepRange(g, mapping, kk, cntS, selfS, bounds, 0, 1)
+	} else {
+		par.For(p, workers, func(wlo, whi int) {
+			countSweepRange(g, mapping, kk, cntS, selfS, bounds, wlo, whi)
+		})
+	}
+
+	// Parallel reductions over worker×bucket: per-bucket totals plus
+	// exclusive per-worker write offsets from the count stripes, and the new
+	// self-loop weights from the self stripes (overwriting — reused dst
+	// arrays never need pre-zeroing).
+	s.counts = growInt64(s.counts, kk)
+	counts := s.counts
+	par.StripeOffsets(p, cntS, workers, kk, counts)
+	par.MergeStripes(p, selfS, workers, kk, ng.Self)
 
 	// Bucket offsets: prefix sum (contiguous) or bump allocation
-	// (non-contiguous); either way cursor[c] is c's write position.
+	// (non-contiguous); either way ng.Start[c] is c's base position.
 	var total int64
-	cursor := make([]int64, k)
 	switch layout {
 	case Contiguous:
-		copy(cursor, counts)
-		total = par.ExclusiveSumInt64(p, cursor)
-		par.For(p, int(k), func(lo, hi int) {
-			for c := lo; c < hi; c++ {
-				ng.Start[c] = cursor[c]
-			}
-		})
+		if par.Serial(p, kk) {
+			copy(ng.Start[:kk], counts[:kk])
+		} else {
+			par.For(p, kk, func(lo, hi int) {
+				for c := lo; c < hi; c++ {
+					ng.Start[c] = counts[c]
+				}
+			})
+		}
+		total = par.ExclusiveSumInt64(p, ng.Start)
 	case NonContiguous:
-		var bump int64
-		par.For(p, int(k), func(lo, hi int) {
-			for c := lo; c < hi; c++ {
+		if par.Serial(p, kk) {
+			var bump int64
+			for c := 0; c < kk; c++ {
 				if counts[c] == 0 {
+					ng.Start[c] = 0 // reused arrays hold stale offsets
 					continue
 				}
-				ng.Start[c] = atomic.AddInt64(&bump, counts[c]) - counts[c]
-				cursor[c] = ng.Start[c]
+				ng.Start[c] = bump
+				bump += counts[c]
 			}
-		})
-		total = bump
+			total = bump
+		} else {
+			var bump int64
+			par.For(p, kk, func(lo, hi int) {
+				for c := lo; c < hi; c++ {
+					if counts[c] == 0 {
+						ng.Start[c] = 0 // reused arrays hold stale offsets
+						continue
+					}
+					ng.Start[c] = atomic.AddInt64(&bump, counts[c]) - counts[c]
+				}
+			})
+			total = bump
+		}
 	}
-	ng.U = make([]int64, total)
-	ng.V = make([]int64, total)
-	ng.W = make([]int64, total)
+	ng.ResizeEdges(total)
 
 	// Scatter (j; w) into the bucket of the stored-first endpoint, leaving
 	// the first endpoint implicit (§IV-C) — it is filled in during the
-	// sort-accumulate step.
-	par.ForDynamic(p, n, 0, func(lo, hi int) {
-		for x := lo; x < hi; x++ {
+	// sort-accumulate step. Each worker replays exactly the vertex range it
+	// counted, advancing its private cursors cntS[w·k+c] within the
+	// per-worker sub-range of each bucket: no synchronization at all.
+	if serial {
+		scatterSweepRange(g, ng, mapping, kk, cntS, bounds, 0, 1)
+	} else {
+		par.For(p, workers, func(wlo, whi int) {
+			scatterSweepRange(g, ng, mapping, kk, cntS, bounds, wlo, whi)
+		})
+	}
+
+	// Per-bucket sort by neighbor, accumulate identical edges, shorten the
+	// bucket, and fill in the implicit first endpoint.
+	var live int64
+	if par.Serial(p, kk) {
+		live = dedupBuckets(ng, counts, 0, kk)
+	} else {
+		var acc int64
+		par.ForDynamic(p, kk, 0, func(lo, hi int) {
+			atomic.AddInt64(&acc, dedupBuckets(ng, counts, lo, hi))
+		})
+		live = acc
+	}
+	ng.SetCounts(k, live)
+	return ng
+}
+
+// countSweepRange counts surviving cross edges per (worker, new bucket)
+// stripe for workers [wlo, whi), folding collapsed-edge and old self-loop
+// weight into the worker's self stripe.
+func countSweepRange(g *graph.Graph, mapping []int64, kk int, cntS, selfS []int64, bounds []int, wlo, whi int) {
+	for w := wlo; w < whi; w++ {
+		base := w * kk
+		for x := bounds[w]; x < bounds[w+1]; x++ {
+			if sw := g.Self[x]; sw != 0 {
+				selfS[base+int(mapping[x])] += sw
+			}
+			for e := g.Start[x]; e < g.End[x]; e++ {
+				ni, nj := mapping[g.U[e]], mapping[g.V[e]]
+				if ni == nj {
+					selfS[base+int(ni)] += g.W[e]
+					continue
+				}
+				first, _ := graph.StoredOrder(ni, nj)
+				cntS[base+int(first)]++
+			}
+		}
+	}
+}
+
+// scatterSweepRange replays countSweepRange's vertex ranges for workers
+// [wlo, whi), writing each surviving edge at its private cursor position.
+func scatterSweepRange(g, ng *graph.Graph, mapping []int64, kk int, cntS []int64, bounds []int, wlo, whi int) {
+	for w := wlo; w < whi; w++ {
+		base := w * kk
+		for x := bounds[w]; x < bounds[w+1]; x++ {
 			for e := g.Start[x]; e < g.End[x]; e++ {
 				ni, nj := mapping[g.U[e]], mapping[g.V[e]]
 				if ni == nj {
 					continue
 				}
 				first, second := graph.StoredOrder(ni, nj)
-				pos := atomic.AddInt64(&cursor[first], 1) - 1
+				pos := ng.Start[first] + cntS[base+int(first)]
+				cntS[base+int(first)]++
 				ng.V[pos] = second
 				ng.W[pos] = g.W[e]
 			}
 		}
-	})
+	}
+}
 
-	// Per-bucket sort by neighbor, accumulate identical edges, shorten the
-	// bucket, and fill in the implicit first endpoint.
+// dedupBuckets sorts and deduplicates buckets [lo, hi) of ng in place and
+// returns the number of surviving edges.
+func dedupBuckets(ng *graph.Graph, counts []int64, lo, hi int) int64 {
 	var live int64
-	par.ForDynamic(p, int(k), 0, func(lo, hi int) {
-		var localLive int64
-		for c := lo; c < hi; c++ {
-			s, cnt := ng.Start[c], counts[c]
-			newLen := sortDedupBucket(ng.V[s:s+cnt], ng.W[s:s+cnt])
-			ng.End[c] = s + newLen
-			for e := s; e < s+newLen; e++ {
-				ng.U[e] = int64(c)
-			}
-			localLive += newLen
+	for c := lo; c < hi; c++ {
+		s, cnt := ng.Start[c], counts[c]
+		newLen := sortDedupBucket(ng.V[s:s+cnt], ng.W[s:s+cnt])
+		ng.End[c] = s + newLen
+		for e := s; e < s+newLen; e++ {
+			ng.U[e] = int64(c)
 		}
-		atomic.AddInt64(&live, localLive)
-	})
-	ng.SetCounts(k, live)
-	return ng
+		live += newLen
+	}
+	return live
 }
 
 // sortDedupBucket sorts parallel slices (v, w) by v and accumulates weights

@@ -111,6 +111,16 @@ type Options struct {
 	// "incorporating refinement into our parallel algorithm" (§II). Slower
 	// per phase, substantially better modularity.
 	RefineEveryPhase bool
+	// NoScratch opts out of the reusable scratch arena: every phase then
+	// allocates its working arrays from scratch, the seed behavior. The
+	// default (arena on) reuses one set of buffers across phases — and, via
+	// DetectWith, across runs — so steady-state phases stay off the heap.
+	NoScratch bool
+	// DiscardLevels leaves Result.Levels empty. The per-phase old→new maps
+	// are the one per-phase output that must otherwise be freshly
+	// allocated; callers that only want the final partition set this to
+	// keep the arena's steady state allocation-free.
+	DiscardLevels bool
 	// Validate runs full graph and matching invariant checks every phase.
 	// Expensive; for tests and debugging.
 	Validate bool
@@ -173,8 +183,27 @@ type Result struct {
 }
 
 // Detect runs the agglomerative algorithm on g. The input graph is treated
-// as read-only; every phase allocates a new, smaller community graph.
+// as read-only. Unless Options.NoScratch is set, Detect constructs a
+// Scratch arena internally so that after the first phase the loop reuses
+// every working buffer; DetectWith extends the reuse across runs.
 func Detect(g *graph.Graph, opt Options) (*Result, error) {
+	var s *Scratch
+	if !opt.NoScratch {
+		s = NewScratch()
+	}
+	return DetectWith(g, opt, s)
+}
+
+// DetectWith is Detect running out of the reusable arena s: repeated calls
+// (the harness's thread sweeps, service-style repeated queries) skip even
+// the first-phase allocations once the arena has grown to the workload. A
+// nil s (or Options.NoScratch) selects fresh per-phase allocations, the
+// seed behavior. The returned Result never aliases arena memory. s must not
+// be shared by concurrent runs.
+func DetectWith(g *graph.Graph, opt Options, s *Scratch) (*Result, error) {
+	if opt.NoScratch {
+		s = nil
+	}
 	if g == nil {
 		return nil, fmt.Errorf("core: nil graph")
 	}
@@ -210,28 +239,64 @@ func Detect(g *graph.Graph, opt Options) (*Result, error) {
 	start := time.Now()
 	n := g.NumVertices()
 	comm := make([]int64, n)
-	par.For(p, int(n), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
+	if par.Serial(p, int(n)) {
+		for i := range comm {
 			comm[i] = int64(i)
 		}
-	})
+	} else {
+		par.For(p, int(n), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				comm[i] = int64(i)
+			}
+		})
+	}
 	totW := g.TotalWeight(p)
-	sizes := make([]int64, n)
-	par.For(p, int(n), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			sizes[i] = 1
+	// sizes is the working per-community vertex count; with an arena it
+	// lives in the double-buffer (the roll-up below ping-pongs between the
+	// halves) and is copied out at the end, without one it is fresh and
+	// handed to the Result directly.
+	sizesIdx := 0
+	var sizes []int64
+	if s != nil {
+		s.sizes[0] = growInt64(s.sizes[0], int(n))
+		sizes = s.sizes[0]
+	} else {
+		sizes = make([]int64, n)
+	}
+	// initSizes aliases sizes for the closure below: sizes is reassigned
+	// every phase, and a closure capturing a reassigned variable heap-boxes
+	// it (same reason finish takes cg and sizes as parameters).
+	initSizes := sizes
+	if par.Serial(p, int(n)) {
+		for i := range initSizes {
+			initSizes[i] = 1
 		}
-	})
+	} else {
+		par.For(p, int(n), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				initSizes[i] = 1
+			}
+		})
+	}
 
-	res := &Result{CommunityOf: comm}
+	res := &Result{CommunityOf: comm, Stats: make([]PhaseStats, 0, 48)}
 	cg := g
-	finish := func(term Termination, deg []int64) (*Result, error) {
+	finish := func(term Termination, deg []int64, cg *graph.Graph, sizes []int64) (*Result, error) {
 		res.Termination = term
 		res.NumCommunities = cg.NumVertices()
-		res.Sizes = sizes
+		if s != nil {
+			res.Sizes = append([]int64(nil), sizes...)
+		} else {
+			res.Sizes = sizes
+		}
 		res.FinalCoverage = coverage(p, cg, totW)
 		if deg == nil {
-			deg = cg.WeightedDegrees(p)
+			if s != nil {
+				deg = cg.WeightedDegreesInto(p, s.deg)
+				s.deg = deg
+			} else {
+				deg = cg.WeightedDegrees(p)
+			}
 		}
 		res.FinalModularity = modularityOf(p, cg, deg, totW)
 		res.Total = time.Since(start)
@@ -240,40 +305,67 @@ func Detect(g *graph.Graph, opt Options) (*Result, error) {
 
 	for phase := 0; ; phase++ {
 		if opt.MaxPhases > 0 && phase >= opt.MaxPhases {
-			return finish(TermMaxPhases, nil)
+			return finish(TermMaxPhases, nil, cg, sizes)
 		}
 		cov := coverage(p, cg, totW)
 		if opt.MinCoverage > 0 && cov >= opt.MinCoverage {
-			return finish(TermCoverage, nil)
+			return finish(TermCoverage, nil, cg, sizes)
 		}
 
-		// Primitive 1: score.
+		// Primitive 1: score. Builtin metrics implement scoring.Fused, which
+		// folds the score fill, the MaxCommunitySize mask, and the
+		// positive-edge termination scan into a single sweep over the edge
+		// array; plain Scorers take the three separate passes.
 		t0 := time.Now()
-		deg := cg.WeightedDegrees(p)
-		scores := make([]float64, len(cg.U))
-		scorer.Score(p, cg, deg, totW, scores)
-		if cap := opt.MaxCommunitySize; cap > 0 {
-			// Mask merges that would exceed the size cap; a local maximum
-			// then means "no allowed merge improves the metric".
-			par.ForDynamic(p, int(cg.NumVertices()), 0, func(lo, hi int) {
-				for x := lo; x < hi; x++ {
-					for e := cg.Start[x]; e < cg.End[x]; e++ {
-						if sizes[cg.U[e]]+sizes[cg.V[e]] > cap {
-							scores[e] = -1
+		var deg []int64
+		if s != nil {
+			deg = cg.WeightedDegreesInto(p, s.deg)
+			s.deg = deg
+		} else {
+			deg = cg.WeightedDegrees(p)
+		}
+		var scores []float64
+		if s != nil {
+			s.scores = growFloat64(s.scores, len(cg.U))
+			scores = s.scores[:len(cg.U)]
+		} else {
+			scores = make([]float64, len(cg.U))
+		}
+		var positive bool
+		if fused, ok := scorer.(scoring.Fused); ok {
+			positive = fused.ScoreFused(p, cg, deg, totW, scores, sizes, opt.MaxCommunitySize)
+		} else {
+			scorer.Score(p, cg, deg, totW, scores)
+			if maxSize := opt.MaxCommunitySize; maxSize > 0 {
+				// Mask merges that would exceed the size cap; a local maximum
+				// then means "no allowed merge improves the metric". mcg and
+				// msizes are single-assignment aliases of the per-phase
+				// variables so the closure capture doesn't heap-box them.
+				mcg, msizes := cg, sizes
+				par.ForDynamic(p, int(mcg.NumVertices()), 0, func(lo, hi int) {
+					for x := lo; x < hi; x++ {
+						for e := mcg.Start[x]; e < mcg.End[x]; e++ {
+							if msizes[mcg.U[e]]+msizes[mcg.V[e]] > maxSize {
+								scores[e] = -1
+							}
 						}
 					}
-				}
-			})
+				})
+			}
+			positive = scoring.HasPositive(p, cg, scores)
 		}
-		positive := scoring.HasPositive(p, cg, scores)
 		scoreTime := time.Since(t0)
 		if !positive {
-			return finish(TermLocalMax, deg)
+			return finish(TermLocalMax, deg, cg, sizes)
 		}
 
 		// Primitive 2: greedy heavy maximal matching.
 		t1 := time.Now()
-		mres := matchFn(p, cg, scores)
+		var ms *matching.Scratch
+		if s != nil {
+			ms = &s.match
+		}
+		mres := matchFn(p, cg, scores, ms)
 		matchTime := time.Since(t1)
 		if opt.Validate {
 			if err := matching.Verify(cg, scores, mres.Match); err != nil {
@@ -283,15 +375,29 @@ func Detect(g *graph.Graph, opt Options) (*Result, error) {
 		if mres.Pairs == 0 {
 			// Unreachable for a maximal matching over positive edges, but a
 			// contraction that merges nothing would loop forever.
-			return finish(TermLocalMax, deg)
+			return finish(TermLocalMax, deg, cg, sizes)
 		}
 		if opt.MinCommunities > 0 && cg.NumVertices()-mres.Pairs < opt.MinCommunities {
-			return finish(TermMinCommunities, deg)
+			return finish(TermMinCommunities, deg, cg, sizes)
 		}
 
-		// Primitive 3: contraction.
+		// Primitive 3: contraction, into the arena's ping-pong destination
+		// graph (phase i reads buffer i%2's predecessor and writes i%2).
 		t2 := time.Now()
-		ng, mapping := contractFn(p, cg, mres.Match)
+		var cs *contract.Scratch
+		var dst *graph.Graph
+		var mapBuf []int64
+		if s != nil {
+			cs = &s.contract
+			dst = s.graphBuf(phase)
+			if opt.DiscardLevels {
+				mapBuf = s.mapping
+			}
+		}
+		ng, mapping := contractFn(p, cg, mres.Match, cs, dst, mapBuf)
+		if s != nil && opt.DiscardLevels {
+			s.mapping = mapping
+		}
 		contractTime := time.Since(t2)
 		if opt.Validate {
 			if err := ng.Validate(); err != nil {
@@ -302,22 +408,68 @@ func Detect(g *graph.Graph, opt Options) (*Result, error) {
 					phase, totW, ng.TotalWeight(p))
 			}
 		}
-		par.For(p, int(n), func(lo, hi int) {
-			for i := lo; i < hi; i++ {
+		if par.Serial(p, int(n)) {
+			for i := range comm {
 				comm[i] = mapping[comm[i]]
 			}
-		})
+		} else {
+			par.For(p, int(n), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					comm[i] = mapping[comm[i]]
+				}
+			})
+		}
 		// Track community sizes through the contraction (§III's
-		// "straight-forward" extension).
-		newSizes := make([]int64, ng.NumVertices())
-		par.For(p, len(sizes), func(lo, hi int) {
-			for c := lo; c < hi; c++ {
+		// "straight-forward" extension). With an arena the roll-up uses the
+		// same per-worker-stripe pattern as the contraction kernel — each
+		// worker accumulates into its own k-wide partial, merged by a
+		// parallel reduction — instead of one atomic add per old community,
+		// which serialized on heavily merged regions.
+		kNew := int(ng.NumVertices())
+		if s != nil && par.Serial(p, len(sizes)) {
+			other := sizesIdx ^ 1
+			s.sizes[other] = growInt64(s.sizes[other], kNew)
+			newSizes := s.sizes[other][:kNew]
+			clear(newSizes)
+			for c := range sizes {
 				if sizes[c] != 0 {
-					atomic.AddInt64(&newSizes[mapping[c]], sizes[c])
+					newSizes[mapping[c]] += sizes[c]
 				}
 			}
-		})
-		sizes = newSizes
+			sizes = newSizes
+			sizesIdx = other
+		} else if s != nil {
+			workers := par.Workers(p, len(sizes))
+			s.sizeStripes = growInt64(s.sizeStripes, workers*kNew)
+			stripes := s.sizeStripes
+			par.ZeroInt64(p, stripes[:workers*kNew])
+			oldSizes := sizes // single-assignment alias for closure capture
+			par.ForWorker(p, len(oldSizes), func(w, lo, hi int) {
+				base := w * kNew
+				for c := lo; c < hi; c++ {
+					if oldSizes[c] != 0 {
+						stripes[base+int(mapping[c])] += oldSizes[c]
+					}
+				}
+			})
+			other := sizesIdx ^ 1
+			s.sizes[other] = growInt64(s.sizes[other], kNew)
+			newSizes := s.sizes[other][:kNew]
+			par.MergeStripes(p, stripes, workers, kNew, newSizes)
+			sizes = newSizes
+			sizesIdx = other
+		} else {
+			newSizes := make([]int64, kNew)
+			oldSizes := sizes
+			par.For(p, len(oldSizes), func(lo, hi int) {
+				for c := lo; c < hi; c++ {
+					if oldSizes[c] != 0 {
+						atomic.AddInt64(&newSizes[mapping[c]], oldSizes[c])
+					}
+				}
+			})
+			sizes = newSizes
+		}
 
 		res.Stats = append(res.Stats, PhaseStats{
 			Phase:        phase,
@@ -333,7 +485,11 @@ func Detect(g *graph.Graph, opt Options) (*Result, error) {
 			ContractTime: contractTime,
 			MaxBucketLen: cg.MaxBucketLen(),
 		})
-		res.Levels = append(res.Levels, mapping)
+		if !opt.DiscardLevels {
+			// mapping is freshly allocated whenever levels are kept, so the
+			// Result never aliases arena memory.
+			res.Levels = append(res.Levels, mapping)
+		}
 		cg = ng
 
 		if opt.RefineEveryPhase {
@@ -362,28 +518,32 @@ func Detect(g *graph.Graph, opt Options) (*Result, error) {
 	}
 }
 
-func matchFunc(k MatchKernel) (func(int, *graph.Graph, []float64) matching.Result, error) {
+func matchFunc(k MatchKernel) (func(int, *graph.Graph, []float64, *matching.Scratch) matching.Result, error) {
 	switch k {
 	case MatchWorklist:
-		return matching.Worklist, nil
+		return matching.WorklistWith, nil
 	case MatchEdgeSweep:
-		return matching.EdgeSweep, nil
+		return matching.EdgeSweepWith, nil
 	}
 	return nil, fmt.Errorf("core: unknown matching kernel %d", int(k))
 }
 
-func contractFunc(k ContractKernel) (func(int, *graph.Graph, []int64) (*graph.Graph, []int64), error) {
+func contractFunc(k ContractKernel) (func(p int, g *graph.Graph, m []int64, s *contract.Scratch, dst *graph.Graph, mapBuf []int64) (*graph.Graph, []int64), error) {
 	switch k {
 	case ContractBucket:
-		return func(p int, g *graph.Graph, m []int64) (*graph.Graph, []int64) {
-			return contract.Bucket(p, g, m, contract.Contiguous)
+		return func(p int, g *graph.Graph, m []int64, s *contract.Scratch, dst *graph.Graph, mapBuf []int64) (*graph.Graph, []int64) {
+			return contract.BucketWith(p, g, m, contract.Contiguous, s, dst, mapBuf)
 		}, nil
 	case ContractBucketNonContiguous:
-		return func(p int, g *graph.Graph, m []int64) (*graph.Graph, []int64) {
-			return contract.Bucket(p, g, m, contract.NonContiguous)
+		return func(p int, g *graph.Graph, m []int64, s *contract.Scratch, dst *graph.Graph, mapBuf []int64) (*graph.Graph, []int64) {
+			return contract.BucketWith(p, g, m, contract.NonContiguous, s, dst, mapBuf)
 		}, nil
 	case ContractListChase:
-		return contract.ListChase, nil
+		// The 2011 ablation baseline allocates fresh state by design; its
+		// hash-chain storage has no reusable shape.
+		return func(p int, g *graph.Graph, m []int64, _ *contract.Scratch, _ *graph.Graph, _ []int64) (*graph.Graph, []int64) {
+			return contract.ListChase(p, g, m)
+		}, nil
 	}
 	return nil, fmt.Errorf("core: unknown contraction kernel %d", int(k))
 }
@@ -407,6 +567,15 @@ func modularityOf(p int, cg *graph.Graph, deg []int64, totW int64) float64 {
 	n := int(cg.NumVertices())
 	if p <= 0 {
 		p = par.DefaultThreads()
+	}
+	if p == 1 || n == 1 {
+		// Serial path keeps the per-phase stats computation off the heap.
+		var q float64
+		for c := 0; c < n; c++ {
+			d := float64(deg[c]) / (2 * m)
+			q += float64(cg.Self[c])/m - d*d
+		}
+		return q
 	}
 	partial := make([]float64, p)
 	used := par.ForWorker(p, n, func(w, lo, hi int) {

@@ -1,0 +1,74 @@
+// The scratch arena for the engine's phase loop. The paper's profile (§IV-C:
+// contraction takes 40–80% of total execution time) means the loop's
+// performance is dominated by memory traffic, and the seed engine added
+// allocation and zeroing of every per-phase array — scores, degrees, match
+// state, worklists, histogram stripes, and all six arrays of each new
+// community graph — on top of it. The arena keeps one reusable copy of each,
+// sized by the first (largest) phase: after phase 0 the steady-state loop
+// performs no heap allocations, and a harness sweep reusing one Scratch
+// across trials skips even the phase-0 allocations after the first run.
+package core
+
+import (
+	"repro/internal/contract"
+	"repro/internal/graph"
+	"repro/internal/matching"
+)
+
+// Scratch is the engine's reusable per-run arena. A zero Scratch (or
+// NewScratch()) is ready to use; buffers grow to the largest graph seen and
+// are recycled for everything smaller. It holds:
+//
+//   - the per-phase score and weighted-degree arrays;
+//   - the matching kernels' match/candidate/lock/worklist state;
+//   - the contraction kernel's per-bucket counts and per-worker histogram
+//     stripes;
+//   - two community graphs used as ping-pong contraction destinations
+//     (phase i reads one and writes the other);
+//   - the double-buffered community-size arrays and their merge stripes;
+//   - a mapping buffer reused across phases when Options.DiscardLevels is
+//     set.
+//
+// A Scratch must not be used by concurrent Detect runs. Results returned by
+// DetectWith never alias scratch memory, so they stay valid after the
+// arena is reused.
+type Scratch struct {
+	deg         []int64
+	scores      []float64
+	mapping     []int64
+	sizes       [2][]int64
+	sizeStripes []int64
+	match       matching.Scratch
+	contract    contract.Scratch
+	cg          [2]*graph.Graph
+}
+
+// NewScratch returns an empty arena; buffers are allocated on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// graphBuf returns the i-th (mod 2) ping-pong community-graph buffer,
+// creating it on first use.
+func (s *Scratch) graphBuf(i int) *graph.Graph {
+	i &= 1
+	if s.cg[i] == nil {
+		s.cg[i] = &graph.Graph{}
+	}
+	return s.cg[i]
+}
+
+// growInt64 reslices xs to n entries, reallocating only when capacity is
+// short; contents are unspecified and callers overwrite them.
+func growInt64(xs []int64, n int) []int64 {
+	if cap(xs) < n {
+		return make([]int64, n)
+	}
+	return xs[:n]
+}
+
+// growFloat64 is growInt64 for float64 slices.
+func growFloat64(xs []float64, n int) []float64 {
+	if cap(xs) < n {
+		return make([]float64, n)
+	}
+	return xs[:n]
+}

@@ -99,6 +99,36 @@ func (g *Graph) setCounts(n, m int64) {
 // the arrays directly. m must equal the sum of bucket lengths.
 func (g *Graph) SetCounts(n, m int64) { g.setCounts(n, m) }
 
+// ResizeVertices reslices the vertex-indexed arrays (Self, Start, End) to n
+// entries, reusing their capacity when possible, and sets the vertex count.
+// Newly exposed entries hold stale values the caller must overwrite — this
+// is the contraction kernels' ping-pong reuse hook, not a public builder.
+// Call SetCounts (or ResizeEdges plus filling) before handing the graph out.
+func (g *Graph) ResizeVertices(n int64) {
+	g.Self = growInt64(g.Self, n)
+	g.Start = growInt64(g.Start, n)
+	g.End = growInt64(g.End, n)
+	g.n = n
+}
+
+// ResizeEdges reslices the edge arrays (U, V, W) to m entries under the same
+// stale-contents contract as ResizeVertices. The live-edge count is set by
+// SetCounts once the kernels know how many edges survived deduplication.
+func (g *Graph) ResizeEdges(m int64) {
+	g.U = growInt64(g.U, m)
+	g.V = growInt64(g.V, m)
+	g.W = growInt64(g.W, m)
+}
+
+// growInt64 reslices xs to n entries, reallocating (without copying — the
+// contents are stale by contract) only when capacity is short.
+func growInt64(xs []int64, n int64) []int64 {
+	if int64(cap(xs)) < n {
+		return make([]int64, n)
+	}
+	return xs[:n]
+}
+
 // Bucket returns the [lo, hi) edge-array range of vertex x's bucket.
 func (g *Graph) Bucket(x int64) (lo, hi int64) {
 	return g.Start[x], g.End[x]
@@ -142,6 +172,15 @@ func (g *Graph) sumBucketWeights(p int) int64 {
 	if p <= 0 {
 		p = par.DefaultThreads()
 	}
+	if par.Serial(p, n) {
+		var s int64
+		for x := 0; x < n; x++ {
+			for e := g.Start[x]; e < g.End[x]; e++ {
+				s += g.W[e]
+			}
+		}
+		return s
+	}
 	partial := make([]int64, p)
 	w := par.ForWorker(p, n, func(worker, lo, hi int) {
 		var s int64
@@ -163,8 +202,32 @@ func (g *Graph) sumBucketWeights(p int) int64 {
 // every vertex, computed with p workers. This is the community volume used
 // by both the modularity and conductance scorers: d sums to 2·TotalWeight.
 func (g *Graph) WeightedDegrees(p int) []int64 {
+	return g.WeightedDegreesInto(p, nil)
+}
+
+// WeightedDegreesInto is WeightedDegrees writing into buf when its capacity
+// suffices (growing it otherwise), so the engine's phase loop can reuse one
+// degree buffer across phases. Every entry is overwritten; buf may be nil.
+func (g *Graph) WeightedDegreesInto(p int, buf []int64) []int64 {
 	n := int(g.n)
-	d := make([]int64, n)
+	d := buf
+	if cap(d) < n {
+		d = make([]int64, n)
+	}
+	d = d[:n]
+	if par.Serial(p, n) {
+		for x := 0; x < n; x++ {
+			d[x] = 2 * g.Self[x]
+		}
+		for x := 0; x < n; x++ {
+			for e := g.Start[x]; e < g.End[x]; e++ {
+				w := g.W[e]
+				d[g.U[e]] += w
+				d[g.V[e]] += w
+			}
+		}
+		return d
+	}
 	par.For(p, n, func(lo, hi int) {
 		for x := lo; x < hi; x++ {
 			d[x] = 2 * g.Self[x]

@@ -82,9 +82,79 @@ func (k edgeKey) less(o edgeKey) bool {
 	return k.second < o.second
 }
 
+// Scratch holds the matching kernels' per-run state for reuse across engine
+// phases: the match array, the per-vertex candidate tables, the spinlock
+// array, and the worklist double-buffers with their pack workspace. A zero
+// Scratch is ready to use; grow reslices every buffer to the current vertex
+// count, allocating only when a graph larger than any seen before arrives —
+// after the first phase the steady-state loop allocates nothing here.
+//
+// A Scratch must not be shared by concurrent matchings. When a kernel runs
+// with a Scratch, the returned Result.Match aliases scratch storage and is
+// only valid until the next use of the same Scratch.
+type Scratch struct {
+	match    []int64
+	candE    []int64
+	candKey  []edgeKey
+	candPass []int64
+	locks    *par.SpinLocks
+	list     []int64 // worklist double-buffer, ping
+	list2    []int64 // worklist double-buffer, pong
+	keep     []int64
+	slots    []int64
+}
+
+// grow resizes every buffer for an n-vertex graph. candPass entries are
+// reset to -1 (pass stamps restart at 0 every run); locks are reused as-is —
+// every lock is free between runs.
+func (s *Scratch) grow(p, n int) {
+	s.match = growInt64(s.match, n)
+	s.candE = growInt64(s.candE, n)
+	s.candPass = growInt64(s.candPass, n)
+	s.keep = growInt64(s.keep, n)
+	s.slots = growInt64(s.slots, n)
+	if cap(s.candKey) < n {
+		s.candKey = make([]edgeKey, n)
+	}
+	s.candKey = s.candKey[:n]
+	if s.locks == nil || s.locks.Len() < n {
+		s.locks = par.NewSpinLocks(n)
+	}
+	if par.Serial(p, n) {
+		for i := 0; i < n; i++ {
+			s.match[i] = Unmatched
+			s.candPass[i] = -1
+		}
+		return
+	}
+	par.For(p, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s.match[i] = Unmatched
+			s.candPass[i] = -1
+		}
+	})
+}
+
+func growInt64(xs []int64, n int) []int64 {
+	if cap(xs) < n {
+		return make([]int64, n)
+	}
+	return xs[:n]
+}
+
+// orNew returns s, or a fresh Scratch when s is nil, letting the kernels
+// bind their scratch to a single-assignment variable (see WorklistWith).
+func (s *Scratch) orNew() *Scratch {
+	if s != nil {
+		return s
+	}
+	return &Scratch{}
+}
+
 // Worklist computes a greedy heavy maximal matching with the paper's
 // unmatched-vertex-list algorithm using p workers. Only edges with a
-// strictly positive score participate.
+// strictly positive score participate. It allocates fresh state; the engine
+// calls WorklistWith to reuse buffers across phases.
 //
 // Each pass parallelizes over the array of still-active vertices. An active
 // vertex scans its own bucket (each edge is stored exactly once) and pushes
@@ -98,106 +168,159 @@ func (k edgeKey) less(o edgeKey) bool {
 // frustrated but that still saw an available edge stay on the list; the
 // matching is maximal when the list drains.
 func Worklist(p int, g *graph.Graph, scores []float64) Result {
+	return WorklistWith(p, g, scores, nil)
+}
+
+// WorklistWith is Worklist running out of s's reusable buffers; a nil s
+// behaves exactly like Worklist.
+func WorklistWith(p int, g *graph.Graph, scores []float64, scratch *Scratch) Result {
 	n := int(g.NumVertices())
-	match := make([]int64, n)
-	par.For(p, n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			match[i] = Unmatched
+	// s is assigned exactly once: a variable with any assignment after its
+	// declaration is captured by reference when a closure mentions it, i.e.
+	// heap-boxed at declaration, which the zero-allocation steady state
+	// cannot afford (same for lst below).
+	s := scratch.orNew()
+	s.grow(p, n)
+	// The per-vertex candidate tables (candE/candKey/candPass) are stamped
+	// by pass so they never need clearing; they are guarded by the scratch's
+	// locks during phase A and read freely in phase B (the phases are
+	// barrier-separated).
+
+	// Initial worklist: vertices owning at least one edge, built with the
+	// parallel prefix-sum-and-scatter index pack. Vertices with empty
+	// buckets are passive — they receive proposals but the owning side
+	// performs the claim.
+	keepFlags := s.keep
+	if par.Serial(p, n) {
+		for x := 0; x < n; x++ {
+			if g.End[x] > g.Start[x] {
+				keepFlags[x] = 1
+			} else {
+				keepFlags[x] = 0
+			}
 		}
-	})
-	locks := par.NewSpinLocks(n)
-
-	// Per-vertex best candidate edge, stamped by pass so it never needs
-	// clearing. Guarded by locks during phase A; read freely in phase B
-	// (the phases are barrier-separated).
-	candE := make([]int64, n)
-	candKey := make([]edgeKey, n)
-	candPass := make([]int64, n)
-	for i := range candPass {
-		candPass[i] = -1
+	} else {
+		par.For(p, n, func(lo, hi int) {
+			for x := lo; x < hi; x++ {
+				if g.End[x] > g.Start[x] {
+					keepFlags[x] = 1
+				} else {
+					keepFlags[x] = 0
+				}
+			}
+		})
 	}
+	list := par.PackIndexInto(p, n, keepFlags, s.slots, s.list)
 
-	// Initial worklist: vertices owning at least one edge. Vertices with
-	// empty buckets are passive — they receive proposals but the owning
-	// side performs the claim.
-	list := make([]int64, 0, n)
-	for x := int64(0); x < int64(n); x++ {
-		if g.End[x] > g.Start[x] {
-			list = append(list, x)
-		}
-	}
-
+	buf := s.list2
 	passes := 0
 	for len(list) > 0 {
 		pass := int64(passes)
+		lst := list // single-assignment alias for closure capture
 		// Phase A: active vertices scan their buckets and push proposals to
-		// both endpoints of every available positive edge.
-		par.ForDynamic(p, len(list), 0, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				u := list[i]
-				if atomic.LoadInt64(&match[u]) != Unmatched {
-					continue
-				}
-				for e := g.Start[u]; e < g.End[u]; e++ {
-					s := scores[e]
-					if s <= 0 {
-						continue
-					}
-					v := g.V[e]
-					if atomic.LoadInt64(&match[v]) != Unmatched {
-						continue
-					}
-					k := makeKey(s, g.U[e], g.V[e])
-					for _, side := range [2]int64{u, v} {
-						locks.Lock(side)
-						if candPass[side] != pass || candKey[side].less(k) {
-							candPass[side] = pass
-							candKey[side] = k
-							candE[side] = e
-						}
-						locks.Unlock(side)
-					}
-				}
-			}
-		})
-		// Phase B: claim mutual best edges; compact the worklist.
-		keep := make([]int64, len(list))
-		par.ForDynamic(p, len(list), 0, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				u := list[i]
-				if atomic.LoadInt64(&match[u]) != Unmatched {
-					continue // matched; drop
-				}
-				if candPass[u] != pass {
-					continue // no available edge anywhere near u; drop for good
-				}
-				e := candE[u]
-				a, b := g.U[e], g.V[e]
-				o := a // other endpoint of our best edge
-				if o == u {
-					o = b
-				}
-				if candPass[o] == pass && candE[o] == e {
-					// Mutually best: claim both sides. Both endpoints may
-					// run this claim; Lock2 serializes and the second sees
-					// the pair already made.
-					locks.Lock2(u, o)
-					if match[u] == Unmatched && match[o] == Unmatched {
-						atomic.StoreInt64(&match[u], o)
-						atomic.StoreInt64(&match[o], u)
-					}
-					locks.Unlock2(u, o)
-				}
-				if atomic.LoadInt64(&match[u]) == Unmatched {
-					// Still free but edges remain in reach: try again.
-					keep[i] = 1
-				}
-			}
-		})
-		list = par.Pack(p, list, keep)
+		// both endpoints of every available positive edge. The pass bodies
+		// live in plain functions so the serial path evaluates no closure
+		// literal (a literal handed to ForDynamic escapes and heap-allocates
+		// even when the loop then runs on one worker).
+		if par.Serial(p, len(lst)) {
+			worklistPropose(g, scores, s, lst, pass, 0, len(lst))
+		} else {
+			par.ForDynamic(p, len(lst), 0, func(lo, hi int) {
+				worklistPropose(g, scores, s, lst, pass, lo, hi)
+			})
+		}
+		// Phase B: claim mutual best edges; compact the worklist. The keep
+		// flags live in reused scratch, so every entry is written (0 on the
+		// drop paths) rather than relying on a fresh zeroed allocation.
+		keep := keepFlags[:len(lst)]
+		if par.Serial(p, len(lst)) {
+			worklistClaim(g, s, lst, keep, pass, 0, len(lst))
+		} else {
+			par.ForDynamic(p, len(lst), 0, func(lo, hi int) {
+				worklistClaim(g, s, lst, keep, pass, lo, hi)
+			})
+		}
+		// Compact into the other half of the double-buffer and swap, so the
+		// drained list's storage backs the next pass's output.
+		packed := par.PackInto(p, lst, keep, s.slots, buf)
+		buf = lst[:0]
+		list = packed
 		passes++
 	}
-	return finishResult(p, g, scores, match, passes)
+	s.list, s.list2 = list[:0], buf[:0]
+	return finishResult(p, g, scores, s.match, passes)
+}
+
+// worklistPropose is phase A of one worklist pass over list[lo:hi]: each
+// active vertex scans its own bucket and proposes every available positive
+// edge to both endpoints under the total order.
+func worklistPropose(g *graph.Graph, scores []float64, s *Scratch, list []int64, pass int64, lo, hi int) {
+	match, locks := s.match, s.locks
+	candE, candKey, candPass := s.candE, s.candKey, s.candPass
+	for i := lo; i < hi; i++ {
+		u := list[i]
+		if atomic.LoadInt64(&match[u]) != Unmatched {
+			continue
+		}
+		for e := g.Start[u]; e < g.End[u]; e++ {
+			sc := scores[e]
+			if sc <= 0 {
+				continue
+			}
+			v := g.V[e]
+			if atomic.LoadInt64(&match[v]) != Unmatched {
+				continue
+			}
+			k := makeKey(sc, g.U[e], g.V[e])
+			for _, side := range [2]int64{u, v} {
+				locks.Lock(side)
+				if candPass[side] != pass || candKey[side].less(k) {
+					candPass[side] = pass
+					candKey[side] = k
+					candE[side] = e
+				}
+				locks.Unlock(side)
+			}
+		}
+	}
+}
+
+// worklistClaim is phase B of one worklist pass over list[lo:hi]: claim
+// mutually best edges and set the keep flag for vertices that stay active.
+func worklistClaim(g *graph.Graph, s *Scratch, list, keep []int64, pass int64, lo, hi int) {
+	match, locks := s.match, s.locks
+	candE, candPass := s.candE, s.candPass
+	for i := lo; i < hi; i++ {
+		keep[i] = 0
+		u := list[i]
+		if atomic.LoadInt64(&match[u]) != Unmatched {
+			continue // matched; drop
+		}
+		if candPass[u] != pass {
+			continue // no available edge anywhere near u; drop for good
+		}
+		e := candE[u]
+		a, b := g.U[e], g.V[e]
+		o := a // other endpoint of our best edge
+		if o == u {
+			o = b
+		}
+		if candPass[o] == pass && candE[o] == e {
+			// Mutually best: claim both sides. Both endpoints may run this
+			// claim; Lock2 serializes and the second sees the pair already
+			// made.
+			locks.Lock2(u, o)
+			if match[u] == Unmatched && match[o] == Unmatched {
+				atomic.StoreInt64(&match[u], o)
+				atomic.StoreInt64(&match[o], u)
+			}
+			locks.Unlock2(u, o)
+		}
+		if atomic.LoadInt64(&match[u]) == Unmatched {
+			// Still free but edges remain in reach: try again.
+			keep[i] = 1
+		}
+	}
 }
 
 // EdgeSweep computes the matching with the 2011 whole-edge-array algorithm
@@ -207,92 +330,134 @@ func Worklist(p int, g *graph.Graph, scores []float64) Result {
 // worklist algorithm's gains are "marginal on the Cray XMT but drastic on
 // Intel-based platforms".
 func EdgeSweep(p int, g *graph.Graph, scores []float64) Result {
+	return EdgeSweepWith(p, g, scores, nil)
+}
+
+// EdgeSweepWith is EdgeSweep running out of s's reusable buffers; a nil s
+// behaves exactly like EdgeSweep. The candidate tables double as the
+// per-vertex best-edge tables.
+func EdgeSweepWith(p int, g *graph.Graph, scores []float64, scratch *Scratch) Result {
 	n := int(g.NumVertices())
-	match := make([]int64, n)
-	par.For(p, n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			match[i] = Unmatched
-		}
-	})
-	locks := par.NewSpinLocks(n)
-	bestEdge := make([]int64, n)
-	bestKey := make([]edgeKey, n)
-	bestPass := make([]int64, n)
-	for i := range bestPass {
-		bestPass[i] = -1
-	}
+	s := scratch.orNew()
+	s.grow(p, n)
 
 	passes := 0
 	for {
 		pass := int64(passes)
-		var eligible int64
-		// Sweep 1: per-endpoint best via locks (the hot spot).
-		par.ForDynamic(p, n, 0, func(lo, hi int) {
-			local := false
-			for x := int64(lo); x < int64(hi); x++ {
-				for e := g.Start[x]; e < g.End[x]; e++ {
-					s := scores[e]
-					if s <= 0 {
-						continue
-					}
-					u, v := g.U[e], g.V[e]
-					if atomic.LoadInt64(&match[u]) != Unmatched ||
-						atomic.LoadInt64(&match[v]) != Unmatched {
-						continue
-					}
-					local = true
-					k := makeKey(s, u, v)
-					for _, side := range [2]int64{u, v} {
-						locks.Lock(side)
-						if bestPass[side] != pass || bestKey[side].less(k) {
-							bestPass[side] = pass
-							bestKey[side] = k
-							bestEdge[side] = e
-						}
-						locks.Unlock(side)
-					}
+		eligible := false
+		// Sweep 1: per-endpoint best via locks (the hot spot). As in the
+		// worklist kernel, the sweep bodies are plain functions so the
+		// serial path evaluates no escaping closure literal.
+		if par.Serial(p, n) {
+			eligible = edgeSweepBest(g, scores, s, pass, 0, n)
+		} else {
+			var flag int64
+			par.ForDynamic(p, n, 0, func(lo, hi int) {
+				if edgeSweepBest(g, scores, s, pass, lo, hi) {
+					atomic.StoreInt64(&flag, 1)
 				}
-			}
-			if local {
-				atomic.StoreInt64(&eligible, 1)
-			}
-		})
-		if eligible == 0 {
+			})
+			eligible = flag != 0
+		}
+		if !eligible {
 			break
 		}
 		// Sweep 2: match mutually best edges.
-		par.ForDynamic(p, n, 0, func(lo, hi int) {
-			for x := int64(lo); x < int64(hi); x++ {
-				for e := g.Start[x]; e < g.End[x]; e++ {
-					if scores[e] <= 0 {
-						continue
-					}
-					u, v := g.U[e], g.V[e]
-					if bestPass[u] != pass || bestPass[v] != pass {
-						continue
-					}
-					if bestEdge[u] != e || bestEdge[v] != e {
-						continue
-					}
-					locks.Lock2(u, v)
-					if match[u] == Unmatched && match[v] == Unmatched {
-						atomic.StoreInt64(&match[u], v)
-						atomic.StoreInt64(&match[v], u)
-					}
-					locks.Unlock2(u, v)
-				}
-			}
-		})
+		if par.Serial(p, n) {
+			edgeSweepClaim(g, scores, s, pass, 0, n)
+		} else {
+			par.ForDynamic(p, n, 0, func(lo, hi int) {
+				edgeSweepClaim(g, scores, s, pass, lo, hi)
+			})
+		}
 		passes++
 	}
-	return finishResult(p, g, scores, match, passes)
+	return finishResult(p, g, scores, s.match, passes)
+}
+
+// edgeSweepBest is sweep 1 of one edge-sweep pass over buckets [lo, hi): it
+// funnels each available positive edge through both endpoints' locked best
+// slots and reports whether any eligible edge was seen.
+func edgeSweepBest(g *graph.Graph, scores []float64, s *Scratch, pass int64, lo, hi int) bool {
+	match, locks := s.match, s.locks
+	bestEdge, bestKey, bestPass := s.candE, s.candKey, s.candPass
+	local := false
+	for x := int64(lo); x < int64(hi); x++ {
+		for e := g.Start[x]; e < g.End[x]; e++ {
+			sc := scores[e]
+			if sc <= 0 {
+				continue
+			}
+			u, v := g.U[e], g.V[e]
+			if atomic.LoadInt64(&match[u]) != Unmatched ||
+				atomic.LoadInt64(&match[v]) != Unmatched {
+				continue
+			}
+			local = true
+			k := makeKey(sc, u, v)
+			for _, side := range [2]int64{u, v} {
+				locks.Lock(side)
+				if bestPass[side] != pass || bestKey[side].less(k) {
+					bestPass[side] = pass
+					bestKey[side] = k
+					bestEdge[side] = e
+				}
+				locks.Unlock(side)
+			}
+		}
+	}
+	return local
+}
+
+// edgeSweepClaim is sweep 2 of one edge-sweep pass over buckets [lo, hi):
+// match mutually best edges.
+func edgeSweepClaim(g *graph.Graph, scores []float64, s *Scratch, pass int64, lo, hi int) {
+	match, locks := s.match, s.locks
+	bestEdge, bestPass := s.candE, s.candPass
+	for x := int64(lo); x < int64(hi); x++ {
+		for e := g.Start[x]; e < g.End[x]; e++ {
+			if scores[e] <= 0 {
+				continue
+			}
+			u, v := g.U[e], g.V[e]
+			if bestPass[u] != pass || bestPass[v] != pass {
+				continue
+			}
+			if bestEdge[u] != e || bestEdge[v] != e {
+				continue
+			}
+			locks.Lock2(u, v)
+			if match[u] == Unmatched && match[v] == Unmatched {
+				atomic.StoreInt64(&match[u], v)
+				atomic.StoreInt64(&match[v], u)
+			}
+			locks.Unlock2(u, v)
+		}
+	}
 }
 
 // finishResult counts pairs and sums matched-edge scores.
 func finishResult(p int, g *graph.Graph, scores []float64, match []int64, passes int) Result {
+	n := int(g.NumVertices())
+	if par.Serial(p, n) {
+		var pairs int64
+		var weight float64
+		for x := int64(0); x < int64(n); x++ {
+			if m := match[x]; m != Unmatched && x < m {
+				pairs++
+			}
+			for e := g.Start[x]; e < g.End[x]; e++ {
+				if match[g.U[e]] == g.V[e] {
+					weight += scores[e]
+				}
+			}
+		}
+		return Result{Match: match, Pairs: pairs, Weight: weight, Passes: passes}
+	}
+	// Declared after the serial return: the closure takes their addresses,
+	// which would heap-box them on the serial path too.
 	var pairs int64
 	var weightBits uint64
-	n := int(g.NumVertices())
 	par.ForDynamic(p, n, 0, func(lo, hi int) {
 		var localPairs int64
 		var localWeight float64

@@ -1,0 +1,71 @@
+package matching
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// TestScratchReuseAcrossGraphs runs both kernels repeatedly through one
+// Scratch over graphs of shrinking and growing sizes — the engine's phase
+// pattern plus the harness's trial pattern — and checks every matching is
+// valid and maximal.
+func TestScratchReuseAcrossGraphs(t *testing.T) {
+	graphs := []*graph.Graph{
+		gen.CliqueChain(16, 6),
+		gen.Karate(),
+		gen.Ring(5),
+		gen.CliqueChain(32, 4), // bigger again: buffers must regrow
+	}
+	kernels := []struct {
+		name string
+		run  func(p int, g *graph.Graph, scores []float64, s *Scratch) Result
+	}{
+		{"worklist", WorklistWith},
+		{"edgesweep", EdgeSweepWith},
+	}
+	for _, k := range kernels {
+		var s Scratch
+		for gi, g := range graphs {
+			scores := make([]float64, len(g.U))
+			for e := range scores {
+				scores[e] = float64(e%7) + 0.5
+			}
+			for trial := 0; trial < 3; trial++ {
+				res := k.run(2, g, scores, &s)
+				if err := Verify(g, scores, res.Match); err != nil {
+					t.Fatalf("%s graph %d trial %d: %v", k.name, gi, trial, err)
+				}
+				if int64(len(res.Match)) != g.NumVertices() {
+					t.Fatalf("%s graph %d: match sized %d for %d vertices",
+						k.name, gi, len(res.Match), g.NumVertices())
+				}
+			}
+		}
+	}
+}
+
+// TestScratchMatchesFresh checks single-threaded scratch and fresh runs
+// produce the identical matching (p=1 makes the kernel deterministic).
+func TestScratchMatchesFresh(t *testing.T) {
+	g := gen.CliqueChain(24, 5)
+	scores := make([]float64, len(g.U))
+	for e := range scores {
+		scores[e] = float64((e*13)%11) + 0.25
+	}
+	var s Scratch
+	// Dirty the scratch first with an unrelated run.
+	WorklistWith(1, gen.Karate(), make([]float64, len(gen.Karate().U)), &s)
+	fresh := Worklist(1, g, scores)
+	reused := WorklistWith(1, g, scores, &s)
+	for v := range fresh.Match {
+		if fresh.Match[v] != reused.Match[v] {
+			t.Fatalf("match[%d]: fresh %d, scratch %d", v, fresh.Match[v], reused.Match[v])
+		}
+	}
+	if fresh.Pairs != reused.Pairs || fresh.Passes != reused.Passes {
+		t.Fatalf("fresh (pairs=%d passes=%d) != scratch (pairs=%d passes=%d)",
+			fresh.Pairs, fresh.Passes, reused.Pairs, reused.Passes)
+	}
+}

@@ -172,29 +172,127 @@ func Do(fns ...func()) {
 // the stream-compaction primitive behind the matching worklist (§IV-B),
 // where each pass retains only the still-unmatched vertices.
 func Pack[T any](p int, src []T, keep []int64) []T {
+	return PackInto(p, src, keep, nil, nil)
+}
+
+// PackInto is Pack with caller-provided scratch: slots is the prefix-sum
+// workspace (grown if shorter than src) and dst receives the survivors
+// (reused if its capacity suffices). Either may be nil for fresh
+// allocations. It returns the packed slice, which aliases dst's storage
+// when that was reused. src and dst must not overlap.
+func PackInto[T any](p int, src []T, keep, slots []int64, dst []T) []T {
 	n := len(src)
 	if n != len(keep) {
 		panic("par: Pack flag slice length mismatch")
 	}
 	if n == 0 {
-		return nil
+		return dst[:0]
 	}
-	slots := make([]int64, n)
+	if cap(slots) < n {
+		slots = make([]int64, n)
+	}
+	slots = slots[:n]
+	if Serial(p, n) {
+		// Closure-free single pass: count, size, then copy.
+		var total int64
+		for i := 0; i < n; i++ {
+			if keep[i] != 0 {
+				total++
+			}
+		}
+		if int64(cap(dst)) < total {
+			dst = make([]T, total)
+		}
+		dst = dst[:total]
+		var out int64
+		for i := 0; i < n; i++ {
+			if keep[i] != 0 {
+				dst[out] = src[i]
+				out++
+			}
+		}
+		return dst
+	}
 	For(p, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if keep[i] != 0 {
 				slots[i] = 1
+			} else {
+				slots[i] = 0
 			}
 		}
 	})
 	total := ExclusiveSumInt64(p, slots)
-	out := make([]T, total)
+	if int64(cap(dst)) < total {
+		dst = make([]T, total)
+	}
+	dst = dst[:total]
 	For(p, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if keep[i] != 0 {
-				out[slots[i]] = src[i]
+				dst[slots[i]] = src[i]
 			}
 		}
 	})
-	return out
+	return dst
+}
+
+// PackIndexInto writes the indices i in [0, n) with keep[i] != 0 into dst in
+// increasing order, using the same prefix-sum-and-scatter pattern as Pack
+// but without materializing an identity source slice. slots and dst follow
+// PackInto's scratch conventions. The matching worklist uses it to build the
+// initial active-vertex list in parallel.
+func PackIndexInto(p, n int, keep, slots, dst []int64) []int64 {
+	if n > len(keep) {
+		panic("par: PackIndexInto flag slice too short")
+	}
+	if n == 0 {
+		return dst[:0]
+	}
+	if cap(slots) < n {
+		slots = make([]int64, n)
+	}
+	slots = slots[:n]
+	if Serial(p, n) {
+		var total int64
+		for i := 0; i < n; i++ {
+			if keep[i] != 0 {
+				total++
+			}
+		}
+		if int64(cap(dst)) < total {
+			dst = make([]int64, total)
+		}
+		dst = dst[:total]
+		var out int64
+		for i := 0; i < n; i++ {
+			if keep[i] != 0 {
+				dst[out] = int64(i)
+				out++
+			}
+		}
+		return dst
+	}
+	For(p, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if keep[i] != 0 {
+				slots[i] = 1
+			} else {
+				slots[i] = 0
+			}
+		}
+	})
+	total := ExclusiveSumInt64(p, slots)
+	if int64(cap(dst)) < total {
+		dst = make([]int64, total)
+	}
+	dst = dst[:total]
+	For(p, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if keep[i] != 0 {
+				dst[slots[i]] = int64(i)
+			}
+		}
+	})
+	return dst
 }

@@ -24,6 +24,19 @@ type Scorer interface {
 	Score(p int, g *graph.Graph, deg []int64, totalWeight int64, scores []float64)
 }
 
+// Fused is an optional Scorer extension that folds the engine's three edge
+// sweeps — score fill, the MaxCommunitySize mask, and the HasPositive
+// termination scan — into one pass over the edge array. sizes is the
+// per-community original-vertex count and maxSize the cap (0 disables the
+// mask; sizes may then be nil). ScoreFused fills scores exactly as Score
+// would, overwrites masked entries with -1, and reports whether any
+// unmasked live edge scored strictly positive. The engine type-asserts for
+// this interface and falls back to the three separate sweeps for plain
+// Scorers, so metric plugins stay a one-method implementation.
+type Fused interface {
+	ScoreFused(p int, g *graph.Graph, deg []int64, totalWeight int64, scores []float64, sizes []int64, maxSize int64) bool
+}
+
 // Modularity scores an edge {c, d} with the Newman–Girvan modularity change
 //
 //	ΔQ = w_cd/m − d_c·d_d/(2m²),
@@ -52,6 +65,55 @@ func (Modularity) Score(p int, g *graph.Graph, deg []int64, totalWeight int64, s
 			}
 		}
 	})
+}
+
+// ScoreFused implements Fused: the modularity fill, size mask, and
+// positive-edge scan in a single sweep.
+func (Modularity) ScoreFused(p int, g *graph.Graph, deg []int64, totalWeight int64, scores []float64, sizes []int64, maxSize int64) bool {
+	if totalWeight <= 0 {
+		scoreConstant(p, g, scores, 0)
+		return false
+	}
+	m := float64(totalWeight)
+	inv := 1 / m
+	half := 1 / (2 * m * m)
+	n := int(g.NumVertices())
+	if par.Serial(p, n) {
+		positive := false
+		for x := 0; x < n; x++ {
+			for e := g.Start[x]; e < g.End[x]; e++ {
+				u, v := g.U[e], g.V[e]
+				if maxSize > 0 && sizes[u]+sizes[v] > maxSize {
+					scores[e] = -1
+					continue
+				}
+				s := float64(g.W[e])*inv - float64(deg[u])*float64(deg[v])*half
+				scores[e] = s
+				positive = positive || s > 0
+			}
+		}
+		return positive
+	}
+	var found int64
+	par.ForDynamic(p, n, 0, func(lo, hi int) {
+		positive := false
+		for x := lo; x < hi; x++ {
+			for e := g.Start[x]; e < g.End[x]; e++ {
+				u, v := g.U[e], g.V[e]
+				if maxSize > 0 && sizes[u]+sizes[v] > maxSize {
+					scores[e] = -1
+					continue
+				}
+				s := float64(g.W[e])*inv - float64(deg[u])*float64(deg[v])*half
+				scores[e] = s
+				positive = positive || s > 0
+			}
+		}
+		if positive {
+			atomicStoreOne(&found)
+		}
+	})
+	return found != 0
 }
 
 // Conductance scores an edge {c, d} with the negated change in the sum of
@@ -97,6 +159,67 @@ func (Conductance) Score(p int, g *graph.Graph, deg []int64, totalWeight int64, 
 			}
 		}
 	})
+}
+
+// ScoreFused implements Fused for the conductance metric.
+func (Conductance) ScoreFused(p int, g *graph.Graph, deg []int64, totalWeight int64, scores []float64, sizes []int64, maxSize int64) bool {
+	if totalWeight <= 0 {
+		scoreConstant(p, g, scores, 0)
+		return false
+	}
+	twoM := 2 * float64(totalWeight)
+	phi := func(vol, internal int64) float64 {
+		cut := float64(vol - 2*internal)
+		denom := float64(vol)
+		if other := twoM - float64(vol); other < denom {
+			denom = other
+		}
+		if denom <= 0 {
+			return 0
+		}
+		return cut / denom
+	}
+	n := int(g.NumVertices())
+	if par.Serial(p, n) {
+		positive := false
+		for x := 0; x < n; x++ {
+			for e := g.Start[x]; e < g.End[x]; e++ {
+				u, v, w := g.U[e], g.V[e], g.W[e]
+				if maxSize > 0 && sizes[u]+sizes[v] > maxSize {
+					scores[e] = -1
+					continue
+				}
+				phiU := phi(deg[u], g.Self[u])
+				phiV := phi(deg[v], g.Self[v])
+				s := phiU + phiV - phi(deg[u]+deg[v], g.Self[u]+g.Self[v]+w)
+				scores[e] = s
+				positive = positive || s > 0
+			}
+		}
+		return positive
+	}
+	var found int64
+	par.ForDynamic(p, n, 0, func(lo, hi int) {
+		positive := false
+		for x := lo; x < hi; x++ {
+			for e := g.Start[x]; e < g.End[x]; e++ {
+				u, v, w := g.U[e], g.V[e], g.W[e]
+				if maxSize > 0 && sizes[u]+sizes[v] > maxSize {
+					scores[e] = -1
+					continue
+				}
+				phiU := phi(deg[u], g.Self[u])
+				phiV := phi(deg[v], g.Self[v])
+				s := phiU + phiV - phi(deg[u]+deg[v], g.Self[u]+g.Self[v]+w)
+				scores[e] = s
+				positive = positive || s > 0
+			}
+		}
+		if positive {
+			atomicStoreOne(&found)
+		}
+	})
+	return found != 0
 }
 
 // scoreConstant fills every live edge's score with c.
