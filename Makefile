@@ -3,9 +3,12 @@ PKGS    ?= ./...
 BENCH   ?= Detect
 DATE    := $(shell date +%Y-%m-%d)
 
-.PHONY: all build test race vet bench clean
+# The layers the obs recorder threads through; vet-obs lints them.
+HOT_SRC := internal/core/core.go internal/matching/matching.go internal/contract/contract.go
 
-all: build vet test
+.PHONY: all build test race vet vet-obs bench clean
+
+all: build vet vet-obs test
 
 build:
 	$(GO) build $(PKGS)
@@ -13,17 +16,42 @@ build:
 test:
 	$(GO) test $(PKGS)
 
+# The obs recorder is the one piece of shared mutable state threaded through
+# every parallel kernel, so its package races first and at higher count
+# before the full-tree race pass.
 race:
+	$(GO) test -race -count=2 ./internal/obs/...
 	$(GO) test -race $(PKGS)
 
 vet:
 	$(GO) vet $(PKGS)
 
+# vet-obs enforces the instrumentation's zero-overhead discipline on top of
+# go vet: the recorder must be threaded as the concrete *obs.Recorder (a nil
+# pointer is a predictable branch; an interface value would add dynamic
+# dispatch to the disabled path), and the per-edge worker loops must flush
+# chunk-local counts through *obs.Hot — never call recorder methods per event.
+vet-obs:
+	$(GO) vet ./internal/obs/... ./internal/core ./internal/matching ./internal/contract ./internal/scoring
+	@bad=$$(grep -nE 'obs\.Recorder' $(HOT_SRC) | grep -vE '\*obs\.Recorder'); \
+	if [ -n "$$bad" ]; then \
+		echo "vet-obs: recorder passed by value or interface (want *obs.Recorder):"; \
+		echo "$$bad"; exit 1; \
+	fi
+	@bad=$$(grep -nE '^func (worklistPropose|worklistClaim|edgeSweepBest|edgeSweepClaim|countSweepRange|scatterSweepRange|dedupBuckets|dedupBucketsTimed|sortDedupBucket|dedupSorted)\(' \
+		internal/matching/matching.go internal/contract/contract.go | grep 'obs\.Recorder'); \
+	if [ -n "$$bad" ]; then \
+		echo "vet-obs: per-edge worker takes the recorder (count locally, flush via *obs.Hot):"; \
+		echo "$$bad"; exit 1; \
+	fi
+
 # Runs the arena-vs-fresh detection benchmarks (and anything else matching
 # $(BENCH)) with allocation stats, archiving the raw `go test -json` event
-# stream for later comparison.
+# stream for later comparison. The first line of the archive is the host and
+# build metadata from cmd/bench -meta, so old streams stay attributable.
 bench:
-	$(GO) test -run=NONE -bench='$(BENCH)' -benchmem -json . | tee BENCH_$(DATE).json
+	$(GO) run ./cmd/bench -meta | tee BENCH_$(DATE).json
+	$(GO) test -run=NONE -bench='$(BENCH)' -benchmem -json . | tee -a BENCH_$(DATE).json
 
 clean:
 	$(GO) clean -testcache

@@ -23,6 +23,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,8 +39,10 @@ import (
 	"repro/internal/harness"
 	"repro/internal/matching"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/pregel"
 	"repro/internal/refine"
+	"repro/internal/report"
 	"repro/internal/scoring"
 	"repro/internal/sparse"
 )
@@ -72,12 +75,31 @@ func main() {
 	maxThreads := flag.Int("max-threads", runtime.GOMAXPROCS(0), "top of the thread sweep")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	csvDir := flag.String("csv", "", "also write raw records as CSV into this directory")
+	metaOnly := flag.Bool("meta", false, "print run metadata (go version, CPUs, git revision) as one JSON line and exit")
+	traceOut := flag.String("trace.out", "", "write a Chrome trace_event timeline of the -phases run to this file (implies -phases)")
+	metricsAddr := flag.String("metrics.addr", "", "serve live detection metrics over HTTP on this address (e.g. localhost:6070)")
 	flag.Parse()
+
+	if *metaOnly {
+		// One JSON line describing the host and build, for prepending to an
+		// archived BENCH_*.json benchmark stream (see the Makefile bench
+		// target).
+		meta := struct {
+			Bench string       `json:"bench"`
+			Date  string       `json:"date"`
+			Meta  *report.Meta `json:"meta"`
+		}{"cmd/bench", time.Now().UTC().Format(time.RFC3339), report.CollectMeta()}
+		check(json.NewEncoder(os.Stdout).Encode(meta))
+		return
+	}
 
 	if *all {
 		m = modes{true, true, true, true, true, true, true, true, true, true, true}
 	}
-	if m == (modes{}) {
+	if *traceOut != "" {
+		m.phases = true // the trace records the instrumented phases run
+	}
+	if m == (modes{}) && *metricsAddr == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -85,6 +107,16 @@ func main() {
 	b := &bencher{
 		scale: *scale, nLJ: *nLJ, nWeb: *nWeb,
 		trials: *trials, maxThreads: *maxThreads, seed: *seed, csvDir: *csvDir,
+	}
+	if m.phases || *metricsAddr != "" {
+		b.rec = obs.New()
+	}
+	if *metricsAddr != "" {
+		obs.SetLive(b.rec)
+		ln, err := obs.Serve(*metricsAddr, b.rec)
+		check(err)
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (expvar at /debug/vars)\n", ln.Addr())
 	}
 
 	if m.table1 {
@@ -106,6 +138,8 @@ func main() {
 			check(harness.RenderTimeTable(os.Stdout, recs))
 			fmt.Println()
 			check(harness.RenderStatsTable(os.Stdout, recs))
+			fmt.Println()
+			check(harness.RenderKernelTable(os.Stdout, recs))
 		}
 		if m.fig2 {
 			section("Figure 2 — parallel speed-up relative to best single-thread run")
@@ -139,6 +173,13 @@ func main() {
 	if m.memory {
 		b.runMemory()
 	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		check(err)
+		check(b.rec.WriteTrace(f))
+		check(f.Close())
+		fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s (load in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
+	}
 }
 
 type bencher struct {
@@ -148,6 +189,7 @@ type bencher struct {
 	maxThreads int
 	seed       uint64
 	csvDir     string
+	rec        *obs.Recorder // nil unless -phases / -trace.out / -metrics.addr
 
 	rmatG, ljG, webG *graph.Graph
 	smallRecs        []harness.Record
@@ -260,29 +302,74 @@ func (b *bencher) runAblation() {
 }
 
 // runPhases reproduces the §IV-C observation that contraction takes 40–80%
-// of execution time.
+// of execution time, running under the obs recorder so the kernel-level
+// profile (sub-spans, counters, imbalance, bucket histogram) prints too and
+// feeds -trace.out / -metrics.addr.
 func (b *bencher) runPhases() {
 	section("Phase breakdown — share of time per primitive (§IV-C)")
 	g := b.lj()
-	res, err := core.Detect(g, core.Options{Threads: b.maxThreads, MinCoverage: 0.5})
+	res, err := core.Detect(g, core.Options{
+		Threads: b.maxThreads, MinCoverage: 0.5, Recorder: b.rec})
 	check(err)
+	check(harness.RenderPhaseTable(os.Stdout, res.Stats))
 	var score, match, contractT time.Duration
-	fmt.Println("phase  vertices      edges  score(ms)  match(ms)  contract(ms)  contract-share")
 	for _, st := range res.Stats {
-		total := st.ScoreTime + st.MatchTime + st.ContractTime
-		fmt.Printf("%5d  %8d  %9d  %9.2f  %9.2f  %12.2f  %13.1f%%\n",
-			st.Phase, st.Vertices, st.Edges,
-			msf(st.ScoreTime), msf(st.MatchTime), msf(st.ContractTime),
-			100*float64(st.ContractTime)/float64(total))
 		score += st.ScoreTime
 		match += st.MatchTime
 		contractT += st.ContractTime
 	}
 	total := score + match + contractT
-	fmt.Printf("total  score %.1f%%  match %.1f%%  contract %.1f%% (paper: contraction 40–80%%)\n",
+	fmt.Printf("share: score %.1f%%  match %.1f%%  contract %.1f%%  (paper: contraction 40–80%%)\n",
 		100*float64(score)/float64(total),
 		100*float64(match)/float64(total),
 		100*float64(contractT)/float64(total))
+	b.printProfile(res)
+}
+
+// printProfile renders the recorder's kernel-level view of the phases run:
+// per-kernel span seconds against the engine's own phase-stat wall time, the
+// matching/contraction counters, per-region worker imbalance, and the
+// contraction bucket-occupancy histogram.
+func (b *bencher) printProfile(res *core.Result) {
+	if !b.rec.Enabled() {
+		return
+	}
+	prof := b.rec.Export()
+	var wall float64
+	for _, st := range res.Stats {
+		wall += (st.ScoreTime + st.MatchTime + st.ContractTime).Seconds()
+	}
+	fmt.Println("\nrecorded kernel spans (obs):")
+	var spanSum float64
+	for _, k := range prof.Kernels {
+		fmt.Printf("  %-10s %9.3fs  over %d spans\n", k.Kernel, k.Seconds, k.Spans)
+		spanSum += k.Seconds
+	}
+	if wall > 0 {
+		fmt.Printf("  span total %.3fs vs phase-stat total %.3fs (%.1f%%)\n",
+			spanSum, wall, 100*spanSum/wall)
+	}
+	if len(prof.Counters) > 0 {
+		fmt.Println("counters:")
+		for c := obs.Counter(0); c < obs.NumCounters; c++ {
+			if v, ok := prof.Counters[c.String()]; ok {
+				fmt.Printf("  %-24s %d\n", c.String(), v)
+			}
+		}
+	}
+	if len(prof.Regions) > 0 {
+		fmt.Println("parallel regions (imbalance = slowest worker / even share):")
+		for _, r := range prof.Regions {
+			fmt.Printf("  %-18s %4d calls  %2d workers  imbalance %.2f\n",
+				r.Region, r.Calls, r.Workers, r.Imbalance)
+		}
+	}
+	if len(prof.BucketHist) > 0 {
+		fmt.Println("contraction bucket occupancy (pre-dedup length -> buckets):")
+		for _, hb := range prof.BucketHist {
+			fmt.Printf("  <=%-8d %d\n", hb.MaxLen, hb.Buckets)
+		}
+	}
 }
 
 // runQuality reproduces the §V sanity check: "smaller graphs' resulting
@@ -402,8 +489,6 @@ func (b *bencher) writeCSV(name string, recs []harness.Record) {
 func section(title string) {
 	fmt.Printf("\n=== %s ===\n", title)
 }
-
-func msf(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
 func check(err error) {
 	if err != nil {

@@ -23,7 +23,9 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/graphio"
+	"repro/internal/harness"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/refine"
 	"repro/internal/report"
 	"repro/internal/scoring"
@@ -53,6 +55,10 @@ func main() {
 		jsonPath = flag.String("json", "", "write a machine-readable JSON run report to this file")
 		verbose  = flag.Bool("v", false, "print per-phase statistics")
 		validate = flag.Bool("validate", false, "run invariant checks every phase (slow; debugging)")
+
+		stats       = flag.Bool("stats", false, "print the per-phase kernel breakdown table to stderr")
+		traceOut    = flag.String("trace.out", "", "write a Chrome trace_event timeline of the run to this file")
+		metricsAddr = flag.String("metrics.addr", "", "serve live detection metrics over HTTP on this address (e.g. localhost:6070)")
 	)
 	flag.Parse()
 
@@ -84,6 +90,23 @@ func main() {
 		fatal(err)
 	}
 
+	// Any observability sink turns on the recorder; a nil recorder keeps the
+	// engine on its zero-overhead path.
+	var rec *obs.Recorder
+	if *traceOut != "" || *metricsAddr != "" || *jsonPath != "" {
+		rec = obs.New()
+		opt.Recorder = rec
+	}
+	if *metricsAddr != "" {
+		obs.SetLive(rec)
+		ln, err := obs.Serve(*metricsAddr, rec)
+		if err != nil {
+			fatal(err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (expvar at /debug/vars)\n", ln.Addr())
+	}
+
 	start := time.Now()
 	res, err := core.Detect(g, opt)
 	if err != nil {
@@ -91,6 +114,11 @@ func main() {
 	}
 	elapsed := time.Since(start)
 
+	if *stats {
+		if err := harness.RenderPhaseTable(os.Stderr, res.Stats); err != nil {
+			fatal(err)
+		}
+	}
 	if *verbose {
 		fmt.Println("phase  vertices      edges   coverage  modularity  pairs  score(ms)  match(ms)  contract(ms)")
 		for _, st := range res.Stats {
@@ -134,6 +162,8 @@ func main() {
 			fatal(err)
 		}
 		run := report.FromResult(runName(*inPath, *genName), g, opt, res)
+		run.Meta = report.CollectMeta()
+		run.Obs = rec.Export()
 		if err := run.WriteJSON(f); err != nil {
 			fatal(err)
 		}
@@ -154,6 +184,19 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %d assignments (%d communities) to %s\n", len(comm), k, *outPath)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote Chrome trace to %s (load in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
 	}
 }
 

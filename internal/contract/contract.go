@@ -25,9 +25,11 @@ package contract
 
 import (
 	"sync/atomic"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/matching"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -161,8 +163,20 @@ func Bucket(p int, g *graph.Graph, match []int64, layout Layout) (*graph.Graph, 
 // mapBuf the storage for the returned mapping. Any of them may be nil for
 // fresh allocations.
 func BucketWith(p int, g *graph.Graph, match []int64, layout Layout, s *Scratch, dst *graph.Graph, mapBuf []int64) (*graph.Graph, []int64) {
+	return BucketRec(p, g, match, layout, s, dst, mapBuf, nil)
+}
+
+// BucketRec is BucketWith with observability: a non-nil rec records
+// sub-spans for every stage of the kernel (relabel, partition, count,
+// offsets, scatter, dedup), the bucket-occupancy histogram, the
+// edges-in/survived/out counters, the sort-vs-accumulate nanosecond split of
+// the dedup stage, and per-region worker busy times. A nil rec adds only
+// predictable branches at stage boundaries — nothing per edge.
+func BucketRec(p int, g *graph.Graph, match []int64, layout Layout, s *Scratch, dst *graph.Graph, mapBuf []int64, rec *obs.Recorder) (*graph.Graph, []int64) {
+	sp := rec.Begin(obs.CatContract, "relabel", -1)
 	mapping, k := RelabelInto(p, g, match, mapBuf)
-	return ByMappingWith(p, g, mapping, k, layout, s, dst), mapping
+	sp.EndArgs("old", g.NumVertices(), "new", k)
+	return byMappingRun(p, g, mapping, k, layout, s, dst, rec), mapping
 }
 
 // ByMapping contracts g under an arbitrary old→new vertex mapping with
@@ -191,6 +205,15 @@ func ByMapping(p int, g *graph.Graph, mapping []int64, k int64, layout Layout) *
 // have no analogue here, and one atomic per edge serializes exactly on the
 // high-degree communities the parity hash is meant to spread.
 func ByMappingWith(p int, g *graph.Graph, mapping []int64, k int64, layout Layout, scratch *Scratch, dst *graph.Graph) *graph.Graph {
+	return byMappingRun(p, g, mapping, k, layout, scratch, dst, nil)
+}
+
+// ByMappingRec is ByMappingWith with observability; see BucketRec.
+func ByMappingRec(p int, g *graph.Graph, mapping []int64, k int64, layout Layout, scratch *Scratch, dst *graph.Graph, rec *obs.Recorder) *graph.Graph {
+	return byMappingRun(p, g, mapping, k, layout, scratch, dst, rec)
+}
+
+func byMappingRun(p int, g *graph.Graph, mapping []int64, k int64, layout Layout, scratch *Scratch, dst *graph.Graph, rec *obs.Recorder) *graph.Graph {
 	s := scratch.orNew()
 	ng := prepDst(dst, k) // single-assignment: ng is closure-captured below
 	n := int(g.NumVertices())
@@ -203,12 +226,15 @@ func ByMappingWith(p int, g *graph.Graph, mapping []int64, k int64, layout Layou
 		return ng
 	}
 
+	rec.Add(obs.CtrContractEdgesIn, g.NumEdges())
+
 	// Partition the old vertices into worker ranges balanced by bucket
 	// length (+1 per vertex for the constant work), so the count and
 	// scatter sweeps agree on which worker owns which vertices — the
 	// precondition for histogram stripes replacing atomics. The parity hash
 	// already scatters high-degree communities across many buckets, so
 	// balancing whole buckets is enough.
+	spPart := rec.Begin(obs.CatContract, "partition", -1)
 	workers := par.Workers(p, n)
 	serial := workers == 1
 	s.vtxWeight = growInt64(s.vtxWeight, n)
@@ -244,10 +270,12 @@ func ByMappingWith(p int, g *graph.Graph, mapping []int64, k int64, layout Layou
 		bounds[w] = lo
 	}
 	bounds[workers] = n
+	spPart.EndArgs("workers", int64(workers), "vertices", int64(n))
 
 	// Count surviving cross edges per (worker, new bucket) stripe; collapsed
 	// edges (both endpoints in one community) and old self-loops accumulate
 	// into the worker's self-loop stripe in the same sweep.
+	spCount := rec.Begin(obs.CatContract, "count", -1)
 	kk := int(k)
 	s.cntStripes = growInt64(s.cntStripes, workers*kk)
 	s.selfStripes = growInt64(s.selfStripes, workers*kk)
@@ -256,23 +284,31 @@ func ByMappingWith(p int, g *graph.Graph, mapping []int64, k int64, layout Layou
 	par.ZeroInt64(p, selfS)
 	// The sweep bodies are plain functions (closure literals handed to
 	// par.For escape and heap-allocate even on the one-worker path, which
-	// would break the arena's zero-allocation steady state).
+	// would break the arena's zero-allocation steady state). When recording,
+	// the parallel sweeps run under ForWorkerTimes so the recorder can report
+	// per-region worker imbalance; wtimes is nil when disabled, which makes
+	// ForWorkerTimes exactly ForWorker.
 	if serial {
 		countSweepRange(g, mapping, kk, cntS, selfS, bounds, 0, 1)
 	} else {
-		par.For(p, workers, func(wlo, whi int) {
+		wtimes := rec.WorkerTimes(workers)
+		par.ForWorkerTimes(p, workers, wtimes, func(_, wlo, whi int) {
 			countSweepRange(g, mapping, kk, cntS, selfS, bounds, wlo, whi)
 		})
+		rec.FoldWorkerTimes("contract/count", wtimes)
 	}
+	spCount.End()
 
 	// Parallel reductions over worker×bucket: per-bucket totals plus
 	// exclusive per-worker write offsets from the count stripes, and the new
 	// self-loop weights from the self stripes (overwriting — reused dst
 	// arrays never need pre-zeroing).
+	spOff := rec.Begin(obs.CatContract, "offsets", -1)
 	s.counts = growInt64(s.counts, kk)
 	counts := s.counts
 	par.StripeOffsets(p, cntS, workers, kk, counts)
 	par.MergeStripes(p, selfS, workers, kk, ng.Self)
+	rec.ObserveBuckets(counts[:kk])
 
 	// Bucket offsets: prefix sum (contiguous) or bump allocation
 	// (non-contiguous); either way ng.Start[c] is c's base position.
@@ -316,25 +352,46 @@ func ByMappingWith(p int, g *graph.Graph, mapping []int64, k int64, layout Layou
 		}
 	}
 	ng.ResizeEdges(total)
+	spOff.EndArgs("survived", total, "buckets", k)
+	rec.Add(obs.CtrContractSurvived, total)
 
 	// Scatter (j; w) into the bucket of the stored-first endpoint, leaving
 	// the first endpoint implicit (§IV-C) — it is filled in during the
 	// sort-accumulate step. Each worker replays exactly the vertex range it
 	// counted, advancing its private cursors cntS[w·k+c] within the
 	// per-worker sub-range of each bucket: no synchronization at all.
+	spScat := rec.Begin(obs.CatContract, "scatter", -1)
 	if serial {
 		scatterSweepRange(g, ng, mapping, kk, cntS, bounds, 0, 1)
 	} else {
-		par.For(p, workers, func(wlo, whi int) {
+		wtimes := rec.WorkerTimes(workers)
+		par.ForWorkerTimes(p, workers, wtimes, func(_, wlo, whi int) {
 			scatterSweepRange(g, ng, mapping, kk, cntS, bounds, wlo, whi)
 		})
+		rec.FoldWorkerTimes("contract/scatter", wtimes)
 	}
+	spScat.End()
 
 	// Per-bucket sort by neighbor, accumulate identical edges, shorten the
-	// bucket, and fill in the implicit first endpoint.
+	// bucket, and fill in the implicit first endpoint. The recording variant
+	// additionally splits each bucket's time into its sort and accumulate
+	// halves via chunk-flushed hot counters; the disabled path keeps the
+	// clock-read-free dedupBuckets.
+	spDedup := rec.Begin(obs.CatContract, "dedup", -1)
+	hot := rec.Hot()
 	var live int64
 	if par.Serial(p, kk) {
-		live = dedupBuckets(ng, counts, 0, kk)
+		if hot != nil {
+			live = dedupBucketsTimed(ng, counts, hot, 0, kk)
+		} else {
+			live = dedupBuckets(ng, counts, 0, kk)
+		}
+	} else if hot != nil {
+		var acc int64
+		par.ForDynamic(p, kk, 0, func(lo, hi int) {
+			atomic.AddInt64(&acc, dedupBucketsTimed(ng, counts, hot, lo, hi))
+		})
+		live = acc
 	} else {
 		var acc int64
 		par.ForDynamic(p, kk, 0, func(lo, hi int) {
@@ -343,6 +400,9 @@ func ByMappingWith(p int, g *graph.Graph, mapping []int64, k int64, layout Layou
 		live = acc
 	}
 	ng.SetCounts(k, live)
+	spDedup.EndArgs("in", total, "out", live)
+	rec.Add(obs.CtrContractEdgesOut, live)
+	rec.FoldHot()
 	return ng
 }
 
@@ -406,6 +466,35 @@ func dedupBuckets(ng *graph.Graph, counts []int64, lo, hi int) int64 {
 	return live
 }
 
+// dedupBucketsTimed is dedupBuckets splitting each bucket's work into its
+// sort and accumulate halves. The nanosecond totals accumulate into
+// chunk-locals and flush once per chunk into hot — the clock reads are the
+// whole point of this variant, so it runs only when recording.
+func dedupBucketsTimed(ng *graph.Graph, counts []int64, hot *obs.Hot, lo, hi int) int64 {
+	var live, sortNS, accumNS int64
+	for c := lo; c < hi; c++ {
+		s, cnt := ng.Start[c], counts[c]
+		v, w := ng.V[s:s+cnt], ng.W[s:s+cnt]
+		newLen := cnt
+		if cnt >= 2 {
+			t0 := time.Now()
+			pairQuickSort(v, w)
+			t1 := time.Now()
+			newLen = dedupSorted(v, w)
+			accumNS += time.Since(t1).Nanoseconds()
+			sortNS += t1.Sub(t0).Nanoseconds()
+		}
+		ng.End[c] = s + newLen
+		for e := s; e < s+newLen; e++ {
+			ng.U[e] = int64(c)
+		}
+		live += newLen
+	}
+	hot.Add(obs.CtrContractSortNS, sortNS)
+	hot.Add(obs.CtrContractAccumNS, accumNS)
+	return live
+}
+
 // sortDedupBucket sorts parallel slices (v, w) by v and accumulates weights
 // of equal v in place, returning the deduplicated length. Contraction sorts
 // one bucket per surviving community every phase, so this runs on the
@@ -416,6 +505,12 @@ func sortDedupBucket(v, w []int64) int64 {
 		return int64(len(v))
 	}
 	pairQuickSort(v, w)
+	return dedupSorted(v, w)
+}
+
+// dedupSorted accumulates weights of equal neighbors in the sorted pair
+// slices in place and returns the shortened length.
+func dedupSorted(v, w []int64) int64 {
 	out := 0
 	for i := 0; i < len(v); {
 		j := i + 1

@@ -23,6 +23,7 @@ import (
 	"repro/internal/contract"
 	"repro/internal/graph"
 	"repro/internal/matching"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/refine"
 	"repro/internal/scoring"
@@ -124,6 +125,14 @@ type Options struct {
 	// Validate runs full graph and matching invariant checks every phase.
 	// Expensive; for tests and debugging.
 	Validate bool
+	// Recorder receives kernel-level observability data: per-phase and
+	// per-kernel spans, matching round and claim-conflict counters, the
+	// contraction bucket-occupancy histogram, per-region worker imbalance,
+	// and pprof labels segmenting CPU profiles by kernel. nil (the default)
+	// disables recording; the disabled path costs only predictable branches
+	// and adds no allocations. A Recorder must not be shared by concurrent
+	// runs.
+	Recorder *obs.Recorder
 }
 
 // Termination labels why a run stopped.
@@ -235,6 +244,9 @@ func DetectWith(g *graph.Graph, opt Options, s *Scratch) (*Result, error) {
 	if p <= 0 {
 		p = par.DefaultThreads()
 	}
+	// rec is single-assignment so closure captures below don't heap-box it;
+	// a nil rec makes every instrumentation call a predictable-branch no-op.
+	rec := opt.Recorder
 
 	start := time.Now()
 	n := g.NumVertices()
@@ -282,6 +294,7 @@ func DetectWith(g *graph.Graph, opt Options, s *Scratch) (*Result, error) {
 	res := &Result{CommunityOf: comm, Stats: make([]PhaseStats, 0, 48)}
 	cg := g
 	finish := func(term Termination, deg []int64, cg *graph.Graph, sizes []int64) (*Result, error) {
+		rec.ClearLabels()
 		res.Termination = term
 		res.NumCommunities = cg.NumVertices()
 		if s != nil {
@@ -312,10 +325,14 @@ func DetectWith(g *graph.Graph, opt Options, s *Scratch) (*Result, error) {
 			return finish(TermCoverage, nil, cg, sizes)
 		}
 
+		phSpan := rec.BeginPhase(phase, cg.NumVertices(), cg.NumEdges())
+
 		// Primitive 1: score. Builtin metrics implement scoring.Fused, which
 		// folds the score fill, the MaxCommunitySize mask, and the
 		// positive-edge termination scan into a single sweep over the edge
 		// array; plain Scorers take the three separate passes.
+		rec.SetKernel("score")
+		scSpan := rec.Begin(obs.CatKernel, "score", -1)
 		t0 := time.Now()
 		var deg []int64
 		if s != nil {
@@ -333,7 +350,8 @@ func DetectWith(g *graph.Graph, opt Options, s *Scratch) (*Result, error) {
 		}
 		var positive bool
 		if fused, ok := scorer.(scoring.Fused); ok {
-			positive = fused.ScoreFused(p, cg, deg, totW, scores, sizes, opt.MaxCommunitySize)
+			positive = fused.ScoreFused(p, cg, deg, totW, scores, sizes, opt.MaxCommunitySize,
+				rec.HotCounter(obs.CtrScoreMasked))
 		} else {
 			scorer.Score(p, cg, deg, totW, scores)
 			if maxSize := opt.MaxCommunitySize; maxSize > 0 {
@@ -355,18 +373,24 @@ func DetectWith(g *graph.Graph, opt Options, s *Scratch) (*Result, error) {
 			positive = scoring.HasPositive(p, cg, scores)
 		}
 		scoreTime := time.Since(t0)
+		rec.FoldHot()
+		scSpan.EndArgs("edges", cg.NumEdges(), "positive", boolInt64(positive))
 		if !positive {
+			phSpan.End()
 			return finish(TermLocalMax, deg, cg, sizes)
 		}
 
 		// Primitive 2: greedy heavy maximal matching.
+		rec.SetKernel("match")
+		mSpan := rec.Begin(obs.CatKernel, "match", -1)
 		t1 := time.Now()
 		var ms *matching.Scratch
 		if s != nil {
 			ms = &s.match
 		}
-		mres := matchFn(p, cg, scores, ms)
+		mres := matchFn(p, cg, scores, ms, rec)
 		matchTime := time.Since(t1)
+		mSpan.EndArgs("pairs", mres.Pairs, "passes", int64(mres.Passes))
 		if opt.Validate {
 			if err := matching.Verify(cg, scores, mres.Match); err != nil {
 				return nil, fmt.Errorf("core: phase %d: %w", phase, err)
@@ -375,14 +399,18 @@ func DetectWith(g *graph.Graph, opt Options, s *Scratch) (*Result, error) {
 		if mres.Pairs == 0 {
 			// Unreachable for a maximal matching over positive edges, but a
 			// contraction that merges nothing would loop forever.
+			phSpan.End()
 			return finish(TermLocalMax, deg, cg, sizes)
 		}
 		if opt.MinCommunities > 0 && cg.NumVertices()-mres.Pairs < opt.MinCommunities {
+			phSpan.End()
 			return finish(TermMinCommunities, deg, cg, sizes)
 		}
 
 		// Primitive 3: contraction, into the arena's ping-pong destination
 		// graph (phase i reads buffer i%2's predecessor and writes i%2).
+		rec.SetKernel("contract")
+		cSpan := rec.Begin(obs.CatKernel, "contract", -1)
 		t2 := time.Now()
 		var cs *contract.Scratch
 		var dst *graph.Graph
@@ -394,11 +422,12 @@ func DetectWith(g *graph.Graph, opt Options, s *Scratch) (*Result, error) {
 				mapBuf = s.mapping
 			}
 		}
-		ng, mapping := contractFn(p, cg, mres.Match, cs, dst, mapBuf)
+		ng, mapping := contractFn(p, cg, mres.Match, cs, dst, mapBuf, rec)
 		if s != nil && opt.DiscardLevels {
 			s.mapping = mapping
 		}
 		contractTime := time.Since(t2)
+		cSpan.EndArgs("vertices", ng.NumVertices(), "edges", ng.NumEdges())
 		if opt.Validate {
 			if err := ng.Validate(); err != nil {
 				return nil, fmt.Errorf("core: phase %d: %w", phase, err)
@@ -496,8 +525,12 @@ func DetectWith(g *graph.Graph, opt Options, s *Scratch) (*Result, error) {
 			// Future-work integration (§II): let individual vertices migrate
 			// between the freshly merged communities on the original graph,
 			// then rebuild the community graph from the refined partition.
+			rec.SetKernel("refine")
+			rSpan := rec.Begin(obs.CatKernel, "refine", -1)
 			rres, err := refine.Refine(g, comm, cg.NumVertices(), refine.Options{Threads: p})
 			if err != nil {
+				rSpan.End()
+				phSpan.End()
 				return nil, fmt.Errorf("core: phase %d refinement: %w", phase, err)
 			}
 			if rres.Moves > 0 && rres.ModularityAfter > rres.ModularityBefore {
@@ -510,38 +543,51 @@ func DetectWith(g *graph.Graph, opt Options, s *Scratch) (*Result, error) {
 				sizes = newSizes
 				if opt.Validate {
 					if err := cg.Validate(); err != nil {
+						rSpan.End()
+						phSpan.End()
 						return nil, fmt.Errorf("core: phase %d refined graph: %w", phase, err)
 					}
 				}
 			}
+			rSpan.EndArgs("moves", rres.Moves, "communities", cg.NumVertices())
 		}
+		phSpan.End()
 	}
 }
 
-func matchFunc(k MatchKernel) (func(int, *graph.Graph, []float64, *matching.Scratch) matching.Result, error) {
+// boolInt64 converts a flag to a span argument value.
+func boolInt64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func matchFunc(k MatchKernel) (func(int, *graph.Graph, []float64, *matching.Scratch, *obs.Recorder) matching.Result, error) {
 	switch k {
 	case MatchWorklist:
-		return matching.WorklistWith, nil
+		return matching.WorklistRec, nil
 	case MatchEdgeSweep:
-		return matching.EdgeSweepWith, nil
+		return matching.EdgeSweepRec, nil
 	}
 	return nil, fmt.Errorf("core: unknown matching kernel %d", int(k))
 }
 
-func contractFunc(k ContractKernel) (func(p int, g *graph.Graph, m []int64, s *contract.Scratch, dst *graph.Graph, mapBuf []int64) (*graph.Graph, []int64), error) {
+func contractFunc(k ContractKernel) (func(p int, g *graph.Graph, m []int64, s *contract.Scratch, dst *graph.Graph, mapBuf []int64, rec *obs.Recorder) (*graph.Graph, []int64), error) {
 	switch k {
 	case ContractBucket:
-		return func(p int, g *graph.Graph, m []int64, s *contract.Scratch, dst *graph.Graph, mapBuf []int64) (*graph.Graph, []int64) {
-			return contract.BucketWith(p, g, m, contract.Contiguous, s, dst, mapBuf)
+		return func(p int, g *graph.Graph, m []int64, s *contract.Scratch, dst *graph.Graph, mapBuf []int64, rec *obs.Recorder) (*graph.Graph, []int64) {
+			return contract.BucketRec(p, g, m, contract.Contiguous, s, dst, mapBuf, rec)
 		}, nil
 	case ContractBucketNonContiguous:
-		return func(p int, g *graph.Graph, m []int64, s *contract.Scratch, dst *graph.Graph, mapBuf []int64) (*graph.Graph, []int64) {
-			return contract.BucketWith(p, g, m, contract.NonContiguous, s, dst, mapBuf)
+		return func(p int, g *graph.Graph, m []int64, s *contract.Scratch, dst *graph.Graph, mapBuf []int64, rec *obs.Recorder) (*graph.Graph, []int64) {
+			return contract.BucketRec(p, g, m, contract.NonContiguous, s, dst, mapBuf, rec)
 		}, nil
 	case ContractListChase:
 		// The 2011 ablation baseline allocates fresh state by design; its
-		// hash-chain storage has no reusable shape.
-		return func(p int, g *graph.Graph, m []int64, _ *contract.Scratch, _ *graph.Graph, _ []int64) (*graph.Graph, []int64) {
+		// hash-chain storage has no reusable shape (and gets no sub-span
+		// instrumentation — it exists to be timed as a whole).
+		return func(p int, g *graph.Graph, m []int64, _ *contract.Scratch, _ *graph.Graph, _ []int64, _ *obs.Recorder) (*graph.Graph, []int64) {
 			return contract.ListChase(p, g, m)
 		}, nil
 	}

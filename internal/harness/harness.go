@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/report"
 )
 
 // Record captures one detection run.
@@ -33,6 +34,12 @@ type Record struct {
 	Coverage    float64
 	Modularity  float64
 	Termination string
+	// ScoreSec/MatchSec/ContractSec are the run's per-kernel totals summed
+	// over phases — the Figures 4–6 breakdown axis. Their sum is below
+	// Seconds; the remainder is coverage/modularity evaluation and loop glue.
+	ScoreSec    float64
+	MatchSec    float64
+	ContractSec float64
 }
 
 // Config describes a sweep: which thread counts, how many trials each, and
@@ -95,6 +102,12 @@ func Sweep(g *graph.Graph, name string, cfg Config) ([]Record, error) {
 				return nil, fmt.Errorf("harness: %s threads=%d trial=%d: %w", name, th, trial, err)
 			}
 			secs := time.Since(start).Seconds()
+			var scoreSec, matchSec, contractSec float64
+			for _, st := range res.Stats {
+				scoreSec += st.ScoreTime.Seconds()
+				matchSec += st.MatchTime.Seconds()
+				contractSec += st.ContractTime.Seconds()
+			}
 			out = append(out, Record{
 				Graph:       name,
 				Vertices:    g.NumVertices(),
@@ -108,6 +121,9 @@ func Sweep(g *graph.Graph, name string, cfg Config) ([]Record, error) {
 				Coverage:    res.FinalCoverage,
 				Modularity:  res.FinalModularity,
 				Termination: string(res.Termination),
+				ScoreSec:    scoreSec,
+				MatchSec:    matchSec,
+				ContractSec: contractSec,
 			})
 		}
 	}
@@ -265,17 +281,80 @@ func RenderRateTable(w io.Writer, records []Record) error {
 // WriteCSV emits every record as CSV with a header, for external plotting.
 func WriteCSV(w io.Writer, records []Record) error {
 	if _, err := fmt.Fprintln(w,
-		"graph,vertices,edges,threads,trial,seconds,edges_per_sec,phases,communities,coverage,modularity,termination"); err != nil {
+		"graph,vertices,edges,threads,trial,seconds,edges_per_sec,phases,communities,coverage,modularity,termination,score_sec,match_sec,contract_sec"); err != nil {
 		return err
 	}
 	for _, r := range records {
-		if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%.6f,%.1f,%d,%d,%.6f,%.6f,%s\n",
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%.6f,%.1f,%d,%d,%.6f,%.6f,%s,%.6f,%.6f,%.6f\n",
 			r.Graph, r.Vertices, r.Edges, r.Threads, r.Trial, r.Seconds, r.EdgesPerSec,
-			r.Phases, r.Communities, r.Coverage, r.Modularity, r.Termination); err != nil {
+			r.Phases, r.Communities, r.Coverage, r.Modularity, r.Termination,
+			r.ScoreSec, r.MatchSec, r.ContractSec); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// RenderKernelTable prints the per-kernel breakdown the paper's Figures 4–6
+// report per platform, on the thread-count axis: for each graph and thread
+// count, the fastest trial's seconds split into score/match/contract and the
+// unattributed remainder.
+func RenderKernelTable(w io.Writer, records []Record) error {
+	type key struct {
+		graph   string
+		threads int
+	}
+	best := map[key]Record{}
+	for _, r := range records {
+		k := key{r.Graph, r.Threads}
+		if cur, ok := best[k]; !ok || r.Seconds < cur.Seconds {
+			best[k] = r
+		}
+	}
+	graphs := graphsOf(records)
+	threads := threadsOf(records)
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "graph\tthreads\tscore (s)\tmatch (s)\tcontract (s)\tother (s)\ttotal (s)")
+	for _, g := range graphs {
+		for _, t := range threads {
+			r, ok := best[key{g, t}]
+			if !ok {
+				continue
+			}
+			other := r.Seconds - r.ScoreSec - r.MatchSec - r.ContractSec
+			if other < 0 {
+				other = 0
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\n",
+				g, t, r.ScoreSec, r.MatchSec, r.ContractSec, other, r.Seconds)
+		}
+	}
+	return tw.Flush()
+}
+
+// RenderPhaseTable prints one detection run's per-phase kernel breakdown —
+// the cmd/communities -stats view of core.Result.Stats.
+func RenderPhaseTable(w io.Writer, stats []core.PhaseStats) error {
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "phase\t|V|\t|E|\tcoverage\tmodularity\tpairs\tpasses\tscore (ms)\tmatch (ms)\tcontract (ms)\tmax bucket")
+	var score, match, contract time.Duration
+	for _, st := range stats {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%.4f\t%.4f\t%d\t%d\t%.2f\t%.2f\t%.2f\t%d\n",
+			st.Phase, st.Vertices, st.Edges, st.Coverage, st.Modularity,
+			st.MatchedPairs, st.MatchPasses,
+			float64(st.ScoreTime.Microseconds())/1e3,
+			float64(st.MatchTime.Microseconds())/1e3,
+			float64(st.ContractTime.Microseconds())/1e3,
+			st.MaxBucketLen)
+		score += st.ScoreTime
+		match += st.MatchTime
+		contract += st.ContractTime
+	}
+	fmt.Fprintf(tw, "total\t\t\t\t\t\t\t%.2f\t%.2f\t%.2f\t\n",
+		float64(score.Microseconds())/1e3,
+		float64(match.Microseconds())/1e3,
+		float64(contract.Microseconds())/1e3)
+	return tw.Flush()
 }
 
 // PlatformTable prints the Table I stand-in: the characteristics of the
@@ -304,14 +383,13 @@ func GraphTable(w io.Writer, rows []GraphInfo) error {
 	return tw.Flush()
 }
 
-// GraphInfo is one Table II row.
-type GraphInfo struct {
-	Name     string
-	Vertices int64
-	Edges    int64
-}
+// GraphInfo is one Table II row. It is the report package's graph summary —
+// the two packages used to carry parallel copies of this struct; report owns
+// the single definition now.
+type GraphInfo = report.GraphInfo
 
-// Info summarizes a graph for GraphTable.
+// Info summarizes a graph for GraphTable; it delegates to report.Info so
+// the row carries the total weight too.
 func Info(name string, g *graph.Graph) GraphInfo {
-	return GraphInfo{Name: name, Vertices: g.NumVertices(), Edges: g.NumEdges()}
+	return report.Info(name, g)
 }

@@ -145,9 +145,56 @@ func TestWriteCSV(t *testing.T) {
 		t.Fatalf("header: %q", lines[0])
 	}
 	for _, l := range lines[1:] {
-		if strings.Count(l, ",") != 11 {
+		if strings.Count(l, ",") != 14 {
 			t.Fatalf("bad CSV row: %q", l)
 		}
+	}
+}
+
+func TestRenderKernelTable(t *testing.T) {
+	recs := sweepSmall(t)
+	var buf bytes.Buffer
+	if err := RenderKernelTable(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "score (s)") || !strings.Contains(out, "contract (s)") ||
+		!strings.Contains(out, "lj-sim") {
+		t.Fatalf("kernel table:\n%s", out)
+	}
+	// One breakdown row per distinct thread count plus the header.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("kernel table has %d lines, want 3:\n%s", len(lines), out)
+	}
+	// The kernel totals the sweep recorded must not exceed the wall time.
+	for _, r := range recs {
+		if sum := r.ScoreSec + r.MatchSec + r.ContractSec; sum > r.Seconds {
+			t.Fatalf("kernel seconds %v exceed wall %v", sum, r.Seconds)
+		}
+	}
+}
+
+func TestRenderPhaseTable(t *testing.T) {
+	g, _, err := gen.LJSim(2, gen.DefaultLJSim(400, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Detect(g, core.Options{MinCoverage: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderPhaseTable(&buf, res.Stats); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "score (ms)") || !strings.Contains(out, "total") {
+		t.Fatalf("phase table:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != len(res.Stats)+2 {
+		t.Fatalf("phase table has %d lines for %d phases:\n%s", len(lines), len(res.Stats), out)
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -174,6 +175,14 @@ func Worklist(p int, g *graph.Graph, scores []float64) Result {
 // WorklistWith is Worklist running out of s's reusable buffers; a nil s
 // behaves exactly like Worklist.
 func WorklistWith(p int, g *graph.Graph, scores []float64, scratch *Scratch) Result {
+	return WorklistRec(p, g, scores, scratch, nil)
+}
+
+// WorklistRec is WorklistWith with observability: a non-nil rec records one
+// span per pass (worklist length in, requeued count out) and the
+// rounds/visits/claim/conflict counters. A nil rec costs a handful of
+// predictable branches per pass — nothing per vertex or edge.
+func WorklistRec(p int, g *graph.Graph, scores []float64, scratch *Scratch, rec *obs.Recorder) Result {
 	n := int(g.NumVertices())
 	// s is assigned exactly once: a variable with any assignment after its
 	// declaration is captured by reference when a closure mentions it, i.e.
@@ -213,10 +222,12 @@ func WorklistWith(p int, g *graph.Graph, scores []float64, scratch *Scratch) Res
 	list := par.PackIndexInto(p, n, keepFlags, s.slots, s.list)
 
 	buf := s.list2
+	hot := rec.Hot() // nil when disabled; claim chunks flush into it
 	passes := 0
 	for len(list) > 0 {
 		pass := int64(passes)
 		lst := list // single-assignment alias for closure capture
+		sp := rec.Begin(obs.CatMatch, "pass", -1)
 		// Phase A: active vertices scan their buckets and push proposals to
 		// both endpoints of every available positive edge. The pass bodies
 		// live in plain functions so the serial path evaluates no closure
@@ -234,10 +245,10 @@ func WorklistWith(p int, g *graph.Graph, scores []float64, scratch *Scratch) Res
 		// drop paths) rather than relying on a fresh zeroed allocation.
 		keep := keepFlags[:len(lst)]
 		if par.Serial(p, len(lst)) {
-			worklistClaim(g, s, lst, keep, pass, 0, len(lst))
+			worklistClaim(g, s, lst, keep, pass, hot, 0, len(lst))
 		} else {
 			par.ForDynamic(p, len(lst), 0, func(lo, hi int) {
-				worklistClaim(g, s, lst, keep, pass, lo, hi)
+				worklistClaim(g, s, lst, keep, pass, hot, lo, hi)
 			})
 		}
 		// Compact into the other half of the double-buffer and swap, so the
@@ -246,8 +257,13 @@ func WorklistWith(p int, g *graph.Graph, scores []float64, scratch *Scratch) Res
 		buf = lst[:0]
 		list = packed
 		passes++
+		sp.EndArgs("active", int64(len(lst)), "requeued", int64(len(packed)))
+		rec.Add(obs.CtrMatchActive, int64(len(lst)))
+		rec.Add(obs.CtrMatchRequeued, int64(len(packed)))
 	}
 	s.list, s.list2 = list[:0], buf[:0]
+	rec.Add(obs.CtrMatchRounds, int64(passes))
+	rec.FoldHot()
 	return finishResult(p, g, scores, s.match, passes)
 }
 
@@ -287,9 +303,12 @@ func worklistPropose(g *graph.Graph, scores []float64, s *Scratch, list []int64,
 
 // worklistClaim is phase B of one worklist pass over list[lo:hi]: claim
 // mutually best edges and set the keep flag for vertices that stay active.
-func worklistClaim(g *graph.Graph, s *Scratch, list, keep []int64, pass int64, lo, hi int) {
+// Claim outcomes are counted into chunk-locals and flushed once into hot
+// (nil when observability is off) — never a per-vertex atomic.
+func worklistClaim(g *graph.Graph, s *Scratch, list, keep []int64, pass int64, hot *obs.Hot, lo, hi int) {
 	match, locks := s.match, s.locks
 	candE, candPass := s.candE, s.candPass
+	var claims, conflicts int64
 	for i := lo; i < hi; i++ {
 		keep[i] = 0
 		u := list[i]
@@ -313,6 +332,9 @@ func worklistClaim(g *graph.Graph, s *Scratch, list, keep []int64, pass int64, l
 			if match[u] == Unmatched && match[o] == Unmatched {
 				atomic.StoreInt64(&match[u], o)
 				atomic.StoreInt64(&match[o], u)
+				claims++
+			} else {
+				conflicts++
 			}
 			locks.Unlock2(u, o)
 		}
@@ -321,6 +343,8 @@ func worklistClaim(g *graph.Graph, s *Scratch, list, keep []int64, pass int64, l
 			keep[i] = 1
 		}
 	}
+	hot.Add(obs.CtrMatchClaims, claims)
+	hot.Add(obs.CtrMatchConflicts, conflicts)
 }
 
 // EdgeSweep computes the matching with the 2011 whole-edge-array algorithm
@@ -337,14 +361,24 @@ func EdgeSweep(p int, g *graph.Graph, scores []float64) Result {
 // behaves exactly like EdgeSweep. The candidate tables double as the
 // per-vertex best-edge tables.
 func EdgeSweepWith(p int, g *graph.Graph, scores []float64, scratch *Scratch) Result {
+	return EdgeSweepRec(p, g, scores, scratch, nil)
+}
+
+// EdgeSweepRec is EdgeSweepWith with observability, mirroring WorklistRec:
+// one span per whole-edge-array pass plus the rounds and claim/conflict
+// counters. The edge sweep has no worklist, so every pass reports the full
+// vertex count as its active size.
+func EdgeSweepRec(p int, g *graph.Graph, scores []float64, scratch *Scratch, rec *obs.Recorder) Result {
 	n := int(g.NumVertices())
 	s := scratch.orNew()
 	s.grow(p, n)
 
+	hot := rec.Hot()
 	passes := 0
 	for {
 		pass := int64(passes)
 		eligible := false
+		sp := rec.Begin(obs.CatMatch, "pass", -1)
 		// Sweep 1: per-endpoint best via locks (the hot spot). As in the
 		// worklist kernel, the sweep bodies are plain functions so the
 		// serial path evaluates no escaping closure literal.
@@ -360,18 +394,23 @@ func EdgeSweepWith(p int, g *graph.Graph, scores []float64, scratch *Scratch) Re
 			eligible = flag != 0
 		}
 		if !eligible {
+			sp.End()
 			break
 		}
 		// Sweep 2: match mutually best edges.
 		if par.Serial(p, n) {
-			edgeSweepClaim(g, scores, s, pass, 0, n)
+			edgeSweepClaim(g, scores, s, pass, hot, 0, n)
 		} else {
 			par.ForDynamic(p, n, 0, func(lo, hi int) {
-				edgeSweepClaim(g, scores, s, pass, lo, hi)
+				edgeSweepClaim(g, scores, s, pass, hot, lo, hi)
 			})
 		}
 		passes++
+		sp.EndArgs("active", int64(n), "pass", pass)
+		rec.Add(obs.CtrMatchActive, int64(n))
 	}
+	rec.Add(obs.CtrMatchRounds, int64(passes))
+	rec.FoldHot()
 	return finishResult(p, g, scores, s.match, passes)
 }
 
@@ -410,10 +449,12 @@ func edgeSweepBest(g *graph.Graph, scores []float64, s *Scratch, pass int64, lo,
 }
 
 // edgeSweepClaim is sweep 2 of one edge-sweep pass over buckets [lo, hi):
-// match mutually best edges.
-func edgeSweepClaim(g *graph.Graph, scores []float64, s *Scratch, pass int64, lo, hi int) {
+// match mutually best edges. Claim outcomes flush once per chunk into hot
+// (nil when observability is off).
+func edgeSweepClaim(g *graph.Graph, scores []float64, s *Scratch, pass int64, hot *obs.Hot, lo, hi int) {
 	match, locks := s.match, s.locks
 	bestEdge, bestPass := s.candE, s.candPass
+	var claims, conflicts int64
 	for x := int64(lo); x < int64(hi); x++ {
 		for e := g.Start[x]; e < g.End[x]; e++ {
 			if scores[e] <= 0 {
@@ -430,10 +471,15 @@ func edgeSweepClaim(g *graph.Graph, scores []float64, s *Scratch, pass int64, lo
 			if match[u] == Unmatched && match[v] == Unmatched {
 				atomic.StoreInt64(&match[u], v)
 				atomic.StoreInt64(&match[v], u)
+				claims++
+			} else {
+				conflicts++
 			}
 			locks.Unlock2(u, v)
 		}
 	}
+	hot.Add(obs.CtrMatchClaims, claims)
+	hot.Add(obs.CtrMatchConflicts, conflicts)
 }
 
 // finishResult counts pairs and sums matched-edge scores.

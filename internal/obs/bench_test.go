@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"testing"
+)
+
+// TestDisabledRecorderAllocs pins the disabled-path contract: threading a
+// nil recorder through span begins/ends, hot adds, and folds allocates
+// nothing. This is what lets the engine instrument unconditionally.
+func TestDisabledRecorderAllocs(t *testing.T) {
+	var r *Recorder
+	allocs := testing.AllocsPerRun(1000, func() {
+		ph := r.BeginPhase(0, 10, 20)
+		s := r.Begin(CatKernel, "score", -1)
+		h := r.Hot()
+		h.Add(CtrMatchClaims, 1)
+		r.FoldHot()
+		s.End()
+		ph.EndArgs("a", 1, "b", 2)
+		r.SetKernel("score")
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled recorder allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkDisabledSpan measures the no-op span path — should be a couple of
+// predictable branches, low single-digit nanoseconds.
+func BenchmarkDisabledSpan(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := r.Begin(CatKernel, "score", -1)
+		s.End()
+	}
+}
+
+// BenchmarkDisabledHotAdd measures the no-op hot-counter flush.
+func BenchmarkDisabledHotAdd(b *testing.B) {
+	var r *Recorder
+	h := r.Hot()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Add(CtrMatchClaims, 1)
+	}
+}
+
+// BenchmarkEnabledSpan measures the recording span path (mutex + append into
+// a pre-grown buffer) for comparison; steady state should not allocate.
+func BenchmarkEnabledSpan(b *testing.B) {
+	r := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := r.Begin(CatKernel, "score", -1)
+		s.End()
+		if len(r.spans) > 1<<16 {
+			r.Reset()
+		}
+	}
+}
+
+// BenchmarkEnabledHotAdd measures the enabled chunk-flush path: one atomic
+// add.
+func BenchmarkEnabledHotAdd(b *testing.B) {
+	r := New()
+	h := r.Hot()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Add(CtrMatchClaims, 1)
+	}
+}
+
+// BenchmarkSetKernel measures the cached pprof label swap.
+func BenchmarkSetKernel(b *testing.B) {
+	r := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if i&1 == 0 {
+			r.SetKernel("score")
+		} else {
+			r.SetKernel("match")
+		}
+	}
+}

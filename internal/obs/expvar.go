@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// The live metrics endpoint publishes a snapshot of the "current" recorder —
+// a process-wide atomic pointer — under the expvar name "detection". expvar
+// panics on duplicate Publish, so registration happens exactly once no
+// matter how many recorders come and go (harness sweeps swap recorders per
+// run).
+var (
+	liveRec     atomic.Pointer[Recorder]
+	publishOnce sync.Once
+)
+
+// SetLive makes r the recorder exposed by the expvar/HTTP endpoint. Pass nil
+// to detach. Returns r for chaining.
+func SetLive(r *Recorder) *Recorder {
+	publishOnce.Do(func() {
+		expvar.Publish("detection", expvar.Func(func() any {
+			return liveRec.Load().Export()
+		}))
+	})
+	liveRec.Store(r)
+	return r
+}
+
+// snapshot serves the live recorder's Profile as a standalone JSON document
+// (expvar's /debug/vars mixes it with runtime vars; /metrics is just ours).
+func snapshot(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	p := liveRec.Load().Export()
+	if p == nil {
+		w.Write([]byte("{}\n"))
+		return
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(p)
+}
+
+// Handler returns the metrics endpoint's mux: /metrics (live Profile JSON),
+// /debug/vars (standard expvar, including the "detection" var), and /healthz.
+// Exposed separately from Serve so tests can drive it without a listener.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", snapshot)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// Serve registers r as the live recorder and starts the metrics endpoint on
+// addr (e.g. "localhost:8123") in a background goroutine. It returns the
+// bound listener so callers can report the actual address and close it on
+// shutdown; the CLIs treat a bind failure as fatal flag misuse.
+func Serve(addr string, r *Recorder) (net.Listener, error) {
+	SetLive(r)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler()}
+	go srv.Serve(ln)
+	return ln, nil
+}

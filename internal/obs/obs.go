@@ -1,0 +1,596 @@
+// Package obs is the kernel-level instrumentation layer for the detection
+// engine. The paper's evaluation (§IV–V) is built on knowing where time goes
+// inside the agglomerative loop — scoring, matching rounds, and bucket-sort
+// contraction behave very differently across platforms — and this package
+// gives the Go reproduction the same visibility: span timelines per phase
+// and kernel, counters fed by the hot loops, bucket-occupancy histograms,
+// per-region worker imbalance, and pprof labels that segment CPU profiles by
+// pipeline stage.
+//
+// The central type is Recorder. A nil *Recorder is the disabled recorder:
+// every method is a nil-check no-op (a predictable branch, no interface
+// dispatch, no allocation), so the engine threads one pointer through the
+// hot layers and pays nothing when observability is off — verified by the
+// package's alloc/overhead benchmarks. Hot loops never call the recorder per
+// event; they accumulate into worker-private stripes or chunk-local counters
+// and flush at region boundaries (see Hot and WorkerTimes), mirroring the
+// par.MergeStripes discipline the contraction kernel uses for its
+// histograms.
+//
+// Three sinks consume a Recorder: Export (structured per-phase profile
+// attached to internal/report JSON), WriteTrace (Chrome trace_event JSON for
+// chrome://tracing or Perfetto), and the expvar-based live HTTP endpoint in
+// expvar.go.
+package obs
+
+import (
+	"context"
+	"math/bits"
+	"runtime/pprof"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter identifies one of the fixed engine counters. The set is closed so
+// hot loops can address counters by array index instead of hashing names.
+type Counter int
+
+const (
+	// CtrMatchRounds counts matching passes (worklist or edge-sweep rounds).
+	CtrMatchRounds Counter = iota
+	// CtrMatchActive sums the worklist length over all passes: total vertex
+	// visits the matching performed.
+	CtrMatchActive
+	// CtrMatchRequeued counts rematch attempts: vertices whose claim failed
+	// but that stayed on the worklist for another pass.
+	CtrMatchRequeued
+	// CtrMatchClaims counts successful pair claims.
+	CtrMatchClaims
+	// CtrMatchConflicts counts claims lost to a concurrent claim — the
+	// lock-protected analogue of a CAS retry.
+	CtrMatchConflicts
+	// CtrScoreMasked counts edges masked by the MaxCommunitySize cap during
+	// the fused scoring sweep.
+	CtrScoreMasked
+	// CtrContractEdgesIn counts edges entering contraction.
+	CtrContractEdgesIn
+	// CtrContractSurvived counts cross edges surviving collapse (before
+	// in-bucket deduplication).
+	CtrContractSurvived
+	// CtrContractEdgesOut counts edges in the contracted graph (after
+	// deduplication).
+	CtrContractEdgesOut
+	// CtrContractSortNS and CtrContractAccumNS split the dedup step of the
+	// bucket kernel into its sort and accumulate halves (nanoseconds).
+	CtrContractSortNS
+	CtrContractAccumNS
+
+	// NumCounters is the size of a counter block.
+	NumCounters
+)
+
+var counterNames = [NumCounters]string{
+	"match_rounds",
+	"match_worklist_visits",
+	"match_rematch_attempts",
+	"match_claims",
+	"match_claim_conflicts",
+	"score_masked_edges",
+	"contract_edges_in",
+	"contract_edges_survived",
+	"contract_edges_out",
+	"contract_sort_ns",
+	"contract_accum_ns",
+}
+
+// String returns the counter's stable export name.
+func (c Counter) String() string {
+	if c >= 0 && c < NumCounters {
+		return counterNames[c]
+	}
+	return "unknown_counter"
+}
+
+// Hot is a counter block hot loops flush into at chunk granularity: a
+// parallel loop body counts into function-local variables and performs one
+// atomic add per chunk, never per event. The engine folds the block into the
+// recorder's totals at region boundaries (FoldHot).
+type Hot struct {
+	v [NumCounters]int64
+}
+
+// Add atomically accumulates d into counter c. Call once per chunk, with a
+// locally accumulated delta — not per event.
+func (h *Hot) Add(c Counter, d int64) {
+	if h == nil || d == 0 {
+		return
+	}
+	atomic.AddInt64(&h.v[c], d)
+}
+
+// span is one timeline interval. Times are nanoseconds since the recorder's
+// epoch; k1/v1 and k2/v2 are optional static-name numeric arguments.
+type span struct {
+	cat, name  string
+	phase      int32
+	start, dur int64
+	k1, k2     string
+	v1, v2     int64
+}
+
+// regionStats aggregates the per-worker busy times of one named parallel
+// region across calls (FoldWorkerTimes).
+type regionStats struct {
+	calls   int64
+	workers int
+	busyNS  int64
+	maxNS   int64
+}
+
+// Recorder collects one run's (or one sweep's) observability data. The zero
+// value is NOT ready: use New. A nil *Recorder is the disabled recorder —
+// every method no-ops. A Recorder must not be shared by concurrent detection
+// runs; the HTTP/expvar snapshot may read it concurrently with a run (all
+// shared state is mutex-guarded or flushed at region boundaries).
+type Recorder struct {
+	t0      time.Time
+	pprofOn bool
+
+	mu      sync.Mutex
+	spans   []span
+	ctr     [NumCounters]int64
+	hist    [histBins]int64 // log2 bucket-occupancy histogram
+	regions map[string]*regionStats
+	phase   int32 // current phase, for live snapshots
+	phases  int32 // phases started
+	labels  map[string]context.Context
+
+	// hot is the chunk-flush block handed to hot loops; folded into ctr at
+	// region boundaries by the engine goroutine.
+	hot Hot
+	// times is the worker-time scratch reused across regions.
+	times []int64
+}
+
+// histBins: bin b holds buckets whose length has bit-length b (bin 0 = empty
+// buckets, bin 1 = length 1, bin 2 = 2–3, ...); the last bin is an overflow.
+const histBins = 20
+
+// New returns an enabled recorder with pprof labeling on.
+func New() *Recorder {
+	return &Recorder{t0: time.Now(), pprofOn: true}
+}
+
+// Enabled reports whether r records anything; false for the nil recorder.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// SetPprofLabels toggles per-kernel pprof labeling (on by default).
+func (r *Recorder) SetPprofLabels(on bool) {
+	if r == nil {
+		return
+	}
+	r.pprofOn = on
+}
+
+// Reset clears all recorded data, keeping buffer capacity, and restarts the
+// epoch. For reusing one recorder across harness sweep runs.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.spans = r.spans[:0]
+	r.ctr = [NumCounters]int64{}
+	r.hist = [histBins]int64{}
+	r.regions = nil
+	r.phase, r.phases = 0, 0
+	for i := range r.hot.v {
+		atomic.StoreInt64(&r.hot.v[i], 0)
+	}
+	r.t0 = time.Now()
+	r.mu.Unlock()
+}
+
+func (r *Recorder) since() int64 { return time.Since(r.t0).Nanoseconds() }
+
+// Span is a handle to an open timeline interval. The zero Span (returned by
+// the nil recorder) no-ops on End.
+type Span struct {
+	r   *Recorder
+	idx int32
+}
+
+// Begin opens a span under category cat with the given name. phase < 0
+// selects the recorder's current phase (set by BeginPhase), which lets the
+// matching and contraction kernels label their sub-spans without threading
+// the phase index through their signatures.
+func (r *Recorder) Begin(cat, name string, phase int) Span {
+	if r == nil {
+		return Span{}
+	}
+	r.mu.Lock()
+	ph := int32(phase)
+	if phase < 0 {
+		ph = r.phase
+	}
+	idx := len(r.spans)
+	r.spans = append(r.spans, span{cat: cat, name: name, phase: ph, start: r.since()})
+	r.mu.Unlock()
+	return Span{r, int32(idx)}
+}
+
+// BeginPhase opens a phase span and makes phase the recorder's current phase
+// for nested Begin(-1) calls and live snapshots.
+func (r *Recorder) BeginPhase(phase int, vertices, edges int64) Span {
+	if r == nil {
+		return Span{}
+	}
+	r.mu.Lock()
+	r.phase = int32(phase)
+	if int32(phase)+1 > r.phases {
+		r.phases = int32(phase) + 1
+	}
+	idx := len(r.spans)
+	r.spans = append(r.spans, span{
+		cat: CatPhase, name: "phase", phase: int32(phase), start: r.since(),
+		k1: "vertices", v1: vertices, k2: "edges", v2: edges,
+	})
+	r.mu.Unlock()
+	return Span{r, int32(idx)}
+}
+
+// End closes the span.
+func (s Span) End() {
+	if s.r == nil {
+		return
+	}
+	s.r.mu.Lock()
+	sp := &s.r.spans[s.idx]
+	sp.dur = s.r.since() - sp.start
+	s.r.mu.Unlock()
+}
+
+// EndArgs closes the span and attaches two named numeric arguments (shown in
+// the trace viewer and the JSON profile).
+func (s Span) EndArgs(k1 string, v1 int64, k2 string, v2 int64) {
+	if s.r == nil {
+		return
+	}
+	s.r.mu.Lock()
+	sp := &s.r.spans[s.idx]
+	sp.dur = s.r.since() - sp.start
+	sp.k1, sp.v1, sp.k2, sp.v2 = k1, v1, k2, v2
+	s.r.mu.Unlock()
+}
+
+// Span categories. CatKernel names are the engine's primitives; the
+// per-kernel breakdown aggregates spans with this category by name.
+const (
+	CatPhase    = "phase"
+	CatKernel   = "kernel"
+	CatMatch    = "match"
+	CatContract = "contract"
+)
+
+// Add accumulates d into counter c. Safe to call from the engine goroutine
+// between parallel sections (pass/region boundaries); hot loops use Hot
+// blocks instead.
+func (r *Recorder) Add(c Counter, d int64) {
+	if r == nil || d == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.ctr[c] += d
+	r.mu.Unlock()
+}
+
+// Counter returns the folded total of c.
+func (r *Recorder) Counter(c Counter) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ctr[c]
+}
+
+// Hot returns the recorder's chunk-flush counter block; nil for the disabled
+// recorder, which makes the flush in instrumented loops a nil check.
+func (r *Recorder) Hot() *Hot {
+	if r == nil {
+		return nil
+	}
+	return &r.hot
+}
+
+// HotCounter returns the address of one hot counter for layers that should
+// not depend on this package (the scoring sweep takes a *int64); nil when
+// disabled. Flush with atomic adds, once per chunk.
+func (r *Recorder) HotCounter(c Counter) *int64 {
+	if r == nil {
+		return nil
+	}
+	return &r.hot.v[c]
+}
+
+// FoldHot drains the hot block into the counter totals. The engine calls it
+// at kernel boundaries, after the parallel region that fed the block has
+// joined.
+func (r *Recorder) FoldHot() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	for c := range r.hot.v {
+		if d := atomic.SwapInt64(&r.hot.v[c], 0); d != 0 {
+			r.ctr[c] += d
+		}
+	}
+	r.mu.Unlock()
+}
+
+// ObserveBuckets folds a contraction's per-bucket edge counts into the
+// log2 occupancy histogram. One pass over k buckets, engine goroutine only.
+func (r *Recorder) ObserveBuckets(counts []int64) {
+	if r == nil {
+		return
+	}
+	var local [histBins]int64
+	for _, c := range counts {
+		b := bits.Len64(uint64(c))
+		if b >= histBins {
+			b = histBins - 1
+		}
+		local[b]++
+	}
+	r.mu.Lock()
+	for i, v := range local {
+		r.hist[i] += v
+	}
+	r.mu.Unlock()
+}
+
+// WorkerTimes returns a zeroed worker-time scratch slice of length n, reused
+// across calls. Pass it to par.ForWorkerTimes and fold the result with
+// FoldWorkerTimes. Engine goroutine only; nil when disabled.
+func (r *Recorder) WorkerTimes(n int) []int64 {
+	if r == nil {
+		return nil
+	}
+	if cap(r.times) < n {
+		r.times = make([]int64, n)
+	}
+	r.times = r.times[:n]
+	clear(r.times)
+	return r.times
+}
+
+// FoldWorkerTimes accumulates one region invocation's per-worker busy times
+// into the named region's imbalance statistics.
+func (r *Recorder) FoldWorkerTimes(region string, times []int64) {
+	if r == nil || len(times) == 0 {
+		return
+	}
+	var busy, max int64
+	for _, t := range times {
+		busy += t
+		if t > max {
+			max = t
+		}
+	}
+	r.mu.Lock()
+	if r.regions == nil {
+		r.regions = make(map[string]*regionStats)
+	}
+	st := r.regions[region]
+	if st == nil {
+		st = &regionStats{}
+		r.regions[region] = st
+	}
+	st.calls++
+	if len(times) > st.workers {
+		st.workers = len(times)
+	}
+	st.busyNS += busy
+	st.maxNS += max
+	r.mu.Unlock()
+}
+
+// SetKernel attaches a {kernel: name} pprof label set to the calling
+// goroutine; par workers spawned inside the kernel inherit it, so CPU
+// profiles segment by pipeline stage. Label contexts are cached per name, so
+// the steady state allocates nothing.
+func (r *Recorder) SetKernel(name string) {
+	if r == nil || !r.pprofOn {
+		return
+	}
+	r.mu.Lock()
+	ctx, ok := r.labels[name]
+	if !ok {
+		ctx = pprof.WithLabels(context.Background(), pprof.Labels("kernel", name))
+		if r.labels == nil {
+			r.labels = make(map[string]context.Context)
+		}
+		r.labels[name] = ctx
+	}
+	r.mu.Unlock()
+	pprof.SetGoroutineLabels(ctx)
+}
+
+// ClearLabels removes the goroutine's pprof labels; the engine calls it when
+// a run finishes so the caller's goroutine does not keep the last kernel's
+// label.
+func (r *Recorder) ClearLabels() {
+	if r == nil || !r.pprofOn {
+		return
+	}
+	pprof.SetGoroutineLabels(context.Background())
+}
+
+// --- structured export ----------------------------------------------------
+
+// Profile is the recorder's structured export: the per-phase JSON event log
+// that extends internal/report, and the source for live snapshots.
+type Profile struct {
+	DurationSec float64          `json:"duration_sec"`
+	Phases      int              `json:"phases"`
+	Kernels     []KernelSeconds  `json:"kernels,omitempty"`
+	Counters    map[string]int64 `json:"counters,omitempty"`
+	BucketHist  []HistBin        `json:"bucket_hist,omitempty"`
+	Regions     []RegionProfile  `json:"regions,omitempty"`
+	Spans       []SpanProfile    `json:"spans,omitempty"`
+}
+
+// KernelSeconds is total time in one kernel across phases.
+type KernelSeconds struct {
+	Kernel  string  `json:"kernel"`
+	Seconds float64 `json:"seconds"`
+	Spans   int     `json:"spans"`
+}
+
+// HistBin is one bucket-occupancy histogram bin: the number of contraction
+// buckets whose pre-dedup length fell in (MaxLen/2, MaxLen].
+type HistBin struct {
+	MaxLen  int64 `json:"max_len"`
+	Buckets int64 `json:"buckets"`
+}
+
+// RegionProfile reports one parallel region's worker imbalance: Imbalance is
+// the slowest worker's share over the perfectly balanced share (1 = even).
+type RegionProfile struct {
+	Region    string  `json:"region"`
+	Calls     int64   `json:"calls"`
+	Workers   int     `json:"workers"`
+	BusySec   float64 `json:"busy_sec"`
+	MaxSec    float64 `json:"max_sec"`
+	Imbalance float64 `json:"imbalance"`
+}
+
+// SpanProfile is one exported timeline interval.
+type SpanProfile struct {
+	Cat      string           `json:"cat"`
+	Name     string           `json:"name"`
+	Phase    int              `json:"phase"`
+	StartSec float64          `json:"start_sec"`
+	DurSec   float64          `json:"dur_sec"`
+	Args     map[string]int64 `json:"args,omitempty"`
+}
+
+func ns2s(ns int64) float64 { return float64(ns) / 1e9 }
+
+// args builds a span's argument map; nil when the span has none.
+func (sp *span) args() map[string]int64 {
+	if sp.k1 == "" && sp.k2 == "" {
+		return nil
+	}
+	m := make(map[string]int64, 2)
+	if sp.k1 != "" {
+		m[sp.k1] = sp.v1
+	}
+	if sp.k2 != "" {
+		m[sp.k2] = sp.v2
+	}
+	return m
+}
+
+// KernelSeconds aggregates CatKernel spans by name — the per-kernel
+// breakdown rows (score/match/contract/refine) whose sum tracks phase wall
+// time.
+func (r *Recorder) KernelSeconds() []KernelSeconds {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.kernelSecondsLocked()
+}
+
+func (r *Recorder) kernelSecondsLocked() []KernelSeconds {
+	byName := map[string]*KernelSeconds{}
+	var order []string
+	for i := range r.spans {
+		sp := &r.spans[i]
+		if sp.cat != CatKernel {
+			continue
+		}
+		ks := byName[sp.name]
+		if ks == nil {
+			ks = &KernelSeconds{Kernel: sp.name}
+			byName[sp.name] = ks
+			order = append(order, sp.name)
+		}
+		ks.Seconds += ns2s(sp.dur)
+		ks.Spans++
+	}
+	out := make([]KernelSeconds, 0, len(order))
+	for _, n := range order {
+		out = append(out, *byName[n])
+	}
+	return out
+}
+
+// Export snapshots the recorder into a Profile. Safe to call concurrently
+// with a run; the snapshot sees all data folded so far.
+func (r *Recorder) Export() *Profile {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p := &Profile{
+		DurationSec: ns2s(r.since()),
+		Phases:      int(r.phases),
+		Kernels:     r.kernelSecondsLocked(),
+	}
+	for c := Counter(0); c < NumCounters; c++ {
+		if r.ctr[c] != 0 {
+			if p.Counters == nil {
+				p.Counters = make(map[string]int64)
+			}
+			p.Counters[c.String()] = r.ctr[c]
+		}
+	}
+	for b, n := range r.hist {
+		if n == 0 {
+			continue
+		}
+		maxLen := int64(0)
+		if b > 0 {
+			maxLen = int64(1)<<b - 1
+		}
+		p.BucketHist = append(p.BucketHist, HistBin{MaxLen: maxLen, Buckets: n})
+	}
+	var regions []string
+	for name := range r.regions {
+		regions = append(regions, name)
+	}
+	sort.Strings(regions)
+	for _, name := range regions {
+		st := r.regions[name]
+		rp := RegionProfile{
+			Region:  name,
+			Calls:   st.calls,
+			Workers: st.workers,
+			BusySec: ns2s(st.busyNS),
+			MaxSec:  ns2s(st.maxNS),
+		}
+		if st.busyNS > 0 && st.workers > 0 {
+			rp.Imbalance = float64(st.maxNS) * float64(st.workers) / float64(st.busyNS)
+		}
+		p.Regions = append(p.Regions, rp)
+	}
+	for i := range r.spans {
+		sp := &r.spans[i]
+		p.Spans = append(p.Spans, SpanProfile{
+			Cat:      sp.cat,
+			Name:     sp.name,
+			Phase:    int(sp.phase),
+			StartSec: ns2s(sp.start),
+			DurSec:   ns2s(sp.dur),
+			Args:     sp.args(),
+		})
+	}
+	return p
+}

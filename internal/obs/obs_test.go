@@ -1,0 +1,339 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/par"
+)
+
+// TestNilRecorderNoOps: every exported method must be callable on a nil
+// *Recorder — the disabled path the engine threads through hot layers.
+func TestNilRecorderNoOps(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	s := r.Begin(CatKernel, "score", 0)
+	s.End()
+	s.EndArgs("a", 1, "b", 2)
+	ps := r.BeginPhase(0, 10, 20)
+	ps.End()
+	r.Add(CtrMatchRounds, 5)
+	if r.Counter(CtrMatchRounds) != 0 {
+		t.Fatal("nil recorder holds state")
+	}
+	if r.Hot() != nil || r.HotCounter(CtrMatchClaims) != nil {
+		t.Fatal("nil recorder returned a hot block")
+	}
+	r.FoldHot()
+	r.ObserveBuckets([]int64{1, 2, 3})
+	if r.WorkerTimes(4) != nil {
+		t.Fatal("nil recorder returned worker times")
+	}
+	r.FoldWorkerTimes("x", []int64{1})
+	r.SetKernel("score")
+	r.ClearLabels()
+	r.Reset()
+	r.SetPprofLabels(true)
+	if r.Export() != nil || r.KernelSeconds() != nil {
+		t.Fatal("nil recorder exported data")
+	}
+	if err := r.WriteTrace(&bytes.Buffer{}); err != nil {
+		t.Fatalf("nil WriteTrace: %v", err)
+	}
+}
+
+// A nil Hot block must also absorb adds (hot loops receive it unguarded).
+func TestNilHot(t *testing.T) {
+	var h *Hot
+	h.Add(CtrMatchClaims, 3)
+}
+
+func TestCountersAndHotFold(t *testing.T) {
+	r := New()
+	r.Add(CtrMatchRounds, 2)
+	r.Add(CtrMatchRounds, 3)
+	if got := r.Counter(CtrMatchRounds); got != 5 {
+		t.Fatalf("Counter = %d, want 5", got)
+	}
+	h := r.Hot()
+	h.Add(CtrMatchClaims, 7)
+	h.Add(CtrMatchConflicts, 1)
+	if got := r.Counter(CtrMatchClaims); got != 0 {
+		t.Fatalf("hot counts visible before fold: %d", got)
+	}
+	r.FoldHot()
+	if got := r.Counter(CtrMatchClaims); got != 7 {
+		t.Fatalf("after fold Counter = %d, want 7", got)
+	}
+	// HotCounter addresses the same block.
+	p := r.HotCounter(CtrScoreMasked)
+	*p = 11
+	r.FoldHot()
+	if got := r.Counter(CtrScoreMasked); got != 11 {
+		t.Fatalf("HotCounter fold = %d, want 11", got)
+	}
+	// Fold drains: second fold adds nothing.
+	r.FoldHot()
+	if got := r.Counter(CtrMatchClaims); got != 7 {
+		t.Fatalf("second fold changed total: %d", got)
+	}
+}
+
+func TestSpansAndKernelSeconds(t *testing.T) {
+	r := New()
+	ph := r.BeginPhase(0, 100, 400)
+	s := r.Begin(CatKernel, "score", -1)
+	time.Sleep(2 * time.Millisecond)
+	s.End()
+	m := r.Begin(CatKernel, "match", -1)
+	m.EndArgs("pairs", 42, "passes", 3)
+	ph.End()
+
+	ks := r.KernelSeconds()
+	if len(ks) != 2 || ks[0].Kernel != "score" || ks[1].Kernel != "match" {
+		t.Fatalf("KernelSeconds = %+v", ks)
+	}
+	if ks[0].Seconds <= 0 {
+		t.Fatalf("score seconds not positive: %v", ks[0].Seconds)
+	}
+
+	p := r.Export()
+	if p.Phases != 1 {
+		t.Fatalf("Phases = %d, want 1", p.Phases)
+	}
+	if len(p.Spans) != 3 {
+		t.Fatalf("Spans = %d, want 3", len(p.Spans))
+	}
+	// The phase span carries vertices/edges; the match span its end args.
+	if p.Spans[0].Args["vertices"] != 100 || p.Spans[0].Args["edges"] != 400 {
+		t.Fatalf("phase args = %v", p.Spans[0].Args)
+	}
+	if p.Spans[2].Args["pairs"] != 42 {
+		t.Fatalf("match args = %v", p.Spans[2].Args)
+	}
+	// Spans beginning with phase -1 inherit the current phase.
+	for _, sp := range p.Spans {
+		if sp.Phase != 0 {
+			t.Fatalf("span phase = %d, want 0", sp.Phase)
+		}
+	}
+}
+
+func TestBucketHistogram(t *testing.T) {
+	r := New()
+	r.ObserveBuckets([]int64{0, 1, 1, 2, 3, 5, 100})
+	p := r.Export()
+	want := map[int64]int64{0: 1, 1: 2, 3: 2, 7: 1, 127: 1}
+	if len(p.BucketHist) != len(want) {
+		t.Fatalf("hist bins = %+v", p.BucketHist)
+	}
+	for _, b := range p.BucketHist {
+		if want[b.MaxLen] != b.Buckets {
+			t.Fatalf("bin maxlen=%d got %d want %d", b.MaxLen, b.Buckets, want[b.MaxLen])
+		}
+	}
+}
+
+func TestWorkerTimesImbalance(t *testing.T) {
+	r := New()
+	times := r.WorkerTimes(4)
+	times[0], times[1], times[2], times[3] = 100, 100, 100, 300
+	r.FoldWorkerTimes("contract/count", times)
+	p := r.Export()
+	if len(p.Regions) != 1 {
+		t.Fatalf("Regions = %+v", p.Regions)
+	}
+	reg := p.Regions[0]
+	if reg.Region != "contract/count" || reg.Calls != 1 || reg.Workers != 4 {
+		t.Fatalf("region = %+v", reg)
+	}
+	// max*workers/busy = 300*4/600 = 2.0
+	if reg.Imbalance < 1.99 || reg.Imbalance > 2.01 {
+		t.Fatalf("imbalance = %v, want 2.0", reg.Imbalance)
+	}
+	// WorkerTimes reuses and zeroes its scratch.
+	times2 := r.WorkerTimes(4)
+	for i, v := range times2 {
+		if v != 0 {
+			t.Fatalf("scratch not zeroed at %d: %d", i, v)
+		}
+	}
+}
+
+// ForWorkerTimes integration: busy time is recorded per worker and roughly
+// covers the wall time of the region.
+func TestForWorkerTimesRecords(t *testing.T) {
+	r := New()
+	n := 64
+	times := r.WorkerTimes(par.Workers(4, n))
+	used := par.ForWorkerTimes(4, n, times, func(w, lo, hi int) {
+		time.Sleep(time.Millisecond)
+	})
+	if used < 1 {
+		t.Fatalf("used = %d", used)
+	}
+	for w := 0; w < used; w++ {
+		if times[w] <= 0 {
+			t.Fatalf("worker %d has no busy time", w)
+		}
+	}
+	r.FoldWorkerTimes("test", times[:used])
+	if p := r.Export(); p.Regions[0].BusySec <= 0 {
+		t.Fatalf("region busy = %+v", p.Regions[0])
+	}
+}
+
+func TestWriteTraceValidJSON(t *testing.T) {
+	r := New()
+	ph := r.BeginPhase(0, 10, 20)
+	s := r.Begin(CatKernel, "contract", -1)
+	sub := r.Begin(CatContract, "dedup", -1)
+	sub.EndArgs("edges", 9, "", 0)
+	s.End()
+	ph.End()
+
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var complete, meta int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			complete++
+			if ev.Dur < 0 || ev.TS < 0 {
+				t.Fatalf("negative ts/dur: %+v", ev)
+			}
+		case "M":
+			meta++
+		default:
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	if complete != 3 {
+		t.Fatalf("complete events = %d, want 3", complete)
+	}
+	if meta == 0 {
+		t.Fatal("no thread_name metadata events")
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	r := New()
+	r.Begin(CatKernel, "score", 0).End()
+	r.Add(CtrMatchRounds, 1)
+	r.Hot().Add(CtrMatchClaims, 4)
+	r.ObserveBuckets([]int64{5})
+	r.FoldWorkerTimes("x", []int64{10})
+	r.Reset()
+	p := r.Export()
+	if len(p.Spans) != 0 || len(p.Counters) != 0 || len(p.BucketHist) != 0 || len(p.Regions) != 0 {
+		t.Fatalf("Reset left data: %+v", p)
+	}
+	r.FoldHot()
+	if r.Counter(CtrMatchClaims) != 0 {
+		t.Fatal("Reset left hot counts")
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	r := New()
+	r.BeginPhase(1, 50, 200).End()
+	r.Add(CtrMatchRounds, 4)
+	SetLive(r)
+	defer SetLive(nil)
+
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	for _, path := range []string{"/metrics", "/debug/vars", "/healthz"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var p Profile
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		t.Fatalf("metrics not valid JSON: %v", err)
+	}
+	if p.Phases != 2 || p.Counters["match_rounds"] != 4 {
+		t.Fatalf("snapshot = %+v", p)
+	}
+
+	// Detached endpoint serves an empty object, not a panic.
+	SetLive(nil)
+	resp2, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var empty map[string]any
+	if err := json.NewDecoder(resp2.Body).Decode(&empty); err != nil {
+		t.Fatalf("detached metrics not valid JSON: %v", err)
+	}
+}
+
+func TestServeBindsAndServes(t *testing.T) {
+	r := New()
+	ln, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	defer SetLive(nil)
+	resp, err := httptest.NewServer(Handler()).Client().Get("http://" + ln.Addr().String() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestCounterNames(t *testing.T) {
+	seen := map[string]bool{}
+	for c := Counter(0); c < NumCounters; c++ {
+		n := c.String()
+		if n == "" || n == "unknown_counter" || seen[n] {
+			t.Fatalf("counter %d has bad/duplicate name %q", c, n)
+		}
+		seen[n] = true
+	}
+	if Counter(-1).String() != "unknown_counter" || NumCounters.String() != "unknown_counter" {
+		t.Fatal("out-of-range counters must name as unknown")
+	}
+}

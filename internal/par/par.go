@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DefaultThreads returns the worker count used when a caller passes p <= 0:
@@ -142,6 +143,48 @@ func ForWorker(p, n int, body func(worker, lo, hi int)) int {
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			body(w, lo, hi)
+		}(w, lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+	return p
+}
+
+// ForWorkerTimes is ForWorker with per-worker busy-time accounting: when
+// times is non-nil and holds at least the used worker count, times[w]
+// accumulates the nanoseconds worker w spent inside body. The difference
+// between the slowest and the mean stripe is the spawn/wait imbalance of the
+// region — the quantity the observability layer reports per parallel region.
+// A nil times behaves exactly like ForWorker.
+func ForWorkerTimes(p, n int, times []int64, body func(worker, lo, hi int)) int {
+	if n <= 0 {
+		return 0
+	}
+	p = normalize(p, n)
+	if times == nil {
+		return ForWorker(p, n, body)
+	}
+	if p == 1 {
+		t0 := time.Now()
+		body(0, 0, n)
+		times[0] += time.Since(t0).Nanoseconds()
+		return 1
+	}
+	var wg sync.WaitGroup
+	chunk := n / p
+	rem := n % p
+	lo := 0
+	for w := 0; w < p; w++ {
+		hi := lo + chunk
+		if w < rem {
+			hi++
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			t0 := time.Now()
+			body(w, lo, hi)
+			times[w] += time.Since(t0).Nanoseconds()
 		}(w, lo, hi)
 		lo = hi
 	}

@@ -6,11 +6,14 @@ package report
 import (
 	"encoding/json"
 	"io"
+	"runtime"
+	"runtime/debug"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // Run is one detection run, flattened for JSON.
@@ -20,14 +23,69 @@ type Run struct {
 	Phases   []Phase   `json:"phases"`
 	Summary  Summary   `json:"summary"`
 	Recorded time.Time `json:"recorded,omitempty"`
+	// Meta describes the machine and build that produced the run, so
+	// archived runs stay comparable across hosts and revisions.
+	Meta *Meta `json:"meta,omitempty"`
+	// Obs carries the kernel-level observability profile when the run was
+	// recorded with an obs.Recorder: per-kernel seconds, matching and
+	// contraction counters, the bucket-occupancy histogram, worker-imbalance
+	// regions, and the span timeline.
+	Obs *obs.Profile `json:"obs,omitempty"`
 }
 
-// GraphInfo identifies the workload.
+// GraphInfo identifies the workload. It doubles as the harness's Table II
+// row type (harness.GraphInfo aliases it), keeping one definition of the
+// graph summary across the reporting layers.
 type GraphInfo struct {
 	Name     string `json:"name"`
 	Vertices int64  `json:"vertices"`
 	Edges    int64  `json:"edges"`
 	Weight   int64  `json:"total_weight"`
+}
+
+// Info summarizes a graph as a GraphInfo row.
+func Info(name string, g *graph.Graph) GraphInfo {
+	return GraphInfo{
+		Name:     name,
+		Vertices: g.NumVertices(),
+		Edges:    g.NumEdges(),
+		Weight:   g.TotalWeight(0),
+	}
+}
+
+// Meta captures the execution environment of a run.
+type Meta struct {
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	NumCPU      int    `json:"num_cpu"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	GitRevision string `json:"git_revision,omitempty"`
+	GitModified bool   `json:"git_modified,omitempty"`
+}
+
+// CollectMeta snapshots the current process's environment. The git revision
+// comes from the build info stamped into binaries built from a checkout
+// (`vcs.revision`); it is empty under `go test` or a non-VCS build.
+func CollectMeta() *Meta {
+	m := &Meta{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				m.GitRevision = s.Value
+			case "vcs.modified":
+				m.GitModified = s.Value == "true"
+			}
+		}
+	}
+	return m
 }
 
 // Options mirrors the engine configuration that produced the run.

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/obs"
 	"repro/internal/scoring"
 )
 
@@ -16,12 +17,15 @@ func TestFromResultAndRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opt := core.Options{Threads: 2, MinCoverage: 0.5}
+	rec := obs.New()
+	opt := core.Options{Threads: 2, MinCoverage: 0.5, Recorder: rec}
 	res, err := core.Detect(g, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	run := FromResult("lj-sim-800", g, opt, res)
+	run.Meta = CollectMeta()
+	run.Obs = rec.Export()
 	if run.Graph.Name != "lj-sim-800" || run.Graph.Vertices != 800 {
 		t.Fatalf("graph info %+v", run.Graph)
 	}
@@ -54,6 +58,41 @@ func TestFromResultAndRoundTrip(t *testing.T) {
 		back.Graph.Edges != run.Graph.Edges ||
 		len(back.Phases) != len(run.Phases) {
 		t.Fatal("round trip changed the run")
+	}
+	if back.Meta == nil || back.Meta.GoVersion == "" || back.Meta.NumCPU < 1 {
+		t.Fatalf("meta did not survive the round trip: %+v", back.Meta)
+	}
+	if back.Obs == nil || back.Obs.Phases != len(res.Stats) || len(back.Obs.Kernels) == 0 {
+		t.Fatalf("obs profile did not survive the round trip: %+v", back.Obs)
+	}
+	// The recorded kernel spans must roughly agree with the engine's own
+	// per-phase timings (same intervals, measured a frame apart).
+	var kernelSec float64
+	for _, k := range back.Obs.Kernels {
+		kernelSec += k.Seconds
+	}
+	var statSec float64
+	for _, ph := range run.Phases {
+		statSec += ph.ScoreSec + ph.MatchSec + ph.ContractSec
+	}
+	if kernelSec < statSec*0.5 || kernelSec > statSec*2+0.01 {
+		t.Fatalf("kernel span seconds %v disagree with phase stats %v", kernelSec, statSec)
+	}
+}
+
+func TestInfo(t *testing.T) {
+	g := gen.CliqueChain(3, 4)
+	info := Info("chain", g)
+	if info.Name != "chain" || info.Vertices != g.NumVertices() ||
+		info.Edges != g.NumEdges() || info.Weight != g.TotalWeight(1) {
+		t.Fatalf("Info = %+v", info)
+	}
+}
+
+func TestCollectMeta(t *testing.T) {
+	m := CollectMeta()
+	if m.GoVersion == "" || m.GOOS == "" || m.GOARCH == "" || m.NumCPU < 1 || m.GOMAXPROCS < 1 {
+		t.Fatalf("meta = %+v", m)
 	}
 }
 

@@ -51,7 +51,8 @@ func TestScoreFusedMatchesSeparateSweeps(t *testing.T) {
 			wantPos := HasPositive(1, g, want)
 
 			got := make([]float64, len(g.U))
-			gotPos := fused.ScoreFused(2, g, deg, totW, got, sizes, maxSize)
+			var nMasked int64
+			gotPos := fused.ScoreFused(2, g, deg, totW, got, sizes, maxSize, &nMasked)
 			if gotPos != wantPos {
 				t.Fatalf("%s maxSize=%d: fused positive=%v, separate=%v",
 					scorer.Name(), maxSize, gotPos, wantPos)
@@ -62,6 +63,19 @@ func TestScoreFusedMatchesSeparateSweeps(t *testing.T) {
 						scorer.Name(), maxSize, e, got[e], want[e])
 				}
 			}
+			var wantMasked int64
+			for _, s := range want {
+				if s == -1 {
+					wantMasked++
+				}
+			}
+			// The masked tap must agree with the separate mask sweep. (Scores
+			// of exactly -1 only arise from masking for these metrics on this
+			// graph.)
+			if nMasked != wantMasked {
+				t.Fatalf("%s maxSize=%d: masked tap=%d, separate mask wrote %d",
+					scorer.Name(), maxSize, nMasked, wantMasked)
+			}
 		}
 	}
 }
@@ -70,7 +84,7 @@ func TestScoreFusedMatchesSeparateSweeps(t *testing.T) {
 func TestScoreFusedZeroWeight(t *testing.T) {
 	g := graph.NewEmpty(3)
 	scores := make([]float64, 0)
-	if (Modularity{}).ScoreFused(1, g, nil, 0, scores, nil, 0) {
+	if (Modularity{}).ScoreFused(1, g, nil, 0, scores, nil, 0, nil) {
 		t.Fatal("empty graph reported a positive score")
 	}
 }

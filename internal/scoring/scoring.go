@@ -7,6 +7,8 @@
 package scoring
 
 import (
+	"sync/atomic"
+
 	"repro/internal/graph"
 	"repro/internal/par"
 )
@@ -33,8 +35,14 @@ type Scorer interface {
 // unmasked live edge scored strictly positive. The engine type-asserts for
 // this interface and falls back to the three separate sweeps for plain
 // Scorers, so metric plugins stay a one-method implementation.
+//
+// masked, when non-nil, receives the number of edges the size cap masked:
+// implementations count into chunk-locals and flush with one atomic add per
+// chunk (never per edge), which is how the engine's observability layer
+// taps the sweep without this package depending on it. nil disables the
+// count at the cost of one predictable branch per chunk.
 type Fused interface {
-	ScoreFused(p int, g *graph.Graph, deg []int64, totalWeight int64, scores []float64, sizes []int64, maxSize int64) bool
+	ScoreFused(p int, g *graph.Graph, deg []int64, totalWeight int64, scores []float64, sizes []int64, maxSize int64, masked *int64) bool
 }
 
 // Modularity scores an edge {c, d} with the Newman–Girvan modularity change
@@ -69,7 +77,7 @@ func (Modularity) Score(p int, g *graph.Graph, deg []int64, totalWeight int64, s
 
 // ScoreFused implements Fused: the modularity fill, size mask, and
 // positive-edge scan in a single sweep.
-func (Modularity) ScoreFused(p int, g *graph.Graph, deg []int64, totalWeight int64, scores []float64, sizes []int64, maxSize int64) bool {
+func (Modularity) ScoreFused(p int, g *graph.Graph, deg []int64, totalWeight int64, scores []float64, sizes []int64, maxSize int64, masked *int64) bool {
 	if totalWeight <= 0 {
 		scoreConstant(p, g, scores, 0)
 		return false
@@ -80,11 +88,13 @@ func (Modularity) ScoreFused(p int, g *graph.Graph, deg []int64, totalWeight int
 	n := int(g.NumVertices())
 	if par.Serial(p, n) {
 		positive := false
+		var nMasked int64
 		for x := 0; x < n; x++ {
 			for e := g.Start[x]; e < g.End[x]; e++ {
 				u, v := g.U[e], g.V[e]
 				if maxSize > 0 && sizes[u]+sizes[v] > maxSize {
 					scores[e] = -1
+					nMasked++
 					continue
 				}
 				s := float64(g.W[e])*inv - float64(deg[u])*float64(deg[v])*half
@@ -92,16 +102,19 @@ func (Modularity) ScoreFused(p int, g *graph.Graph, deg []int64, totalWeight int
 				positive = positive || s > 0
 			}
 		}
+		flushMasked(masked, nMasked)
 		return positive
 	}
 	var found int64
 	par.ForDynamic(p, n, 0, func(lo, hi int) {
 		positive := false
+		var nMasked int64
 		for x := lo; x < hi; x++ {
 			for e := g.Start[x]; e < g.End[x]; e++ {
 				u, v := g.U[e], g.V[e]
 				if maxSize > 0 && sizes[u]+sizes[v] > maxSize {
 					scores[e] = -1
+					nMasked++
 					continue
 				}
 				s := float64(g.W[e])*inv - float64(deg[u])*float64(deg[v])*half
@@ -109,6 +122,7 @@ func (Modularity) ScoreFused(p int, g *graph.Graph, deg []int64, totalWeight int
 				positive = positive || s > 0
 			}
 		}
+		flushMasked(masked, nMasked)
 		if positive {
 			atomicStoreOne(&found)
 		}
@@ -162,7 +176,7 @@ func (Conductance) Score(p int, g *graph.Graph, deg []int64, totalWeight int64, 
 }
 
 // ScoreFused implements Fused for the conductance metric.
-func (Conductance) ScoreFused(p int, g *graph.Graph, deg []int64, totalWeight int64, scores []float64, sizes []int64, maxSize int64) bool {
+func (Conductance) ScoreFused(p int, g *graph.Graph, deg []int64, totalWeight int64, scores []float64, sizes []int64, maxSize int64, masked *int64) bool {
 	if totalWeight <= 0 {
 		scoreConstant(p, g, scores, 0)
 		return false
@@ -182,11 +196,13 @@ func (Conductance) ScoreFused(p int, g *graph.Graph, deg []int64, totalWeight in
 	n := int(g.NumVertices())
 	if par.Serial(p, n) {
 		positive := false
+		var nMasked int64
 		for x := 0; x < n; x++ {
 			for e := g.Start[x]; e < g.End[x]; e++ {
 				u, v, w := g.U[e], g.V[e], g.W[e]
 				if maxSize > 0 && sizes[u]+sizes[v] > maxSize {
 					scores[e] = -1
+					nMasked++
 					continue
 				}
 				phiU := phi(deg[u], g.Self[u])
@@ -196,16 +212,19 @@ func (Conductance) ScoreFused(p int, g *graph.Graph, deg []int64, totalWeight in
 				positive = positive || s > 0
 			}
 		}
+		flushMasked(masked, nMasked)
 		return positive
 	}
 	var found int64
 	par.ForDynamic(p, n, 0, func(lo, hi int) {
 		positive := false
+		var nMasked int64
 		for x := lo; x < hi; x++ {
 			for e := g.Start[x]; e < g.End[x]; e++ {
 				u, v, w := g.U[e], g.V[e], g.W[e]
 				if maxSize > 0 && sizes[u]+sizes[v] > maxSize {
 					scores[e] = -1
+					nMasked++
 					continue
 				}
 				phiU := phi(deg[u], g.Self[u])
@@ -215,11 +234,20 @@ func (Conductance) ScoreFused(p int, g *graph.Graph, deg []int64, totalWeight in
 				positive = positive || s > 0
 			}
 		}
+		flushMasked(masked, nMasked)
 		if positive {
 			atomicStoreOne(&found)
 		}
 	})
 	return found != 0
+}
+
+// flushMasked adds a chunk's masked-edge count to the optional tap with one
+// atomic add; the nil check is the disabled observability path.
+func flushMasked(masked *int64, n int64) {
+	if masked != nil && n != 0 {
+		atomic.AddInt64(masked, n)
+	}
 }
 
 // scoreConstant fills every live edge's score with c.
