@@ -1,10 +1,15 @@
 GO      ?= go
 PKGS    ?= ./...
-BENCH   ?= Detect
+BENCH   ?= Detect|ParFor
 DATE    := $(shell date +%Y-%m-%d)
 
 # The layers the obs recorder threads through; vet-obs lints them.
 HOT_SRC := internal/core/core.go internal/matching/matching.go internal/contract/contract.go
+
+# Every kernel layer that takes its execution state from exec.Ctx; vet-obs
+# rejects functions here that regrow a positional `p int` worker count.
+CTX_SRC := $(HOT_SRC) internal/contract/listchase.go internal/scoring/scoring.go \
+	internal/scoring/func.go internal/refine/refine.go internal/hierarchy/hierarchy.go
 
 .PHONY: all build test race vet vet-obs bench clean
 
@@ -42,6 +47,11 @@ vet-obs:
 		internal/matching/matching.go internal/contract/contract.go | grep 'obs\.Recorder'); \
 	if [ -n "$$bad" ]; then \
 		echo "vet-obs: per-edge worker takes the recorder (count locally, flush via *obs.Hot):"; \
+		echo "$$bad"; exit 1; \
+	fi
+	@bad=$$(grep -nE '^func (\([^)]*\) )?[A-Za-z0-9_]+\(p int' $(CTX_SRC)); \
+	if [ -n "$$bad" ]; then \
+		echo "vet-obs: kernel takes a positional worker count (thread *exec.Ctx instead):"; \
 		echo "$$bad"; exit 1; \
 	fi
 

@@ -15,6 +15,7 @@ package community
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -24,11 +25,13 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/contract"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/graphio"
 	"repro/internal/matching"
 	"repro/internal/metrics"
+	"repro/internal/par"
 	"repro/internal/pregel"
 	"repro/internal/refine"
 	"repro/internal/scoring"
@@ -366,7 +369,7 @@ func benchPhase0(b *testing.B) (*graph.Graph, []int64, []float64) {
 	_, lj, _ := loadBenchGraphs(b)
 	deg := lj.WeightedDegrees(0)
 	scores := make([]float64, len(lj.U))
-	scoring.Modularity{}.Score(0, lj, deg, lj.TotalWeight(0), scores)
+	scoring.Modularity{}.Score(exec.Background(0), lj, deg, lj.TotalWeight(0), scores)
 	return lj, deg, scores
 }
 
@@ -375,7 +378,7 @@ func BenchmarkKernel_Scoring(b *testing.B) {
 	totW := lj.TotalWeight(0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		scoring.Modularity{}.Score(0, lj, deg, totW, scores)
+		scoring.Modularity{}.Score(exec.Background(0), lj, deg, totW, scores)
 	}
 }
 
@@ -383,7 +386,7 @@ func BenchmarkKernel_MatchingWorklist(b *testing.B) {
 	lj, _, scores := benchPhase0(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		matching.Worklist(0, lj, scores)
+		matching.Worklist(exec.Background(0), lj, scores)
 	}
 }
 
@@ -391,34 +394,34 @@ func BenchmarkKernel_MatchingEdgeSweep(b *testing.B) {
 	lj, _, scores := benchPhase0(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		matching.EdgeSweep(0, lj, scores)
+		matching.EdgeSweep(exec.Background(0), lj, scores)
 	}
 }
 
 func BenchmarkKernel_ContractBucket(b *testing.B) {
 	lj, _, scores := benchPhase0(b)
-	m := matching.Worklist(0, lj, scores)
+	m := matching.Worklist(exec.Background(0), lj, scores)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		contract.Bucket(0, lj, m.Match, contract.Contiguous)
+		contract.Bucket(exec.Background(0), lj, m.Match, contract.Contiguous)
 	}
 }
 
 func BenchmarkKernel_ContractBucketNonContiguous(b *testing.B) {
 	lj, _, scores := benchPhase0(b)
-	m := matching.Worklist(0, lj, scores)
+	m := matching.Worklist(exec.Background(0), lj, scores)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		contract.Bucket(0, lj, m.Match, contract.NonContiguous)
+		contract.Bucket(exec.Background(0), lj, m.Match, contract.NonContiguous)
 	}
 }
 
 func BenchmarkKernel_ContractListChase(b *testing.B) {
 	lj, _, scores := benchPhase0(b)
-	m := matching.Worklist(0, lj, scores)
+	m := matching.Worklist(exec.Background(0), lj, scores)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		contract.ListChase(0, lj, m.Match)
+		contract.ListChase(exec.Background(0), lj, m.Match)
 	}
 }
 
@@ -482,8 +485,8 @@ func BenchmarkExtension_SizeCap64(b *testing.B) {
 
 func BenchmarkKernel_ContractAlgebraic(b *testing.B) {
 	lj, _, scores := benchPhase0(b)
-	m := matching.Worklist(0, lj, scores)
-	mapping, k := contract.Relabel(0, lj, m.Match)
+	m := matching.Worklist(exec.Background(0), lj, scores)
+	mapping, k := contract.Relabel(exec.Background(0), lj, m.Match)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sparse.ContractAlgebraic(0, lj, mapping, k); err != nil {
@@ -583,5 +586,73 @@ func BenchmarkSubstrate_ComponentsDirect(b *testing.B) {
 	rmat, _, _ := loadBenchGraphs(b)
 	for i := 0; i < b.N; i++ {
 		graph.Components(0, rmat)
+	}
+}
+
+// --- Worker pool: persistent team vs per-call goroutine spawn ------------
+
+// BenchmarkParFor_PoolVsSpawn isolates the cost the persistent team removes:
+// a spawn-based parallel loop pays goroutine creation per call, while the
+// pooled loop parks long-lived workers on channel waits between calls. The
+// late phases of a detection issue thousands of loops over a graph that has
+// shrunk to a few hundred vertices, which is exactly the small-n regime.
+func BenchmarkParFor_PoolVsSpawn(b *testing.B) {
+	p := runtime.GOMAXPROCS(0)
+	if p < 2 {
+		// The contrast under test is spawn-per-call vs park/wake, not
+		// parallel speed-up; force the parallel path on single-CPU hosts.
+		p = 2
+	}
+	for _, n := range []int{100, 10_000, 1_000_000} {
+		xs := make([]int64, n)
+		body := func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				xs[i]++
+			}
+		}
+		b.Run(fmt.Sprintf("spawn/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				par.For(p, n, body)
+			}
+		})
+		b.Run(fmt.Sprintf("pool/n=%d", n), func(b *testing.B) {
+			pl := par.NewPool(p)
+			defer pl.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pl.For(p, n, body)
+			}
+		})
+	}
+}
+
+// BenchmarkDetect_PooledTeam is the end-to-end view of the same contrast:
+// a caller-owned exec.Ctx keeps one worker team parked across detections
+// (the harness sweep pattern), against BenchmarkDetect_Arena's
+// acquire-per-call path and BenchmarkDetect_Fresh's allocate-everything
+// baseline.
+func BenchmarkDetect_PooledTeam(b *testing.B) {
+	opt := paperOptions(0)
+	opt.DiscardLevels = true
+	_, lj, _ := loadBenchGraphs(b)
+	ec := exec.New(context.Background(), opt.Threads, nil)
+	defer ec.Close()
+	scratch := core.NewScratch()
+	if _, err := core.DetectExec(ec, lj, opt, scratch); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.DetectExec(ec, lj, opt, scratch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(lj.NumEdges())*float64(b.N)/elapsed, "edges/s")
 	}
 }

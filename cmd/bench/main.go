@@ -23,10 +23,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"time"
@@ -34,6 +37,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/contract"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/harness"
@@ -104,12 +108,22 @@ func main() {
 		os.Exit(2)
 	}
 
+	// SIGINT cancels the in-flight detection at its next phase or kernel
+	// boundary; check() then flushes any pending trace before exiting.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	b := &bencher{
+		ctx:   ctx,
 		scale: *scale, nLJ: *nLJ, nWeb: *nWeb,
 		trials: *trials, maxThreads: *maxThreads, seed: *seed, csvDir: *csvDir,
 	}
 	if m.phases || *metricsAddr != "" {
 		b.rec = obs.New()
+	}
+	if *traceOut != "" {
+		path := *traceOut
+		flushOnExit = func() { writeTrace(b.rec, path) }
 	}
 	if *metricsAddr != "" {
 		obs.SetLive(b.rec)
@@ -173,16 +187,33 @@ func main() {
 	if m.memory {
 		b.runMemory()
 	}
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		check(err)
-		check(b.rec.WriteTrace(f))
-		check(f.Close())
-		fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s (load in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
+	if flushOnExit != nil {
+		flushOnExit()
+		flushOnExit = nil
 	}
 }
 
+// flushOnExit, when set, runs before any exit path — normal completion or a
+// fatal check() — so an interrupted run still writes its partial trace.
+var flushOnExit func()
+
+func writeTrace(rec *obs.Recorder, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		return
+	}
+	if err := rec.WriteTrace(f); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s (load in chrome://tracing or ui.perfetto.dev)\n", path)
+}
+
 type bencher struct {
+	ctx        context.Context
 	scale      int
 	nLJ, nWeb  int64
 	trials     int
@@ -243,9 +274,9 @@ func (b *bencher) smallSweeps() []harness.Record {
 		return b.smallRecs
 	}
 	cfg := b.config()
-	recs, err := harness.Sweep(b.rmat(), b.rmatName(), cfg)
+	recs, err := harness.SweepContext(b.ctx, b.rmat(), b.rmatName(), cfg)
 	check(err)
-	lj, err := harness.Sweep(b.lj(), "lj-sim", cfg)
+	lj, err := harness.SweepContext(b.ctx, b.lj(), "lj-sim", cfg)
 	check(err)
 	b.smallRecs = append(recs, lj...)
 	b.writeCSV("fig1_fig2.csv", b.smallRecs)
@@ -257,7 +288,7 @@ func (b *bencher) largeSweep() []harness.Record {
 	if b.largeRecs != nil {
 		return b.largeRecs
 	}
-	recs, err := harness.Sweep(b.web(), "uk-sim", b.config())
+	recs, err := harness.SweepContext(b.ctx, b.web(), "uk-sim", b.config())
 	check(err)
 	b.largeRecs = recs
 	b.writeCSV("fig3.csv", recs)
@@ -287,7 +318,7 @@ func (b *bencher) runAblation() {
 		best := 1e18
 		for trial := 0; trial < b.trials; trial++ {
 			start := time.Now()
-			_, err := core.Detect(g, core.Options{
+			_, err := core.DetectContext(b.ctx, g, core.Options{
 				Threads: b.maxThreads, MinCoverage: 0.5, Matching: c.mk, Contraction: c.ck})
 			check(err)
 			if s := time.Since(start).Seconds(); s < best {
@@ -308,7 +339,7 @@ func (b *bencher) runAblation() {
 func (b *bencher) runPhases() {
 	section("Phase breakdown — share of time per primitive (§IV-C)")
 	g := b.lj()
-	res, err := core.Detect(g, core.Options{
+	res, err := core.DetectContext(b.ctx, g, core.Options{
 		Threads: b.maxThreads, MinCoverage: 0.5, Recorder: b.rec})
 	check(err)
 	check(harness.RenderPhaseTable(os.Stdout, res.Stats))
@@ -387,7 +418,7 @@ func (b *bencher) runQuality() {
 	check(err)
 	fmt.Println("graph         parallel-agglom  +refine   CNM      Louvain  LPA")
 	for _, w := range []workload{{"karate", karate}, {"cliquechain", chain}, {"lj-sim-20k", ljq}} {
-		res, err := core.Detect(w.g, core.Options{Threads: b.maxThreads})
+		res, err := core.DetectContext(b.ctx, w.g, core.Options{Threads: b.maxThreads})
 		check(err)
 		ref, err := refine.Refine(w.g, res.CommunityOf, res.NumCommunities,
 			refine.Options{Threads: b.maxThreads})
@@ -432,11 +463,11 @@ func (b *bencher) runExtensions() {
 	g := b.lj()
 
 	t0 := time.Now()
-	plain, err := core.Detect(g, core.Options{Threads: b.maxThreads})
+	plain, err := core.DetectContext(b.ctx, g, core.Options{Threads: b.maxThreads})
 	check(err)
 	tPlain := time.Since(t0)
 	t1 := time.Now()
-	refined, err := core.Detect(g, core.Options{Threads: b.maxThreads, RefineEveryPhase: true})
+	refined, err := core.DetectContext(b.ctx, g, core.Options{Threads: b.maxThreads, RefineEveryPhase: true})
 	check(err)
 	tRef := time.Since(t1)
 	fmt.Printf("plain engine:             Q=%.4f  %8.3fs  %5d communities\n",
@@ -445,7 +476,7 @@ func (b *bencher) runExtensions() {
 		refined.FinalModularity, tRef.Seconds(), refined.NumCommunities)
 
 	for _, cap := range []int64{16, 64, 256} {
-		res, err := core.Detect(g, core.Options{Threads: b.maxThreads, MaxCommunitySize: cap})
+		res, err := core.DetectContext(b.ctx, g, core.Options{Threads: b.maxThreads, MaxCommunitySize: cap})
 		check(err)
 		maxSize := int64(0)
 		for _, s := range res.Sizes {
@@ -458,13 +489,15 @@ func (b *bencher) runExtensions() {
 	}
 
 	// Algebraic vs direct contraction on the phase-0 mapping.
+	ec := exec.New(b.ctx, b.maxThreads, nil)
+	defer ec.Close()
 	deg := g.WeightedDegrees(b.maxThreads)
 	scores := make([]float64, len(g.U))
-	scoring.Modularity{}.Score(b.maxThreads, g, deg, g.TotalWeight(b.maxThreads), scores)
-	mres := matching.Worklist(b.maxThreads, g, scores)
-	mapping, k := contract.Relabel(b.maxThreads, g, mres.Match)
+	scoring.Modularity{}.Score(ec, g, deg, g.TotalWeight(b.maxThreads), scores)
+	mres := matching.Worklist(ec, g, scores)
+	mapping, k := contract.Relabel(ec, g, mres.Match)
 	t2 := time.Now()
-	contract.ByMapping(b.maxThreads, g, mapping, k, contract.Contiguous)
+	contract.ByMapping(ec, g, mapping, k, contract.Contiguous)
 	tDirect := time.Since(t2)
 	t3 := time.Now()
 	_, err = sparse.ContractAlgebraic(b.maxThreads, g, mapping, k)
@@ -492,7 +525,14 @@ func section(title string) {
 
 func check(err error) {
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "bench: interrupted:", err)
+		} else {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+		}
+		if flushOnExit != nil {
+			flushOnExit()
+		}
 		os.Exit(1)
 	}
 }

@@ -12,9 +12,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -107,12 +110,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (expvar at /debug/vars)\n", ln.Addr())
 	}
 
+	// SIGINT cancels the detection at the next phase or kernel boundary; the
+	// partial hierarchy is still summarized and every requested artifact
+	// (assignment, JSON report, trace) is flushed before exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	start := time.Now()
-	res, err := core.Detect(g, opt)
-	if err != nil {
+	res, err := core.DetectContext(ctx, g, opt)
+	canceled := err != nil && errors.Is(err, context.Canceled) && res != nil
+	if err != nil && !canceled {
 		fatal(err)
 	}
 	elapsed := time.Since(start)
+	if canceled {
+		stop() // a second SIGINT kills the process the default way
+		fmt.Fprintf(os.Stderr, "communities: interrupted after %d phases; reporting partial result\n",
+			len(res.Stats))
+	}
 
 	if *stats {
 		if err := harness.RenderPhaseTable(os.Stderr, res.Stats); err != nil {
@@ -133,7 +148,7 @@ func main() {
 	fmt.Println("quality:", metrics.Evaluate(*threads, g, res.CommunityOf, res.NumCommunities))
 
 	comm, k := res.CommunityOf, res.NumCommunities
-	if *doRefine {
+	if *doRefine && !canceled {
 		rres, err := refine.Refine(g, comm, k, refine.Options{Threads: *threads})
 		if err != nil {
 			fatal(err)
@@ -142,7 +157,7 @@ func main() {
 			rres.Moves, rres.Sweeps, rres.ModularityBefore, rres.ModularityAfter)
 		comm, k = rres.CommunityOf, rres.NumCommunities
 	}
-	if *compare {
+	if *compare && !canceled {
 		t0 := time.Now()
 		lou := baseline.Louvain(g, *seed)
 		fmt.Printf("baseline louvain: %d communities, modularity %.4f, %v\n",

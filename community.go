@@ -16,6 +16,7 @@
 package community
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/baseline"
@@ -70,6 +71,7 @@ const (
 	TermCoverage       = core.TermCoverage
 	TermMaxPhases      = core.TermMaxPhases
 	TermMinCommunities = core.TermMinCommunities
+	TermCanceled       = core.TermCanceled
 )
 
 // Scorer is the pluggable edge-scoring metric (§III).
@@ -88,6 +90,15 @@ type ConductanceScorer = scoring.Conductance
 // runs.
 func Detect(g *Graph, opt Options) (*Result, error) { return core.Detect(g, opt) }
 
+// DetectContext is Detect with cancellation: the run checks ctx at phase and
+// kernel boundaries and, once ctx is done, stops at the next boundary and
+// returns the levels completed so far alongside an error wrapping ctx.Err().
+// A cancelled run therefore yields a non-nil partial Result whose Termination
+// is TermCanceled.
+func DetectContext(ctx context.Context, g *Graph, opt Options) (*Result, error) {
+	return core.DetectContext(ctx, g, opt)
+}
+
 // Scratch is the engine's reusable buffer arena: scores, degrees, matching
 // state, contraction histograms, and ping-pong community-graph storage,
 // grown once and recycled across phases and runs. A zero Scratch is ready
@@ -101,6 +112,13 @@ func NewScratch() *Scratch { return core.NewScratch() }
 // alias arena memory.
 func DetectWith(g *Graph, opt Options, s *Scratch) (*Result, error) {
 	return core.DetectWith(g, opt, s)
+}
+
+// DetectWithContext combines DetectWith's arena reuse with DetectContext's
+// cancellation. The arena remains valid for further runs after a cancelled
+// one.
+func DetectWithContext(ctx context.Context, g *Graph, opt Options, s *Scratch) (*Result, error) {
+	return core.DetectWithContext(ctx, g, opt, s)
 }
 
 // Build assembles a Graph from raw edges with p workers, accumulating

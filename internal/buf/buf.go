@@ -1,0 +1,19 @@
+// Package buf holds the one shared grow-on-demand slice helper behind every
+// scratch arena in the repository. The arenas (core.Scratch, the matching and
+// contraction scratch, the graph's resizable arrays) all follow the same
+// contract: reslice when capacity suffices, reallocate without copying when it
+// does not, and leave the contents unspecified for the caller to overwrite.
+// Before this package each arena carried its own private copy of that helper;
+// they drifted only in parameter spelling, so one generic definition replaces
+// all of them.
+package buf
+
+// Grow reslices xs to n entries, reallocating (without copying — the contents
+// are stale by contract) only when capacity is short. Callers overwrite or
+// zero the returned slice themselves.
+func Grow[T any](xs []T, n int) []T {
+	if cap(xs) < n {
+		return make([]T, n)
+	}
+	return xs[:n]
+}

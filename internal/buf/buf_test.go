@@ -1,0 +1,39 @@
+package buf
+
+import "testing"
+
+func TestGrowReallocatesWhenShort(t *testing.T) {
+	xs := make([]int64, 4)
+	ys := Grow(xs, 8)
+	if len(ys) != 8 {
+		t.Fatalf("len = %d, want 8", len(ys))
+	}
+	if cap(ys) < 8 {
+		t.Fatalf("cap = %d, want >= 8", cap(ys))
+	}
+}
+
+func TestGrowReusesCapacity(t *testing.T) {
+	xs := make([]int64, 16)
+	xs[3] = 42
+	ys := Grow(xs[:0], 8)
+	if len(ys) != 8 {
+		t.Fatalf("len = %d, want 8", len(ys))
+	}
+	if &ys[0] != &xs[0] {
+		t.Fatal("Grow reallocated despite sufficient capacity")
+	}
+	if ys[3] != 42 {
+		t.Fatal("Grow copied or cleared contents; they are stale by contract")
+	}
+}
+
+func TestGrowAllocFree(t *testing.T) {
+	xs := make([]float64, 1024)
+	allocs := testing.AllocsPerRun(100, func() {
+		xs = Grow(xs[:0], 512)
+	})
+	if allocs != 0 {
+		t.Fatalf("Grow within capacity allocated %.1f times per run", allocs)
+	}
+}

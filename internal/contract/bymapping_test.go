@@ -3,6 +3,7 @@ package contract
 import (
 	"testing"
 
+	"repro/internal/exec"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/par"
@@ -23,9 +24,9 @@ func TestByMappingEqualsBucketOnMatchings(t *testing.T) {
 				m[u], m[v] = v, u
 			}
 		})
-		viaBucket, mapping := Bucket(2, g, m, Contiguous)
+		viaBucket, mapping := Bucket(exec.Background(2), g, m, Contiguous)
 		k := viaBucket.NumVertices()
-		viaMapping := ByMapping(2, g, mapping, k, NonContiguous)
+		viaMapping := ByMapping(exec.Background(2), g, mapping, k, NonContiguous)
 		assertSameContraction(t, "bucket", viaBucket, "bymapping", viaMapping)
 	}
 }
@@ -38,7 +39,7 @@ func TestByMappingArbitraryPartition(t *testing.T) {
 	for v := range mapping {
 		mapping[v] = int64(v) / 4
 	}
-	ng := ByMapping(1, g, mapping, 3, Contiguous)
+	ng := ByMapping(exec.Background(1), g, mapping, 3, Contiguous)
 	if err := ng.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestByMappingArbitraryPartition(t *testing.T) {
 func TestByMappingSingleCommunity(t *testing.T) {
 	g := gen.Clique(6)
 	mapping := make([]int64, 6)
-	ng := ByMapping(2, g, mapping, 1, NonContiguous)
+	ng := ByMapping(exec.Background(2), g, mapping, 1, NonContiguous)
 	if ng.NumEdges() != 0 || ng.Self[0] != 15 {
 		t.Fatalf("collapse to one community: |E|=%d Self=%d", ng.NumEdges(), ng.Self[0])
 	}

@@ -27,10 +27,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/buf"
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/matching"
 	"repro/internal/obs"
-	"repro/internal/par"
 )
 
 // Layout selects how Bucket lays the new graph's buckets out in memory.
@@ -68,15 +69,6 @@ type Scratch struct {
 	bounds      []int   // workers+1 vertex range boundaries
 }
 
-// growInt64 reslices xs to n entries, reallocating only when capacity is
-// short; contents are unspecified and callers overwrite or zero them.
-func growInt64(xs []int64, n int) []int64 {
-	if cap(xs) < n {
-		return make([]int64, n)
-	}
-	return xs[:n]
-}
-
 // orNew returns s, or a fresh Scratch when s is nil, keeping the kernels'
 // scratch in a single-assignment variable.
 func (s *Scratch) orNew() *Scratch {
@@ -100,19 +92,19 @@ func prepDst(dst *graph.Graph, k int64) *graph.Graph {
 // matched pairs share the new id of their smaller endpoint, unmatched
 // vertices keep their own, and new ids are dense in [0, k). It returns the
 // mapping and k.
-func Relabel(p int, g *graph.Graph, match []int64) (mapping []int64, k int64) {
-	return RelabelInto(p, g, match, nil)
+func Relabel(ec *exec.Ctx, g *graph.Graph, match []int64) (mapping []int64, k int64) {
+	return RelabelInto(ec, g, match, nil)
 }
 
-// RelabelInto is Relabel writing the mapping into buf when its capacity
-// suffices (growing it otherwise); buf may be nil. The results are unnamed
+// RelabelInto is Relabel writing the mapping into mapBuf when its capacity
+// suffices (growing it otherwise); mapBuf may be nil. The results are unnamed
 // and the mapping lives in a single-assignment local so no closure capture
 // heap-boxes it (see the worklist kernel for the boxing rule).
-func RelabelInto(p int, g *graph.Graph, match []int64, buf []int64) ([]int64, int64) {
+func RelabelInto(ec *exec.Ctx, g *graph.Graph, match []int64, mapBuf []int64) ([]int64, int64) {
 	n := int(g.NumVertices())
-	mapping := growInt64(buf, n)
+	mapping := buf.Grow(mapBuf, n)
 	// mapping temporarily holds a leader flag, then its prefix sum.
-	if par.Serial(p, n) {
+	if ec.Serial(n) {
 		for x := 0; x < n; x++ {
 			m := match[x]
 			if m == matching.Unmatched || int64(x) < m {
@@ -121,7 +113,7 @@ func RelabelInto(p int, g *graph.Graph, match []int64, buf []int64) ([]int64, in
 				mapping[x] = 0
 			}
 		}
-		k := par.ExclusiveSumInt64(1, mapping)
+		k := ec.ExclusiveSumInt64(mapping)
 		for x := 0; x < n; x++ {
 			if m := match[x]; m != matching.Unmatched && m < int64(x) {
 				mapping[x] = mapping[m]
@@ -129,7 +121,7 @@ func RelabelInto(p int, g *graph.Graph, match []int64, buf []int64) ([]int64, in
 		}
 		return mapping, k
 	}
-	par.For(p, n, func(lo, hi int) {
+	ec.For(n, func(lo, hi int) {
 		for x := lo; x < hi; x++ {
 			m := match[x]
 			if m == matching.Unmatched || int64(x) < m {
@@ -139,9 +131,9 @@ func RelabelInto(p int, g *graph.Graph, match []int64, buf []int64) ([]int64, in
 			}
 		}
 	})
-	k := par.ExclusiveSumInt64(p, mapping)
+	k := ec.ExclusiveSumInt64(mapping)
 	// Followers copy their leader's dense id. Leaders already hold theirs.
-	par.For(p, n, func(lo, hi int) {
+	ec.For(n, func(lo, hi int) {
 		for x := lo; x < hi; x++ {
 			if m := match[x]; m != matching.Unmatched && m < int64(x) {
 				mapping[x] = mapping[m]
@@ -154,29 +146,27 @@ func RelabelInto(p int, g *graph.Graph, match []int64, buf []int64) ([]int64, in
 // Bucket contracts g according to match using the paper's bucket-sort
 // kernel with p workers and the chosen bucket layout. It returns the new
 // community graph and the old→new vertex mapping. g is not modified.
-func Bucket(p int, g *graph.Graph, match []int64, layout Layout) (*graph.Graph, []int64) {
-	return BucketWith(p, g, match, layout, nil, nil, nil)
+func Bucket(ec *exec.Ctx, g *graph.Graph, match []int64, layout Layout) (*graph.Graph, []int64) {
+	return BucketWith(ec, g, match, layout, nil, nil, nil)
 }
 
 // BucketWith is Bucket with arena support: s supplies the kernel's scratch
 // buffers, dst the destination graph whose arrays are reused in place, and
 // mapBuf the storage for the returned mapping. Any of them may be nil for
 // fresh allocations.
-func BucketWith(p int, g *graph.Graph, match []int64, layout Layout, s *Scratch, dst *graph.Graph, mapBuf []int64) (*graph.Graph, []int64) {
-	return BucketRec(p, g, match, layout, s, dst, mapBuf, nil)
-}
-
-// BucketRec is BucketWith with observability: a non-nil rec records
-// sub-spans for every stage of the kernel (relabel, partition, count,
-// offsets, scatter, dedup), the bucket-occupancy histogram, the
-// edges-in/survived/out counters, the sort-vs-accumulate nanosecond split of
-// the dedup stage, and per-region worker busy times. A nil rec adds only
-// predictable branches at stage boundaries — nothing per edge.
-func BucketRec(p int, g *graph.Graph, match []int64, layout Layout, s *Scratch, dst *graph.Graph, mapBuf []int64, rec *obs.Recorder) (*graph.Graph, []int64) {
+//
+// When ec carries a recorder the kernel records sub-spans for every stage
+// (relabel, partition, count, offsets, scatter, dedup), the bucket-occupancy
+// histogram, the edges-in/survived/out counters, the sort-vs-accumulate
+// nanosecond split of the dedup stage, and per-region worker busy times. A
+// nil recorder adds only predictable branches at stage boundaries — nothing
+// per edge.
+func BucketWith(ec *exec.Ctx, g *graph.Graph, match []int64, layout Layout, s *Scratch, dst *graph.Graph, mapBuf []int64) (*graph.Graph, []int64) {
+	rec := ec.Recorder()
 	sp := rec.Begin(obs.CatContract, "relabel", -1)
-	mapping, k := RelabelInto(p, g, match, mapBuf)
+	mapping, k := RelabelInto(ec, g, match, mapBuf)
 	sp.EndArgs("old", g.NumVertices(), "new", k)
-	return byMappingRun(p, g, mapping, k, layout, s, dst, rec), mapping
+	return byMappingRun(ec, g, mapping, k, layout, s, dst), mapping
 }
 
 // ByMapping contracts g under an arbitrary old→new vertex mapping with
@@ -184,8 +174,8 @@ func BucketRec(p int, g *graph.Graph, match []int64, layout Layout, s *Scratch, 
 // Matching-induced contraction merges pairs; this generalization collapses
 // whole groups, which the engine's refinement integration uses to rebuild
 // the community graph from a refined partition.
-func ByMapping(p int, g *graph.Graph, mapping []int64, k int64, layout Layout) *graph.Graph {
-	return ByMappingWith(p, g, mapping, k, layout, nil, nil)
+func ByMapping(ec *exec.Ctx, g *graph.Graph, mapping []int64, k int64, layout Layout) *graph.Graph {
+	return ByMappingWith(ec, g, mapping, k, layout, nil, nil)
 }
 
 // ByMappingWith is ByMapping with arena support: s supplies reusable scratch
@@ -196,33 +186,29 @@ func ByMapping(p int, g *graph.Graph, mapping []int64, k int64, layout Layout) *
 // atomic per edge. Vertices are partitioned once into worker ranges balanced
 // by bucket length; each worker counts surviving edges (and accumulates
 // collapsed-edge and old self-loop weight) into its own k-wide histogram
-// stripe; par.StripeOffsets turns the stripes into per-(worker, bucket)
-// write cursors by a parallel reduction; and the scatter sweep replays the
+// stripe; the striped-offset reduction turns the stripes into per-(worker,
+// bucket) write cursors in parallel; and the scatter sweep replays the
 // identical vertex ranges, so every worker writes a disjoint sub-range of
 // each destination bucket with plain stores. This is the radix-partition
 // discipline Staudt & Meyerhenke and Lu & Halappanavar use in place of
 // fetch-and-add on cache-based machines: the XMT's cheap hot-spot atomics
 // have no analogue here, and one atomic per edge serializes exactly on the
 // high-degree communities the parity hash is meant to spread.
-func ByMappingWith(p int, g *graph.Graph, mapping []int64, k int64, layout Layout, scratch *Scratch, dst *graph.Graph) *graph.Graph {
-	return byMappingRun(p, g, mapping, k, layout, scratch, dst, nil)
+func ByMappingWith(ec *exec.Ctx, g *graph.Graph, mapping []int64, k int64, layout Layout, scratch *Scratch, dst *graph.Graph) *graph.Graph {
+	return byMappingRun(ec, g, mapping, k, layout, scratch, dst)
 }
 
-// ByMappingRec is ByMappingWith with observability; see BucketRec.
-func ByMappingRec(p int, g *graph.Graph, mapping []int64, k int64, layout Layout, scratch *Scratch, dst *graph.Graph, rec *obs.Recorder) *graph.Graph {
-	return byMappingRun(p, g, mapping, k, layout, scratch, dst, rec)
-}
-
-func byMappingRun(p int, g *graph.Graph, mapping []int64, k int64, layout Layout, scratch *Scratch, dst *graph.Graph, rec *obs.Recorder) *graph.Graph {
+func byMappingRun(ec *exec.Ctx, g *graph.Graph, mapping []int64, k int64, layout Layout, scratch *Scratch, dst *graph.Graph) *graph.Graph {
+	rec := ec.Recorder()
 	s := scratch.orNew()
 	ng := prepDst(dst, k) // single-assignment: ng is closure-captured below
 	n := int(g.NumVertices())
 	if n == 0 || k == 0 {
 		ng.ResizeEdges(0)
 		ng.SetCounts(k, 0)
-		par.ZeroInt64(p, ng.Self)
-		par.ZeroInt64(p, ng.Start)
-		par.ZeroInt64(p, ng.End)
+		ec.ZeroInt64(ng.Self)
+		ec.ZeroInt64(ng.Start)
+		ec.ZeroInt64(ng.End)
 		return ng
 	}
 
@@ -235,22 +221,22 @@ func byMappingRun(p int, g *graph.Graph, mapping []int64, k int64, layout Layout
 	// already scatters high-degree communities across many buckets, so
 	// balancing whole buckets is enough.
 	spPart := rec.Begin(obs.CatContract, "partition", -1)
-	workers := par.Workers(p, n)
+	workers := ec.Workers(n)
 	serial := workers == 1
-	s.vtxWeight = growInt64(s.vtxWeight, n)
+	s.vtxWeight = buf.Grow(s.vtxWeight, n)
 	vw := s.vtxWeight
 	if serial {
 		for x := 0; x < n; x++ {
 			vw[x] = g.End[x] - g.Start[x] + 1
 		}
 	} else {
-		par.For(p, n, func(lo, hi int) {
+		ec.For(n, func(lo, hi int) {
 			for x := lo; x < hi; x++ {
 				vw[x] = g.End[x] - g.Start[x] + 1
 			}
 		})
 	}
-	totalWork := par.ExclusiveSumInt64(p, vw) // vw becomes its prefix sum
+	totalWork := ec.ExclusiveSumInt64(vw) // vw becomes its prefix sum
 	if cap(s.bounds) < workers+1 {
 		s.bounds = make([]int, workers+1)
 	}
@@ -277,13 +263,13 @@ func byMappingRun(p int, g *graph.Graph, mapping []int64, k int64, layout Layout
 	// into the worker's self-loop stripe in the same sweep.
 	spCount := rec.Begin(obs.CatContract, "count", -1)
 	kk := int(k)
-	s.cntStripes = growInt64(s.cntStripes, workers*kk)
-	s.selfStripes = growInt64(s.selfStripes, workers*kk)
+	s.cntStripes = buf.Grow(s.cntStripes, workers*kk)
+	s.selfStripes = buf.Grow(s.selfStripes, workers*kk)
 	cntS, selfS := s.cntStripes, s.selfStripes
-	par.ZeroInt64(p, cntS)
-	par.ZeroInt64(p, selfS)
-	// The sweep bodies are plain functions (closure literals handed to
-	// par.For escape and heap-allocate even on the one-worker path, which
+	ec.ZeroInt64(cntS)
+	ec.ZeroInt64(selfS)
+	// The sweep bodies are plain functions (closure literals handed to the
+	// loop primitives escape and heap-allocate even on the one-worker path, which
 	// would break the arena's zero-allocation steady state). When recording,
 	// the parallel sweeps run under ForWorkerTimes so the recorder can report
 	// per-region worker imbalance; wtimes is nil when disabled, which makes
@@ -292,7 +278,7 @@ func byMappingRun(p int, g *graph.Graph, mapping []int64, k int64, layout Layout
 		countSweepRange(g, mapping, kk, cntS, selfS, bounds, 0, 1)
 	} else {
 		wtimes := rec.WorkerTimes(workers)
-		par.ForWorkerTimes(p, workers, wtimes, func(_, wlo, whi int) {
+		ec.ForWorkerTimes(workers, wtimes, func(_, wlo, whi int) {
 			countSweepRange(g, mapping, kk, cntS, selfS, bounds, wlo, whi)
 		})
 		rec.FoldWorkerTimes("contract/count", wtimes)
@@ -304,10 +290,10 @@ func byMappingRun(p int, g *graph.Graph, mapping []int64, k int64, layout Layout
 	// self-loop weights from the self stripes (overwriting — reused dst
 	// arrays never need pre-zeroing).
 	spOff := rec.Begin(obs.CatContract, "offsets", -1)
-	s.counts = growInt64(s.counts, kk)
+	s.counts = buf.Grow(s.counts, kk)
 	counts := s.counts
-	par.StripeOffsets(p, cntS, workers, kk, counts)
-	par.MergeStripes(p, selfS, workers, kk, ng.Self)
+	ec.StripeOffsets(cntS, workers, kk, counts)
+	ec.MergeStripes(selfS, workers, kk, ng.Self)
 	rec.ObserveBuckets(counts[:kk])
 
 	// Bucket offsets: prefix sum (contiguous) or bump allocation
@@ -315,18 +301,18 @@ func byMappingRun(p int, g *graph.Graph, mapping []int64, k int64, layout Layout
 	var total int64
 	switch layout {
 	case Contiguous:
-		if par.Serial(p, kk) {
+		if ec.Serial(kk) {
 			copy(ng.Start[:kk], counts[:kk])
 		} else {
-			par.For(p, kk, func(lo, hi int) {
+			ec.For(kk, func(lo, hi int) {
 				for c := lo; c < hi; c++ {
 					ng.Start[c] = counts[c]
 				}
 			})
 		}
-		total = par.ExclusiveSumInt64(p, ng.Start)
+		total = ec.ExclusiveSumInt64(ng.Start)
 	case NonContiguous:
-		if par.Serial(p, kk) {
+		if ec.Serial(kk) {
 			var bump int64
 			for c := 0; c < kk; c++ {
 				if counts[c] == 0 {
@@ -339,7 +325,7 @@ func byMappingRun(p int, g *graph.Graph, mapping []int64, k int64, layout Layout
 			total = bump
 		} else {
 			var bump int64
-			par.For(p, kk, func(lo, hi int) {
+			ec.For(kk, func(lo, hi int) {
 				for c := lo; c < hi; c++ {
 					if counts[c] == 0 {
 						ng.Start[c] = 0 // reused arrays hold stale offsets
@@ -365,7 +351,7 @@ func byMappingRun(p int, g *graph.Graph, mapping []int64, k int64, layout Layout
 		scatterSweepRange(g, ng, mapping, kk, cntS, bounds, 0, 1)
 	} else {
 		wtimes := rec.WorkerTimes(workers)
-		par.ForWorkerTimes(p, workers, wtimes, func(_, wlo, whi int) {
+		ec.ForWorkerTimes(workers, wtimes, func(_, wlo, whi int) {
 			scatterSweepRange(g, ng, mapping, kk, cntS, bounds, wlo, whi)
 		})
 		rec.FoldWorkerTimes("contract/scatter", wtimes)
@@ -380,7 +366,7 @@ func byMappingRun(p int, g *graph.Graph, mapping []int64, k int64, layout Layout
 	spDedup := rec.Begin(obs.CatContract, "dedup", -1)
 	hot := rec.Hot()
 	var live int64
-	if par.Serial(p, kk) {
+	if ec.Serial(kk) {
 		if hot != nil {
 			live = dedupBucketsTimed(ng, counts, hot, 0, kk)
 		} else {
@@ -388,13 +374,13 @@ func byMappingRun(p int, g *graph.Graph, mapping []int64, k int64, layout Layout
 		}
 	} else if hot != nil {
 		var acc int64
-		par.ForDynamic(p, kk, 0, func(lo, hi int) {
+		ec.ForDynamic(kk, 0, func(lo, hi int) {
 			atomic.AddInt64(&acc, dedupBucketsTimed(ng, counts, hot, lo, hi))
 		})
 		live = acc
 	} else {
 		var acc int64
-		par.ForDynamic(p, kk, 0, func(lo, hi int) {
+		ec.ForDynamic(kk, 0, func(lo, hi int) {
 			atomic.AddInt64(&acc, dedupBuckets(ng, counts, lo, hi))
 		})
 		live = acc

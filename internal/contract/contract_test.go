@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/exec"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/matching"
@@ -14,12 +15,14 @@ import (
 // kernels under test.
 var kernels = map[string]func(p int, g *graph.Graph, match []int64) (*graph.Graph, []int64){
 	"bucket-contiguous": func(p int, g *graph.Graph, m []int64) (*graph.Graph, []int64) {
-		return Bucket(p, g, m, Contiguous)
+		return Bucket(exec.Background(p), g, m, Contiguous)
 	},
 	"bucket-noncontiguous": func(p int, g *graph.Graph, m []int64) (*graph.Graph, []int64) {
-		return Bucket(p, g, m, NonContiguous)
+		return Bucket(exec.Background(p), g, m, NonContiguous)
 	},
-	"listchase": ListChase,
+	"listchase": func(p int, g *graph.Graph, m []int64) (*graph.Graph, []int64) {
+		return ListChase(exec.Background(p), g, m)
+	},
 }
 
 // noMatch returns an all-unmatched matching.
@@ -33,7 +36,7 @@ func noMatch(n int64) []int64 {
 
 func TestRelabelIdentityWhenUnmatched(t *testing.T) {
 	g := gen.Ring(6)
-	mapping, k := Relabel(2, g, noMatch(6))
+	mapping, k := Relabel(exec.Background(2), g, noMatch(6))
 	if k != 6 {
 		t.Fatalf("k = %d, want 6", k)
 	}
@@ -48,7 +51,7 @@ func TestRelabelPairs(t *testing.T) {
 	// Pairs (0,3) and (1,2); vertex 4 unmatched.
 	m := []int64{3, 2, 1, 0, matching.Unmatched}
 	g := graph.NewEmpty(5)
-	mapping, k := Relabel(1, g, m)
+	mapping, k := Relabel(exec.Background(1), g, m)
 	if k != 3 {
 		t.Fatalf("k = %d, want 3", k)
 	}
@@ -123,8 +126,8 @@ func TestContractPreservesTotalWeightAndDegrees(t *testing.T) {
 	}
 	deg := g.WeightedDegrees(4)
 	scores := make([]float64, len(g.U))
-	scoring.Modularity{}.Score(4, g, deg, g.TotalWeight(4), scores)
-	res := matching.Worklist(4, g, scores)
+	scoring.Modularity{}.Score(exec.Background(4), g, deg, g.TotalWeight(4), scores)
+	res := matching.Worklist(exec.Background(4), g, scores)
 	for name, kern := range kernels {
 		ng, mapping := kern(4, g, res.Match)
 		if err := ng.Validate(); err != nil {
@@ -279,9 +282,9 @@ func TestNonContiguousLeavesValidGaps(t *testing.T) {
 	}
 	deg := g.WeightedDegrees(2)
 	scores := make([]float64, len(g.U))
-	scoring.Modularity{}.Score(2, g, deg, g.TotalWeight(2), scores)
-	res := matching.Worklist(2, g, scores)
-	ng, _ := Bucket(2, g, res.Match, NonContiguous)
+	scoring.Modularity{}.Score(exec.Background(2), g, deg, g.TotalWeight(2), scores)
+	res := matching.Worklist(exec.Background(2), g, scores)
+	ng, _ := Bucket(exec.Background(2), g, res.Match, NonContiguous)
 	w := ng.TotalWeight(2)
 	edges := ng.Edges()
 	graph.Compact(2, ng)

@@ -3,24 +3,25 @@ package contract
 import (
 	"sync/atomic"
 
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/par"
 )
 
 // ListChase contracts g according to match with the 2011 hashed-linked-list
-// kernel (John T. Feo's technique) using p workers: each relabeled edge is
+// kernel (John T. Feo's technique) on ec's workers: each relabeled edge is
 // hashed to a chain; the chain is searched under the slot's lock, the
 // weight added on a hit and a node appended on a miss. The XMT walks such
 // dynamically growing lists almost for free with full/empty bits; on
 // cache-based machines the pointer chasing and locking dominate, which is
 // exactly the behavior this ablation baseline exists to demonstrate
 // (§IV-C). The result is identical (as a graph) to Bucket's.
-func ListChase(p int, g *graph.Graph, match []int64) (*graph.Graph, []int64) {
-	mapping, k := Relabel(p, g, match)
+func ListChase(ec *exec.Ctx, g *graph.Graph, match []int64) (*graph.Graph, []int64) {
+	mapping, k := Relabel(ec, g, match)
 	ng := graph.NewEmpty(k)
 	n := int(g.NumVertices())
 
-	par.For(p, n, func(lo, hi int) {
+	ec.For(n, func(lo, hi int) {
 		for x := lo; x < hi; x++ {
 			if s := g.Self[x]; s != 0 {
 				atomic.AddInt64(&ng.Self[mapping[x]], s)
@@ -49,7 +50,7 @@ func ListChase(p int, g *graph.Graph, match []int64) (*graph.Graph, []int64) {
 		return int64(h & uint64(slots-1))
 	}
 
-	par.ForDynamic(p, n, 0, func(lo, hi int) {
+	ec.ForDynamic(n, 0, func(lo, hi int) {
 		for x := lo; x < hi; x++ {
 			for e := g.Start[x]; e < g.End[x]; e++ {
 				ni, nj := mapping[g.U[e]], mapping[g.V[e]]
@@ -86,15 +87,15 @@ func ListChase(p int, g *graph.Graph, match []int64) (*graph.Graph, []int64) {
 	// count per first endpoint, prefix-sum offsets, scatter, per-bucket sort.
 	unique := pool
 	counts := make([]int64, k)
-	par.For(p, int(unique), func(lo, hi int) {
+	ec.For(int(unique), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			atomic.AddInt64(&counts[nodeU[i]], 1)
 		}
 	})
 	cursor := make([]int64, k)
 	copy(cursor, counts)
-	par.ExclusiveSumInt64(p, cursor)
-	par.For(p, int(k), func(lo, hi int) {
+	ec.ExclusiveSumInt64(cursor)
+	ec.For(int(k), func(lo, hi int) {
 		for c := lo; c < hi; c++ {
 			ng.Start[c] = cursor[c]
 		}
@@ -102,7 +103,7 @@ func ListChase(p int, g *graph.Graph, match []int64) (*graph.Graph, []int64) {
 	ng.U = make([]int64, unique)
 	ng.V = make([]int64, unique)
 	ng.W = make([]int64, unique)
-	par.For(p, int(unique), func(lo, hi int) {
+	ec.For(int(unique), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			pos := atomic.AddInt64(&cursor[nodeU[i]], 1) - 1
 			ng.U[pos] = nodeU[i]
@@ -110,7 +111,7 @@ func ListChase(p int, g *graph.Graph, match []int64) (*graph.Graph, []int64) {
 			ng.W[pos] = nodeW[i]
 		}
 	})
-	par.ForDynamic(p, int(k), 0, func(lo, hi int) {
+	ec.ForDynamic(int(k), 0, func(lo, hi int) {
 		for c := lo; c < hi; c++ {
 			s, cnt := ng.Start[c], counts[c]
 			// Chains already accumulated duplicates; only ordering remains.

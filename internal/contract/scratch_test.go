@@ -4,6 +4,7 @@ import (
 	"sort"
 	"testing"
 
+	"repro/internal/exec"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/matching"
@@ -75,9 +76,9 @@ func TestByMappingWithMatchesFresh(t *testing.T) {
 		dst := &graph.Graph{}
 		for gi, g := range inputs {
 			match := pairMatch(g.NumVertices(), g.NumVertices()/3)
-			mapping, k := Relabel(1, g, match)
-			want := ByMapping(2, g, mapping, k, layout)
-			got := ByMappingWith(4, g, mapping, k, layout, &s, dst)
+			mapping, k := Relabel(exec.Background(1), g, match)
+			want := ByMapping(exec.Background(2), g, mapping, k, layout)
+			got := ByMappingWith(exec.Background(4), g, mapping, k, layout, &s, dst)
 			if got != dst {
 				t.Fatalf("layout %v graph %d: destination not reused", layout, gi)
 			}
@@ -97,11 +98,11 @@ func TestByMappingWithMatchesFresh(t *testing.T) {
 func TestBucketWithReusesMapping(t *testing.T) {
 	g := gen.CliqueChain(12, 4)
 	match := pairMatch(g.NumVertices(), g.NumVertices()/2)
-	wantG, wantMap := Bucket(1, g, match, Contiguous)
+	wantG, wantMap := Bucket(exec.Background(1), g, match, Contiguous)
 
 	mapBuf := make([]int64, g.NumVertices())
 	var s Scratch
-	gotG, gotMap := BucketWith(2, g, match, Contiguous, &s, nil, mapBuf)
+	gotG, gotMap := BucketWith(exec.Background(2), g, match, Contiguous, &s, nil, mapBuf)
 	if &gotMap[0] != &mapBuf[0] {
 		t.Fatal("BucketWith did not reuse the mapping buffer")
 	}
@@ -125,9 +126,9 @@ func TestByMappingWithWholeGroups(t *testing.T) {
 	}
 	var s Scratch
 	dst := &graph.Graph{}
-	want := ByMapping(1, g, mapping, 3, Contiguous)
+	want := ByMapping(exec.Background(1), g, mapping, 3, Contiguous)
 	for trial := 0; trial < 3; trial++ {
-		got := ByMappingWith(3, g, mapping, 3, Contiguous, &s, dst)
+		got := ByMappingWith(exec.Background(3), g, mapping, 3, Contiguous, &s, dst)
 		if err := got.Validate(); err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -139,7 +140,7 @@ func TestByMappingWithWholeGroups(t *testing.T) {
 func TestByMappingWithEmpty(t *testing.T) {
 	g := graph.NewEmpty(0)
 	var s Scratch
-	ng := ByMappingWith(2, g, nil, 0, Contiguous, &s, &graph.Graph{})
+	ng := ByMappingWith(exec.Background(2), g, nil, 0, Contiguous, &s, &graph.Graph{})
 	if ng.NumVertices() != 0 || ng.NumEdges() != 0 {
 		t.Fatalf("empty contraction produced %d vertices / %d edges",
 			ng.NumVertices(), ng.NumEdges())

@@ -16,15 +16,17 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/buf"
 	"repro/internal/contract"
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/matching"
 	"repro/internal/obs"
-	"repro/internal/par"
 	"repro/internal/refine"
 	"repro/internal/scoring"
 )
@@ -148,6 +150,10 @@ const (
 	// TermMinCommunities: another contraction would drop below
 	// MinCommunities.
 	TermMinCommunities Termination = "min-communities"
+	// TermCanceled: the context was cancelled mid-run. The Result still
+	// carries the partial hierarchy built so far, alongside a non-nil
+	// wrapped ctx.Err().
+	TermCanceled Termination = "canceled"
 )
 
 // PhaseStats records one iteration of the inner loop. Vertices/Edges/
@@ -196,11 +202,20 @@ type Result struct {
 // Scratch arena internally so that after the first phase the loop reuses
 // every working buffer; DetectWith extends the reuse across runs.
 func Detect(g *graph.Graph, opt Options) (*Result, error) {
+	return DetectContext(context.Background(), g, opt)
+}
+
+// DetectContext is Detect under a cancellation context: the engine checks
+// ctx at every phase and kernel boundary, and a cancelled run stops at the
+// next check with Termination TermCanceled, a Result holding the partial
+// hierarchy built so far, and a non-nil error wrapping ctx.Err(). The arena
+// (and, via DetectWithContext, the worker team) is left in a reusable state.
+func DetectContext(ctx context.Context, g *graph.Graph, opt Options) (*Result, error) {
 	var s *Scratch
 	if !opt.NoScratch {
 		s = NewScratch()
 	}
-	return DetectWith(g, opt, s)
+	return DetectWithContext(ctx, g, opt, s)
 }
 
 // DetectWith is Detect running out of the reusable arena s: repeated calls
@@ -210,53 +225,84 @@ func Detect(g *graph.Graph, opt Options) (*Result, error) {
 // seed behavior. The returned Result never aliases arena memory. s must not
 // be shared by concurrent runs.
 func DetectWith(g *graph.Graph, opt Options, s *Scratch) (*Result, error) {
-	if opt.NoScratch {
-		s = nil
+	return DetectWithContext(context.Background(), g, opt, s)
+}
+
+// DetectWithContext is DetectWith under a cancellation context. It acquires
+// a pooled execution context (worker team included) for the run and releases
+// it on return, so repeated detections park and reuse one team instead of
+// spawning goroutines per loop.
+func DetectWithContext(ctx context.Context, g *graph.Graph, opt Options, s *Scratch) (*Result, error) {
+	if err := validateOptions(g, opt); err != nil {
+		return nil, err
 	}
+	ec := exec.Acquire(ctx, opt.Threads, opt.Recorder)
+	defer ec.Release()
+	return detect(ec, g, opt, s)
+}
+
+// DetectExec is the lowest-level entry point: the caller owns ec (its
+// context, recorder, and worker team), which overrides Options.Threads and
+// Options.Recorder entirely. The harness uses this to run a whole thread
+// sweep on one long-lived team.
+func DetectExec(ec *exec.Ctx, g *graph.Graph, opt Options, s *Scratch) (*Result, error) {
+	if err := validateOptions(g, opt); err != nil {
+		return nil, err
+	}
+	return detect(ec, g, opt, s)
+}
+
+func validateOptions(g *graph.Graph, opt Options) error {
 	if g == nil {
-		return nil, fmt.Errorf("core: nil graph")
+		return fmt.Errorf("core: nil graph")
 	}
 	if opt.MinCoverage < 0 || opt.MinCoverage > 1 {
-		return nil, fmt.Errorf("core: MinCoverage %v outside [0,1]", opt.MinCoverage)
+		return fmt.Errorf("core: MinCoverage %v outside [0,1]", opt.MinCoverage)
 	}
 	if opt.MaxPhases < 0 {
-		return nil, fmt.Errorf("core: negative MaxPhases %d", opt.MaxPhases)
+		return fmt.Errorf("core: negative MaxPhases %d", opt.MaxPhases)
 	}
 	if opt.MinCommunities < 0 {
-		return nil, fmt.Errorf("core: negative MinCommunities %d", opt.MinCommunities)
+		return fmt.Errorf("core: negative MinCommunities %d", opt.MinCommunities)
 	}
 	if opt.MaxCommunitySize < 0 {
-		return nil, fmt.Errorf("core: negative MaxCommunitySize %d", opt.MaxCommunitySize)
+		return fmt.Errorf("core: negative MaxCommunitySize %d", opt.MaxCommunitySize)
+	}
+	if _, err := matchFunc(opt.Matching); err != nil {
+		return err
+	}
+	if _, err := contractFunc(opt.Contraction); err != nil {
+		return err
+	}
+	return nil
+}
+
+func detect(ec *exec.Ctx, g *graph.Graph, opt Options, s *Scratch) (*Result, error) {
+	if opt.NoScratch {
+		s = nil
 	}
 	scorer := opt.Scorer
 	if scorer == nil {
 		scorer = scoring.Modularity{}
 	}
-	matchFn, err := matchFunc(opt.Matching)
-	if err != nil {
-		return nil, err
-	}
-	contractFn, err := contractFunc(opt.Contraction)
-	if err != nil {
-		return nil, err
-	}
-	p := opt.Threads
-	if p <= 0 {
-		p = par.DefaultThreads()
-	}
-	// rec is single-assignment so closure captures below don't heap-box it;
-	// a nil rec makes every instrumentation call a predictable-branch no-op.
-	rec := opt.Recorder
+	matchFn, _ := matchFunc(opt.Matching)
+	contractFn, _ := contractFunc(opt.Contraction)
+	// p is the worker count for the helpers outside the exec-threaded layers
+	// (graph degree/weight sweeps); single-assignment so closures below don't
+	// heap-box it. rec likewise: a nil rec makes every instrumentation call a
+	// predictable-branch no-op.
+	p := ec.Threads()
+	rec := ec.Recorder()
 
 	start := time.Now()
 	n := g.NumVertices()
 	comm := make([]int64, n)
-	if par.Serial(p, int(n)) {
+	if ec.Serial(int(n)) {
 		for i := range comm {
 			comm[i] = int64(i)
 		}
 	} else {
-		par.For(p, int(n), func(lo, hi int) {
+		ec.For(int(n), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				comm[i] = int64(i)
 			}
@@ -270,7 +316,7 @@ func DetectWith(g *graph.Graph, opt Options, s *Scratch) (*Result, error) {
 	sizesIdx := 0
 	var sizes []int64
 	if s != nil {
-		s.sizes[0] = growInt64(s.sizes[0], int(n))
+		s.sizes[0] = buf.Grow(s.sizes[0], int(n))
 		sizes = s.sizes[0]
 	} else {
 		sizes = make([]int64, n)
@@ -279,12 +325,12 @@ func DetectWith(g *graph.Graph, opt Options, s *Scratch) (*Result, error) {
 	// every phase, and a closure capturing a reassigned variable heap-boxes
 	// it (same reason finish takes cg and sizes as parameters).
 	initSizes := sizes
-	if par.Serial(p, int(n)) {
+	if ec.Serial(int(n)) {
 		for i := range initSizes {
 			initSizes[i] = 1
 		}
 	} else {
-		par.For(p, int(n), func(lo, hi int) {
+		ec.For(int(n), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				initSizes[i] = 1
 			}
@@ -302,7 +348,7 @@ func DetectWith(g *graph.Graph, opt Options, s *Scratch) (*Result, error) {
 		} else {
 			res.Sizes = sizes
 		}
-		res.FinalCoverage = coverage(p, cg, totW)
+		res.FinalCoverage = coverage(ec, cg, totW)
 		if deg == nil {
 			if s != nil {
 				deg = cg.WeightedDegreesInto(p, s.deg)
@@ -311,16 +357,20 @@ func DetectWith(g *graph.Graph, opt Options, s *Scratch) (*Result, error) {
 				deg = cg.WeightedDegrees(p)
 			}
 		}
-		res.FinalModularity = modularityOf(p, cg, deg, totW)
+		res.FinalModularity = modularityOf(ec, cg, deg, totW)
 		res.Total = time.Since(start)
 		return res, nil
 	}
 
 	for phase := 0; ; phase++ {
+		if err := ec.Err(); err != nil {
+			res, _ := finish(TermCanceled, nil, cg, sizes)
+			return res, fmt.Errorf("core: canceled at phase %d: %w", phase, err)
+		}
 		if opt.MaxPhases > 0 && phase >= opt.MaxPhases {
 			return finish(TermMaxPhases, nil, cg, sizes)
 		}
-		cov := coverage(p, cg, totW)
+		cov := coverage(ec, cg, totW)
 		if opt.MinCoverage > 0 && cov >= opt.MinCoverage {
 			return finish(TermCoverage, nil, cg, sizes)
 		}
@@ -343,24 +393,24 @@ func DetectWith(g *graph.Graph, opt Options, s *Scratch) (*Result, error) {
 		}
 		var scores []float64
 		if s != nil {
-			s.scores = growFloat64(s.scores, len(cg.U))
+			s.scores = buf.Grow(s.scores, len(cg.U))
 			scores = s.scores[:len(cg.U)]
 		} else {
 			scores = make([]float64, len(cg.U))
 		}
 		var positive bool
 		if fused, ok := scorer.(scoring.Fused); ok {
-			positive = fused.ScoreFused(p, cg, deg, totW, scores, sizes, opt.MaxCommunitySize,
+			positive = fused.ScoreFused(ec, cg, deg, totW, scores, sizes, opt.MaxCommunitySize,
 				rec.HotCounter(obs.CtrScoreMasked))
 		} else {
-			scorer.Score(p, cg, deg, totW, scores)
+			scorer.Score(ec, cg, deg, totW, scores)
 			if maxSize := opt.MaxCommunitySize; maxSize > 0 {
 				// Mask merges that would exceed the size cap; a local maximum
 				// then means "no allowed merge improves the metric". mcg and
 				// msizes are single-assignment aliases of the per-phase
 				// variables so the closure capture doesn't heap-box them.
 				mcg, msizes := cg, sizes
-				par.ForDynamic(p, int(mcg.NumVertices()), 0, func(lo, hi int) {
+				ec.ForDynamic(int(mcg.NumVertices()), 0, func(lo, hi int) {
 					for x := lo; x < hi; x++ {
 						for e := mcg.Start[x]; e < mcg.End[x]; e++ {
 							if msizes[mcg.U[e]]+msizes[mcg.V[e]] > maxSize {
@@ -370,7 +420,7 @@ func DetectWith(g *graph.Graph, opt Options, s *Scratch) (*Result, error) {
 					}
 				})
 			}
-			positive = scoring.HasPositive(p, cg, scores)
+			positive = scoring.HasPositive(ec, cg, scores)
 		}
 		scoreTime := time.Since(t0)
 		rec.FoldHot()
@@ -378,6 +428,11 @@ func DetectWith(g *graph.Graph, opt Options, s *Scratch) (*Result, error) {
 		if !positive {
 			phSpan.End()
 			return finish(TermLocalMax, deg, cg, sizes)
+		}
+		if err := ec.Err(); err != nil {
+			phSpan.End()
+			res, _ := finish(TermCanceled, deg, cg, sizes)
+			return res, fmt.Errorf("core: canceled at phase %d after scoring: %w", phase, err)
 		}
 
 		// Primitive 2: greedy heavy maximal matching.
@@ -388,7 +443,7 @@ func DetectWith(g *graph.Graph, opt Options, s *Scratch) (*Result, error) {
 		if s != nil {
 			ms = &s.match
 		}
-		mres := matchFn(p, cg, scores, ms, rec)
+		mres := matchFn(ec, cg, scores, ms)
 		matchTime := time.Since(t1)
 		mSpan.EndArgs("pairs", mres.Pairs, "passes", int64(mres.Passes))
 		if opt.Validate {
@@ -406,6 +461,11 @@ func DetectWith(g *graph.Graph, opt Options, s *Scratch) (*Result, error) {
 			phSpan.End()
 			return finish(TermMinCommunities, deg, cg, sizes)
 		}
+		if err := ec.Err(); err != nil {
+			phSpan.End()
+			res, _ := finish(TermCanceled, deg, cg, sizes)
+			return res, fmt.Errorf("core: canceled at phase %d after matching: %w", phase, err)
+		}
 
 		// Primitive 3: contraction, into the arena's ping-pong destination
 		// graph (phase i reads buffer i%2's predecessor and writes i%2).
@@ -422,7 +482,7 @@ func DetectWith(g *graph.Graph, opt Options, s *Scratch) (*Result, error) {
 				mapBuf = s.mapping
 			}
 		}
-		ng, mapping := contractFn(p, cg, mres.Match, cs, dst, mapBuf, rec)
+		ng, mapping := contractFn(ec, cg, mres.Match, cs, dst, mapBuf)
 		if s != nil && opt.DiscardLevels {
 			s.mapping = mapping
 		}
@@ -437,12 +497,12 @@ func DetectWith(g *graph.Graph, opt Options, s *Scratch) (*Result, error) {
 					phase, totW, ng.TotalWeight(p))
 			}
 		}
-		if par.Serial(p, int(n)) {
+		if ec.Serial(int(n)) {
 			for i := range comm {
 				comm[i] = mapping[comm[i]]
 			}
 		} else {
-			par.For(p, int(n), func(lo, hi int) {
+			ec.For(int(n), func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					comm[i] = mapping[comm[i]]
 				}
@@ -455,9 +515,9 @@ func DetectWith(g *graph.Graph, opt Options, s *Scratch) (*Result, error) {
 		// parallel reduction — instead of one atomic add per old community,
 		// which serialized on heavily merged regions.
 		kNew := int(ng.NumVertices())
-		if s != nil && par.Serial(p, len(sizes)) {
+		if s != nil && ec.Serial(len(sizes)) {
 			other := sizesIdx ^ 1
-			s.sizes[other] = growInt64(s.sizes[other], kNew)
+			s.sizes[other] = buf.Grow(s.sizes[other], kNew)
 			newSizes := s.sizes[other][:kNew]
 			clear(newSizes)
 			for c := range sizes {
@@ -468,12 +528,12 @@ func DetectWith(g *graph.Graph, opt Options, s *Scratch) (*Result, error) {
 			sizes = newSizes
 			sizesIdx = other
 		} else if s != nil {
-			workers := par.Workers(p, len(sizes))
-			s.sizeStripes = growInt64(s.sizeStripes, workers*kNew)
+			workers := ec.Workers(len(sizes))
+			s.sizeStripes = buf.Grow(s.sizeStripes, workers*kNew)
 			stripes := s.sizeStripes
-			par.ZeroInt64(p, stripes[:workers*kNew])
+			ec.ZeroInt64(stripes[:workers*kNew])
 			oldSizes := sizes // single-assignment alias for closure capture
-			par.ForWorker(p, len(oldSizes), func(w, lo, hi int) {
+			ec.ForWorker(len(oldSizes), func(w, lo, hi int) {
 				base := w * kNew
 				for c := lo; c < hi; c++ {
 					if oldSizes[c] != 0 {
@@ -482,15 +542,15 @@ func DetectWith(g *graph.Graph, opt Options, s *Scratch) (*Result, error) {
 				}
 			})
 			other := sizesIdx ^ 1
-			s.sizes[other] = growInt64(s.sizes[other], kNew)
+			s.sizes[other] = buf.Grow(s.sizes[other], kNew)
 			newSizes := s.sizes[other][:kNew]
-			par.MergeStripes(p, stripes, workers, kNew, newSizes)
+			ec.MergeStripes(stripes, workers, kNew, newSizes)
 			sizes = newSizes
 			sizesIdx = other
 		} else {
 			newSizes := make([]int64, kNew)
 			oldSizes := sizes
-			par.For(p, len(oldSizes), func(lo, hi int) {
+			ec.For(len(oldSizes), func(lo, hi int) {
 				for c := lo; c < hi; c++ {
 					if oldSizes[c] != 0 {
 						atomic.AddInt64(&newSizes[mapping[c]], oldSizes[c])
@@ -505,7 +565,7 @@ func DetectWith(g *graph.Graph, opt Options, s *Scratch) (*Result, error) {
 			Vertices:     cg.NumVertices(),
 			Edges:        cg.NumEdges(),
 			Coverage:     cov,
-			Modularity:   modularityOf(p, cg, deg, totW),
+			Modularity:   modularityOf(ec, cg, deg, totW),
 			MatchedPairs: mres.Pairs,
 			MatchPasses:  mres.Passes,
 			MatchWeight:  mres.Weight,
@@ -527,7 +587,7 @@ func DetectWith(g *graph.Graph, opt Options, s *Scratch) (*Result, error) {
 			// then rebuild the community graph from the refined partition.
 			rec.SetKernel("refine")
 			rSpan := rec.Begin(obs.CatKernel, "refine", -1)
-			rres, err := refine.Refine(g, comm, cg.NumVertices(), refine.Options{Threads: p})
+			rres, err := refine.RefineExec(ec, g, comm, cg.NumVertices(), refine.Options{})
 			if err != nil {
 				rSpan.End()
 				phSpan.End()
@@ -535,7 +595,7 @@ func DetectWith(g *graph.Graph, opt Options, s *Scratch) (*Result, error) {
 			}
 			if rres.Moves > 0 && rres.ModularityAfter > rres.ModularityBefore {
 				copy(comm, rres.CommunityOf)
-				cg = contract.ByMapping(p, g, comm, rres.NumCommunities, contract.Contiguous)
+				cg = contract.ByMapping(ec, g, comm, rres.NumCommunities, contract.Contiguous)
 				newSizes := make([]int64, rres.NumCommunities)
 				for _, c := range comm {
 					newSizes[c]++
@@ -563,32 +623,32 @@ func boolInt64(b bool) int64 {
 	return 0
 }
 
-func matchFunc(k MatchKernel) (func(int, *graph.Graph, []float64, *matching.Scratch, *obs.Recorder) matching.Result, error) {
+func matchFunc(k MatchKernel) (func(*exec.Ctx, *graph.Graph, []float64, *matching.Scratch) matching.Result, error) {
 	switch k {
 	case MatchWorklist:
-		return matching.WorklistRec, nil
+		return matching.WorklistWith, nil
 	case MatchEdgeSweep:
-		return matching.EdgeSweepRec, nil
+		return matching.EdgeSweepWith, nil
 	}
 	return nil, fmt.Errorf("core: unknown matching kernel %d", int(k))
 }
 
-func contractFunc(k ContractKernel) (func(p int, g *graph.Graph, m []int64, s *contract.Scratch, dst *graph.Graph, mapBuf []int64, rec *obs.Recorder) (*graph.Graph, []int64), error) {
+func contractFunc(k ContractKernel) (func(ec *exec.Ctx, g *graph.Graph, m []int64, s *contract.Scratch, dst *graph.Graph, mapBuf []int64) (*graph.Graph, []int64), error) {
 	switch k {
 	case ContractBucket:
-		return func(p int, g *graph.Graph, m []int64, s *contract.Scratch, dst *graph.Graph, mapBuf []int64, rec *obs.Recorder) (*graph.Graph, []int64) {
-			return contract.BucketRec(p, g, m, contract.Contiguous, s, dst, mapBuf, rec)
+		return func(ec *exec.Ctx, g *graph.Graph, m []int64, s *contract.Scratch, dst *graph.Graph, mapBuf []int64) (*graph.Graph, []int64) {
+			return contract.BucketWith(ec, g, m, contract.Contiguous, s, dst, mapBuf)
 		}, nil
 	case ContractBucketNonContiguous:
-		return func(p int, g *graph.Graph, m []int64, s *contract.Scratch, dst *graph.Graph, mapBuf []int64, rec *obs.Recorder) (*graph.Graph, []int64) {
-			return contract.BucketRec(p, g, m, contract.NonContiguous, s, dst, mapBuf, rec)
+		return func(ec *exec.Ctx, g *graph.Graph, m []int64, s *contract.Scratch, dst *graph.Graph, mapBuf []int64) (*graph.Graph, []int64) {
+			return contract.BucketWith(ec, g, m, contract.NonContiguous, s, dst, mapBuf)
 		}, nil
 	case ContractListChase:
 		// The 2011 ablation baseline allocates fresh state by design; its
 		// hash-chain storage has no reusable shape (and gets no sub-span
 		// instrumentation — it exists to be timed as a whole).
-		return func(p int, g *graph.Graph, m []int64, _ *contract.Scratch, _ *graph.Graph, _ []int64, _ *obs.Recorder) (*graph.Graph, []int64) {
-			return contract.ListChase(p, g, m)
+		return func(ec *exec.Ctx, g *graph.Graph, m []int64, _ *contract.Scratch, _ *graph.Graph, _ []int64) (*graph.Graph, []int64) {
+			return contract.ListChase(ec, g, m)
 		}, nil
 	}
 	return nil, fmt.Errorf("core: unknown contraction kernel %d", int(k))
@@ -596,25 +656,22 @@ func contractFunc(k ContractKernel) (func(p int, g *graph.Graph, m []int64, s *c
 
 // coverage is the fraction of total input edge weight lying inside
 // communities: Σ Self / m (§III; the DIMACS-style termination measure).
-func coverage(p int, cg *graph.Graph, totW int64) float64 {
+func coverage(ec *exec.Ctx, cg *graph.Graph, totW int64) float64 {
 	if totW <= 0 {
 		return 0
 	}
-	return float64(par.SumInt64(p, cg.Self)) / float64(totW)
+	return float64(ec.SumInt64(cg.Self)) / float64(totW)
 }
 
 // modularityOf evaluates Newman–Girvan modularity of the partition the
 // community graph represents: Q = Σ_c [ self_c/m − (deg_c/(2m))² ].
-func modularityOf(p int, cg *graph.Graph, deg []int64, totW int64) float64 {
+func modularityOf(ec *exec.Ctx, cg *graph.Graph, deg []int64, totW int64) float64 {
 	if totW <= 0 {
 		return 0
 	}
 	m := float64(totW)
 	n := int(cg.NumVertices())
-	if p <= 0 {
-		p = par.DefaultThreads()
-	}
-	if p == 1 || n == 1 {
+	if ec.Serial(n) {
 		// Serial path keeps the per-phase stats computation off the heap.
 		var q float64
 		for c := 0; c < n; c++ {
@@ -623,8 +680,8 @@ func modularityOf(p int, cg *graph.Graph, deg []int64, totW int64) float64 {
 		}
 		return q
 	}
-	partial := make([]float64, p)
-	used := par.ForWorker(p, n, func(w, lo, hi int) {
+	partial := make([]float64, ec.Threads())
+	used := ec.ForWorker(n, func(w, lo, hi int) {
 		var q float64
 		for c := lo; c < hi; c++ {
 			d := float64(deg[c]) / (2 * m)

@@ -55,20 +55,3 @@ func (s *Scratch) graphBuf(i int) *graph.Graph {
 	}
 	return s.cg[i]
 }
-
-// growInt64 reslices xs to n entries, reallocating only when capacity is
-// short; contents are unspecified and callers overwrite them.
-func growInt64(xs []int64, n int) []int64 {
-	if cap(xs) < n {
-		return make([]int64, n)
-	}
-	return xs[:n]
-}
-
-// growFloat64 is growInt64 for float64 slices.
-func growFloat64(xs []float64, n int) []float64 {
-	if cap(xs) < n {
-		return make([]float64, n)
-	}
-	return xs[:n]
-}

@@ -1,0 +1,166 @@
+package exec
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestBackgroundCachedAndImmutable(t *testing.T) {
+	a := Background(2)
+	b := Background(2)
+	if a != b {
+		t.Fatal("Background(2) not cached")
+	}
+	if a.Threads() != 2 || a.Recorder() != nil || a.Err() != nil {
+		t.Fatal("Background context misconfigured")
+	}
+	big := Background(maxBackground + 5)
+	if big.Threads() != maxBackground+5 {
+		t.Fatalf("Threads = %d", big.Threads())
+	}
+}
+
+func TestBackgroundLoopsFallBackToSpawn(t *testing.T) {
+	c := Background(4)
+	var n int64
+	c.For(100, func(lo, hi int) { atomic.AddInt64(&n, int64(hi-lo)) })
+	if n != 100 {
+		t.Fatalf("For covered %d of 100", n)
+	}
+	var dyn int64
+	c.ForDynamic(100, 7, func(lo, hi int) { atomic.AddInt64(&dyn, int64(hi-lo)) })
+	if dyn != 100 {
+		t.Fatalf("ForDynamic covered %d of 100", dyn)
+	}
+}
+
+func TestNewPooledLoops(t *testing.T) {
+	c := New(context.Background(), 4, nil)
+	defer c.Close()
+	var n int64
+	for i := 0; i < 100; i++ {
+		c.For(997, func(lo, hi int) { atomic.AddInt64(&n, int64(hi-lo)) })
+	}
+	if n != 100*997 {
+		t.Fatalf("pooled For covered %d, want %d", n, 100*997)
+	}
+	times := make([]int64, 4)
+	used := c.ForWorkerTimes(1000, times, func(w, lo, hi int) {})
+	if used < 1 {
+		t.Fatalf("used = %d", used)
+	}
+}
+
+func TestWithThreadsSharesTeam(t *testing.T) {
+	c := New(context.Background(), 2, nil)
+	defer c.Close()
+	w := c.WithThreads(4) // grows the shared team
+	if w.Threads() != 4 {
+		t.Fatalf("Threads = %d", w.Threads())
+	}
+	var n int64
+	w.For(1000, func(lo, hi int) { atomic.AddInt64(&n, int64(hi-lo)) })
+	if n != 1000 {
+		t.Fatalf("covered %d", n)
+	}
+	// The original width is untouched.
+	if c.Threads() != 2 {
+		t.Fatalf("original Threads = %d", c.Threads())
+	}
+}
+
+func TestWithContextAndRecorder(t *testing.T) {
+	rec := obs.New()
+	ctx, cancel := context.WithCancel(context.Background())
+	c := Background(1).WithContext(ctx).WithRecorder(rec)
+	if c.Recorder() != rec {
+		t.Fatal("recorder not attached")
+	}
+	if c.Err() != nil {
+		t.Fatal("premature cancellation")
+	}
+	cancel()
+	if c.Err() == nil {
+		t.Fatal("cancellation not visible")
+	}
+	if Background(1).Err() != nil {
+		t.Fatal("derivation mutated the cached Background context")
+	}
+}
+
+func TestAcquireReleaseReusesCtx(t *testing.T) {
+	a := Acquire(nil, 2, nil)
+	a.Release()
+	b := Acquire(nil, 2, nil)
+	defer b.Release()
+	if a != b {
+		t.Fatal("Release/Acquire did not reuse the context")
+	}
+	var n int64
+	b.For(100, func(lo, hi int) { atomic.AddInt64(&n, int64(hi-lo)) })
+	if n != 100 {
+		t.Fatalf("reused ctx covered %d", n)
+	}
+}
+
+func TestAcquireGrowsReusedTeam(t *testing.T) {
+	a := Acquire(nil, 2, nil)
+	a.Release()
+	b := Acquire(nil, 6, nil)
+	defer b.Release()
+	var n int64
+	b.For(10000, func(lo, hi int) { atomic.AddInt64(&n, int64(hi-lo)) })
+	if n != 10000 {
+		t.Fatalf("grown ctx covered %d", n)
+	}
+}
+
+func TestAcquireSerialSteadyStateAllocFree(t *testing.T) {
+	// Detect at Threads=1 acquires and releases per call; the free-list must
+	// make that allocation-free once warm.
+	allocs := testing.AllocsPerRun(50, func() {
+		c := Acquire(context.Background(), 1, nil)
+		if !c.Serial(10) {
+			t.Fatal("Threads=1 should be serial")
+		}
+		c.Release()
+	})
+	if allocs != 0 {
+		t.Fatalf("Acquire/Release allocated %.1f times per run", allocs)
+	}
+}
+
+func TestHelpersOnBackground(t *testing.T) {
+	c := Background(2)
+	xs := []int64{3, 1, 4, 1, 5}
+	if got := c.SumInt64(xs); got != 14 {
+		t.Fatalf("SumInt64 = %d", got)
+	}
+	scan := append([]int64(nil), xs...)
+	if total := c.ExclusiveSumInt64(scan); total != 14 {
+		t.Fatalf("scan total = %d", total)
+	}
+	if scan[0] != 0 || scan[4] != 9 {
+		t.Fatalf("scan = %v", scan)
+	}
+	zero := []int64{7, 7, 7}
+	c.ZeroInt64(zero)
+	for _, v := range zero {
+		if v != 0 {
+			t.Fatalf("ZeroInt64 left %v", zero)
+		}
+	}
+	keep := []int64{1, 0, 1, 0, 1}
+	idx := c.PackIndexInto(len(keep), keep, nil, nil)
+	if len(idx) != 3 || idx[0] != 0 || idx[1] != 2 || idx[2] != 4 {
+		t.Fatalf("PackIndexInto = %v", idx)
+	}
+	src := []int64{10, 20, 30, 40, 50}
+	packed := PackInto(c, src, keep, nil, nil)
+	if len(packed) != 3 || packed[0] != 10 || packed[1] != 30 || packed[2] != 50 {
+		t.Fatalf("PackInto = %v", packed)
+	}
+}

@@ -12,6 +12,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"repro/internal/buf"
 
 	"repro/internal/par"
 )
@@ -105,9 +106,9 @@ func (g *Graph) SetCounts(n, m int64) { g.setCounts(n, m) }
 // is the contraction kernels' ping-pong reuse hook, not a public builder.
 // Call SetCounts (or ResizeEdges plus filling) before handing the graph out.
 func (g *Graph) ResizeVertices(n int64) {
-	g.Self = growInt64(g.Self, n)
-	g.Start = growInt64(g.Start, n)
-	g.End = growInt64(g.End, n)
+	g.Self = buf.Grow(g.Self, int(n))
+	g.Start = buf.Grow(g.Start, int(n))
+	g.End = buf.Grow(g.End, int(n))
 	g.n = n
 }
 
@@ -115,18 +116,9 @@ func (g *Graph) ResizeVertices(n int64) {
 // stale-contents contract as ResizeVertices. The live-edge count is set by
 // SetCounts once the kernels know how many edges survived deduplication.
 func (g *Graph) ResizeEdges(m int64) {
-	g.U = growInt64(g.U, m)
-	g.V = growInt64(g.V, m)
-	g.W = growInt64(g.W, m)
-}
-
-// growInt64 reslices xs to n entries, reallocating (without copying — the
-// contents are stale by contract) only when capacity is short.
-func growInt64(xs []int64, n int64) []int64 {
-	if int64(cap(xs)) < n {
-		return make([]int64, n)
-	}
-	return xs[:n]
+	g.U = buf.Grow(g.U, int(m))
+	g.V = buf.Grow(g.V, int(m))
+	g.W = buf.Grow(g.W, int(m))
 }
 
 // Bucket returns the [lo, hi) edge-array range of vertex x's bucket.

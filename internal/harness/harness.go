@@ -7,6 +7,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/report"
 )
@@ -81,6 +83,16 @@ func ThreadSeries(max int) []int {
 // service would see, and the regime the paper's repeated-trial methodology
 // actually times.
 func Sweep(g *graph.Graph, name string, cfg Config) ([]Record, error) {
+	return SweepContext(context.Background(), g, name, cfg)
+}
+
+// SweepContext is Sweep under a cancellation context. The whole sweep runs
+// on one long-lived worker team sized to the widest thread setting; each
+// setting derives a narrower view of the same team, so no goroutines are
+// spawned or torn down between runs. Cancellation aborts the current
+// detection at its next kernel boundary and returns the records gathered so
+// far alongside the error.
+func SweepContext(ctx context.Context, g *graph.Graph, name string, cfg Config) ([]Record, error) {
 	if cfg.Trials < 1 {
 		cfg.Trials = 1
 	}
@@ -91,15 +103,24 @@ func Sweep(g *graph.Graph, name string, cfg Config) ([]Record, error) {
 	if !cfg.Options.NoScratch {
 		scratch = core.NewScratch()
 	}
+	maxTh := 1
+	for _, th := range cfg.Threads {
+		if th > maxTh {
+			maxTh = th
+		}
+	}
+	ec := exec.New(ctx, maxTh, cfg.Options.Recorder)
+	defer ec.Close()
 	var out []Record
 	for _, th := range cfg.Threads {
+		ecT := ec.WithThreads(th)
 		for trial := 0; trial < cfg.Trials; trial++ {
 			opt := cfg.Options
 			opt.Threads = th
 			start := time.Now()
-			res, err := core.DetectWith(g, opt, scratch)
+			res, err := core.DetectExec(ecT, g, opt, scratch)
 			if err != nil {
-				return nil, fmt.Errorf("harness: %s threads=%d trial=%d: %w", name, th, trial, err)
+				return out, fmt.Errorf("harness: %s threads=%d trial=%d: %w", name, th, trial, err)
 			}
 			secs := time.Since(start).Seconds()
 			var scoreSec, matchSec, contractSec float64

@@ -8,6 +8,8 @@ package hierarchy
 
 import (
 	"fmt"
+
+	"repro/internal/exec"
 )
 
 // Dendrogram is the merge hierarchy of one detection run.
@@ -25,6 +27,14 @@ type Dendrogram struct {
 // to level-l+1 ids and must be dense. The engine's Result.Levels has
 // exactly this shape (when Options.RefineEveryPhase is off).
 func New(n int64, levels [][]int64) (*Dendrogram, error) {
+	return NewExec(exec.Background(0), n, levels)
+}
+
+// NewExec is New composing the per-level partitions on ec's workers; the
+// composition sweep over n vertices at every level is the only heavy part of
+// dendrogram construction. A cancelled context aborts between levels with a
+// wrapped ctx.Err().
+func NewExec(ec *exec.Ctx, n int64, levels [][]int64) (*Dendrogram, error) {
 	d := &Dendrogram{n: n, levels: levels}
 	cur := make([]int64, n)
 	for i := range cur {
@@ -34,6 +44,9 @@ func New(n int64, levels [][]int64) (*Dendrogram, error) {
 	d.counts = append(d.counts, n)
 	prevK := n
 	for l, level := range levels {
+		if err := ec.Err(); err != nil {
+			return nil, fmt.Errorf("hierarchy: canceled at level %d: %w", l, err)
+		}
 		k := int64(len(level))
 		if k != prevK {
 			return nil, fmt.Errorf("hierarchy: level %d maps %d communities, previous level has %d", l, k, prevK)
@@ -57,8 +70,16 @@ func New(n int64, levels [][]int64) (*Dendrogram, error) {
 				return nil, fmt.Errorf("hierarchy: level %d community %d empty", l, c)
 			}
 		}
-		for v := range cur {
-			cur[v] = level[cur[v]]
+		if ec.Serial(int(n)) {
+			for v := range cur {
+				cur[v] = level[cur[v]]
+			}
+		} else {
+			ec.For(int(n), func(lo, hi int) {
+				for v := lo; v < hi; v++ {
+					cur[v] = level[cur[v]]
+				}
+			})
 		}
 		d.partitions = append(d.partitions, append([]int64(nil), cur...))
 		d.counts = append(d.counts, nextK)

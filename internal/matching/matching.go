@@ -28,6 +28,8 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/buf"
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/par"
@@ -108,12 +110,12 @@ type Scratch struct {
 // grow resizes every buffer for an n-vertex graph. candPass entries are
 // reset to -1 (pass stamps restart at 0 every run); locks are reused as-is —
 // every lock is free between runs.
-func (s *Scratch) grow(p, n int) {
-	s.match = growInt64(s.match, n)
-	s.candE = growInt64(s.candE, n)
-	s.candPass = growInt64(s.candPass, n)
-	s.keep = growInt64(s.keep, n)
-	s.slots = growInt64(s.slots, n)
+func (s *Scratch) grow(ec *exec.Ctx, n int) {
+	s.match = buf.Grow(s.match, n)
+	s.candE = buf.Grow(s.candE, n)
+	s.candPass = buf.Grow(s.candPass, n)
+	s.keep = buf.Grow(s.keep, n)
+	s.slots = buf.Grow(s.slots, n)
 	if cap(s.candKey) < n {
 		s.candKey = make([]edgeKey, n)
 	}
@@ -121,26 +123,19 @@ func (s *Scratch) grow(p, n int) {
 	if s.locks == nil || s.locks.Len() < n {
 		s.locks = par.NewSpinLocks(n)
 	}
-	if par.Serial(p, n) {
+	if ec.Serial(n) {
 		for i := 0; i < n; i++ {
 			s.match[i] = Unmatched
 			s.candPass[i] = -1
 		}
 		return
 	}
-	par.For(p, n, func(lo, hi int) {
+	ec.For(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			s.match[i] = Unmatched
 			s.candPass[i] = -1
 		}
 	})
-}
-
-func growInt64(xs []int64, n int) []int64 {
-	if cap(xs) < n {
-		return make([]int64, n)
-	}
-	return xs[:n]
 }
 
 // orNew returns s, or a fresh Scratch when s is nil, letting the kernels
@@ -168,28 +163,26 @@ func (s *Scratch) orNew() *Scratch {
 // guarantees weight within 2× of the maximum. Vertices whose claim was
 // frustrated but that still saw an available edge stay on the list; the
 // matching is maximal when the list drains.
-func Worklist(p int, g *graph.Graph, scores []float64) Result {
-	return WorklistWith(p, g, scores, nil)
+func Worklist(ec *exec.Ctx, g *graph.Graph, scores []float64) Result {
+	return WorklistWith(ec, g, scores, nil)
 }
 
 // WorklistWith is Worklist running out of s's reusable buffers; a nil s
-// behaves exactly like Worklist.
-func WorklistWith(p int, g *graph.Graph, scores []float64, scratch *Scratch) Result {
-	return WorklistRec(p, g, scores, scratch, nil)
-}
-
-// WorklistRec is WorklistWith with observability: a non-nil rec records one
+// behaves exactly like Worklist. When ec carries a recorder it records one
 // span per pass (worklist length in, requeued count out) and the
-// rounds/visits/claim/conflict counters. A nil rec costs a handful of
-// predictable branches per pass — nothing per vertex or edge.
-func WorklistRec(p int, g *graph.Graph, scores []float64, scratch *Scratch, rec *obs.Recorder) Result {
+// rounds/visits/claim/conflict counters; a nil recorder costs a handful of
+// predictable branches per pass — nothing per vertex or edge. When ec's
+// context is cancelled the pass loop exits early: the partial matching is
+// symmetric and claim-consistent, just not maximal.
+func WorklistWith(ec *exec.Ctx, g *graph.Graph, scores []float64, scratch *Scratch) Result {
+	rec := ec.Recorder()
 	n := int(g.NumVertices())
 	// s is assigned exactly once: a variable with any assignment after its
 	// declaration is captured by reference when a closure mentions it, i.e.
 	// heap-boxed at declaration, which the zero-allocation steady state
 	// cannot afford (same for lst below).
 	s := scratch.orNew()
-	s.grow(p, n)
+	s.grow(ec, n)
 	// The per-vertex candidate tables (candE/candKey/candPass) are stamped
 	// by pass so they never need clearing; they are guarded by the scratch's
 	// locks during phase A and read freely in phase B (the phases are
@@ -200,7 +193,7 @@ func WorklistRec(p int, g *graph.Graph, scores []float64, scratch *Scratch, rec 
 	// buckets are passive — they receive proposals but the owning side
 	// performs the claim.
 	keepFlags := s.keep
-	if par.Serial(p, n) {
+	if ec.Serial(n) {
 		for x := 0; x < n; x++ {
 			if g.End[x] > g.Start[x] {
 				keepFlags[x] = 1
@@ -209,7 +202,7 @@ func WorklistRec(p int, g *graph.Graph, scores []float64, scratch *Scratch, rec 
 			}
 		}
 	} else {
-		par.For(p, n, func(lo, hi int) {
+		ec.For(n, func(lo, hi int) {
 			for x := lo; x < hi; x++ {
 				if g.End[x] > g.Start[x] {
 					keepFlags[x] = 1
@@ -219,12 +212,15 @@ func WorklistRec(p int, g *graph.Graph, scores []float64, scratch *Scratch, rec 
 			}
 		})
 	}
-	list := par.PackIndexInto(p, n, keepFlags, s.slots, s.list)
+	list := ec.PackIndexInto(n, keepFlags, s.slots, s.list)
 
 	buf := s.list2
 	hot := rec.Hot() // nil when disabled; claim chunks flush into it
 	passes := 0
 	for len(list) > 0 {
+		if ec.Err() != nil {
+			break // cancelled: the matching so far is symmetric, stop refining it
+		}
 		pass := int64(passes)
 		lst := list // single-assignment alias for closure capture
 		sp := rec.Begin(obs.CatMatch, "pass", -1)
@@ -233,10 +229,10 @@ func WorklistRec(p int, g *graph.Graph, scores []float64, scratch *Scratch, rec 
 		// live in plain functions so the serial path evaluates no closure
 		// literal (a literal handed to ForDynamic escapes and heap-allocates
 		// even when the loop then runs on one worker).
-		if par.Serial(p, len(lst)) {
+		if ec.Serial(len(lst)) {
 			worklistPropose(g, scores, s, lst, pass, 0, len(lst))
 		} else {
-			par.ForDynamic(p, len(lst), 0, func(lo, hi int) {
+			ec.ForDynamic(len(lst), 0, func(lo, hi int) {
 				worklistPropose(g, scores, s, lst, pass, lo, hi)
 			})
 		}
@@ -244,16 +240,16 @@ func WorklistRec(p int, g *graph.Graph, scores []float64, scratch *Scratch, rec 
 		// flags live in reused scratch, so every entry is written (0 on the
 		// drop paths) rather than relying on a fresh zeroed allocation.
 		keep := keepFlags[:len(lst)]
-		if par.Serial(p, len(lst)) {
+		if ec.Serial(len(lst)) {
 			worklistClaim(g, s, lst, keep, pass, hot, 0, len(lst))
 		} else {
-			par.ForDynamic(p, len(lst), 0, func(lo, hi int) {
+			ec.ForDynamic(len(lst), 0, func(lo, hi int) {
 				worklistClaim(g, s, lst, keep, pass, hot, lo, hi)
 			})
 		}
 		// Compact into the other half of the double-buffer and swap, so the
 		// drained list's storage backs the next pass's output.
-		packed := par.PackInto(p, lst, keep, s.slots, buf)
+		packed := exec.PackInto(ec, lst, keep, s.slots, buf)
 		buf = lst[:0]
 		list = packed
 		passes++
@@ -264,7 +260,7 @@ func WorklistRec(p int, g *graph.Graph, scores []float64, scratch *Scratch, rec 
 	s.list, s.list2 = list[:0], buf[:0]
 	rec.Add(obs.CtrMatchRounds, int64(passes))
 	rec.FoldHot()
-	return finishResult(p, g, scores, s.match, passes)
+	return finishResult(ec, g, scores, s.match, passes)
 }
 
 // worklistPropose is phase A of one worklist pass over list[lo:hi]: each
@@ -353,40 +349,40 @@ func worklistClaim(g *graph.Graph, s *Scratch, list, keep []int64, pass int64, h
 // edges. Kept as the ablation baseline for the paper's claim that the
 // worklist algorithm's gains are "marginal on the Cray XMT but drastic on
 // Intel-based platforms".
-func EdgeSweep(p int, g *graph.Graph, scores []float64) Result {
-	return EdgeSweepWith(p, g, scores, nil)
+func EdgeSweep(ec *exec.Ctx, g *graph.Graph, scores []float64) Result {
+	return EdgeSweepWith(ec, g, scores, nil)
 }
 
 // EdgeSweepWith is EdgeSweep running out of s's reusable buffers; a nil s
 // behaves exactly like EdgeSweep. The candidate tables double as the
-// per-vertex best-edge tables.
-func EdgeSweepWith(p int, g *graph.Graph, scores []float64, scratch *Scratch) Result {
-	return EdgeSweepRec(p, g, scores, scratch, nil)
-}
-
-// EdgeSweepRec is EdgeSweepWith with observability, mirroring WorklistRec:
-// one span per whole-edge-array pass plus the rounds and claim/conflict
-// counters. The edge sweep has no worklist, so every pass reports the full
-// vertex count as its active size.
-func EdgeSweepRec(p int, g *graph.Graph, scores []float64, scratch *Scratch, rec *obs.Recorder) Result {
+// per-vertex best-edge tables. Observability mirrors WorklistWith: one span
+// per whole-edge-array pass plus the rounds and claim/conflict counters (the
+// edge sweep has no worklist, so every pass reports the full vertex count as
+// its active size), and a cancelled context exits the pass loop early with a
+// symmetric partial matching.
+func EdgeSweepWith(ec *exec.Ctx, g *graph.Graph, scores []float64, scratch *Scratch) Result {
+	rec := ec.Recorder()
 	n := int(g.NumVertices())
 	s := scratch.orNew()
-	s.grow(p, n)
+	s.grow(ec, n)
 
 	hot := rec.Hot()
 	passes := 0
 	for {
+		if ec.Err() != nil {
+			break
+		}
 		pass := int64(passes)
 		eligible := false
 		sp := rec.Begin(obs.CatMatch, "pass", -1)
 		// Sweep 1: per-endpoint best via locks (the hot spot). As in the
 		// worklist kernel, the sweep bodies are plain functions so the
 		// serial path evaluates no escaping closure literal.
-		if par.Serial(p, n) {
+		if ec.Serial(n) {
 			eligible = edgeSweepBest(g, scores, s, pass, 0, n)
 		} else {
 			var flag int64
-			par.ForDynamic(p, n, 0, func(lo, hi int) {
+			ec.ForDynamic(n, 0, func(lo, hi int) {
 				if edgeSweepBest(g, scores, s, pass, lo, hi) {
 					atomic.StoreInt64(&flag, 1)
 				}
@@ -398,10 +394,10 @@ func EdgeSweepRec(p int, g *graph.Graph, scores []float64, scratch *Scratch, rec
 			break
 		}
 		// Sweep 2: match mutually best edges.
-		if par.Serial(p, n) {
+		if ec.Serial(n) {
 			edgeSweepClaim(g, scores, s, pass, hot, 0, n)
 		} else {
-			par.ForDynamic(p, n, 0, func(lo, hi int) {
+			ec.ForDynamic(n, 0, func(lo, hi int) {
 				edgeSweepClaim(g, scores, s, pass, hot, lo, hi)
 			})
 		}
@@ -411,7 +407,7 @@ func EdgeSweepRec(p int, g *graph.Graph, scores []float64, scratch *Scratch, rec
 	}
 	rec.Add(obs.CtrMatchRounds, int64(passes))
 	rec.FoldHot()
-	return finishResult(p, g, scores, s.match, passes)
+	return finishResult(ec, g, scores, s.match, passes)
 }
 
 // edgeSweepBest is sweep 1 of one edge-sweep pass over buckets [lo, hi): it
@@ -483,9 +479,9 @@ func edgeSweepClaim(g *graph.Graph, scores []float64, s *Scratch, pass int64, ho
 }
 
 // finishResult counts pairs and sums matched-edge scores.
-func finishResult(p int, g *graph.Graph, scores []float64, match []int64, passes int) Result {
+func finishResult(ec *exec.Ctx, g *graph.Graph, scores []float64, match []int64, passes int) Result {
 	n := int(g.NumVertices())
-	if par.Serial(p, n) {
+	if ec.Serial(n) {
 		var pairs int64
 		var weight float64
 		for x := int64(0); x < int64(n); x++ {
@@ -504,7 +500,7 @@ func finishResult(p int, g *graph.Graph, scores []float64, match []int64, passes
 	// which would heap-box them on the serial path too.
 	var pairs int64
 	var weightBits uint64
-	par.ForDynamic(p, n, 0, func(lo, hi int) {
+	ec.ForDynamic(n, 0, func(lo, hi int) {
 		var localPairs int64
 		var localWeight float64
 		for x := int64(lo); x < int64(hi); x++ {

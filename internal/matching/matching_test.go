@@ -5,16 +5,22 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/exec"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/par"
 	"repro/internal/scoring"
 )
 
-// kernels under test, by name.
+// kernels under test, by name, adapted back to a plain worker-count
+// signature for the table-driven tests.
 var kernels = map[string]func(p int, g *graph.Graph, scores []float64) Result{
-	"worklist":  Worklist,
-	"edgesweep": EdgeSweep,
+	"worklist": func(p int, g *graph.Graph, scores []float64) Result {
+		return Worklist(exec.Background(p), g, scores)
+	},
+	"edgesweep": func(p int, g *graph.Graph, scores []float64) Result {
+		return EdgeSweep(exec.Background(p), g, scores)
+	},
 }
 
 // uniformScores gives every edge score 1.
@@ -210,7 +216,7 @@ func TestModularityScoredMatchingOnLJSim(t *testing.T) {
 	}
 	deg := g.WeightedDegrees(4)
 	scores := make([]float64, len(g.U))
-	scoring.Modularity{}.Score(4, g, deg, g.TotalWeight(4), scores)
+	scoring.Modularity{}.Score(exec.Background(4), g, deg, g.TotalWeight(4), scores)
 	for name, kern := range kernels {
 		res := kern(4, g, scores)
 		if err := Verify(g, scores, res.Match); err != nil {
@@ -329,7 +335,7 @@ func TestWorklistAdversarialPathWorstCase(t *testing.T) {
 	}
 	g := graph.MustBuild(2, n, edges)
 	scores := weightScores(g)
-	res := Worklist(2, g, scores)
+	res := Worklist(exec.Background(2), g, scores)
 	if err := Verify(g, scores, res.Match); err != nil {
 		t.Fatal(err)
 	}
@@ -348,8 +354,8 @@ func TestWorklistFewPassesOnSocialGraph(t *testing.T) {
 	}
 	deg := g.WeightedDegrees(2)
 	scores := make([]float64, len(g.U))
-	scoring.Modularity{}.Score(2, g, deg, g.TotalWeight(2), scores)
-	res := Worklist(2, g, scores)
+	scoring.Modularity{}.Score(exec.Background(2), g, deg, g.TotalWeight(2), scores)
+	res := Worklist(exec.Background(2), g, scores)
 	if err := Verify(g, scores, res.Match); err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,7 @@ package matching
 import (
 	"testing"
 
+	"repro/internal/exec"
 	"repro/internal/gen"
 	"repro/internal/graph"
 )
@@ -22,8 +23,12 @@ func TestScratchReuseAcrossGraphs(t *testing.T) {
 		name string
 		run  func(p int, g *graph.Graph, scores []float64, s *Scratch) Result
 	}{
-		{"worklist", WorklistWith},
-		{"edgesweep", EdgeSweepWith},
+		{"worklist", func(p int, g *graph.Graph, scores []float64, s *Scratch) Result {
+			return WorklistWith(exec.Background(p), g, scores, s)
+		}},
+		{"edgesweep", func(p int, g *graph.Graph, scores []float64, s *Scratch) Result {
+			return EdgeSweepWith(exec.Background(p), g, scores, s)
+		}},
 	}
 	for _, k := range kernels {
 		var s Scratch
@@ -56,9 +61,9 @@ func TestScratchMatchesFresh(t *testing.T) {
 	}
 	var s Scratch
 	// Dirty the scratch first with an unrelated run.
-	WorklistWith(1, gen.Karate(), make([]float64, len(gen.Karate().U)), &s)
-	fresh := Worklist(1, g, scores)
-	reused := WorklistWith(1, g, scores, &s)
+	WorklistWith(exec.Background(1), gen.Karate(), make([]float64, len(gen.Karate().U)), &s)
+	fresh := Worklist(exec.Background(1), g, scores)
+	reused := WorklistWith(exec.Background(1), g, scores, &s)
 	for v := range fresh.Match {
 		if fresh.Match[v] != reused.Match[v] {
 			t.Fatalf("match[%d]: fresh %d, scratch %d", v, fresh.Match[v], reused.Match[v])

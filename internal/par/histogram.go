@@ -30,11 +30,16 @@ func Serial(p, n int) bool {
 // cleared before counting into them; for large stripes the parallel clear
 // matters.
 func ZeroInt64(p int, xs []int64) {
+	(*Pool)(nil).ZeroInt64(p, xs)
+}
+
+// ZeroInt64 is the free ZeroInt64 running on the team; a nil pool spawns.
+func (pl *Pool) ZeroInt64(p int, xs []int64) {
 	if Serial(p, len(xs)) {
 		clear(xs)
 		return
 	}
-	For(p, len(xs), func(lo, hi int) {
+	pl.For(p, len(xs), func(lo, hi int) {
 		clear(xs[lo:hi])
 	})
 }
@@ -45,6 +50,12 @@ func ZeroInt64(p int, xs []int64) {
 // parallel over buckets, so no two workers write the same dst entry. dst
 // entries are overwritten, not accumulated.
 func MergeStripes(p int, stripes []int64, workers, k int, dst []int64) {
+	(*Pool)(nil).MergeStripes(p, stripes, workers, k, dst)
+}
+
+// MergeStripes is the free MergeStripes running on the team; a nil pool
+// spawns.
+func (pl *Pool) MergeStripes(p int, stripes []int64, workers, k int, dst []int64) {
 	if len(stripes) < workers*k {
 		panic("par: MergeStripes stripe slice too short")
 	}
@@ -61,7 +72,7 @@ func MergeStripes(p int, stripes []int64, workers, k int, dst []int64) {
 		}
 		return
 	}
-	For(p, k, func(lo, hi int) {
+	pl.For(p, k, func(lo, hi int) {
 		for c := lo; c < hi; c++ {
 			var s int64
 			for w := 0; w < workers; w++ {
@@ -79,6 +90,12 @@ func MergeStripes(p int, stripes []int64, workers, k int, dst []int64) {
 // may then write them at positions base(c) + stripes[w*k+c] ... without any
 // synchronization, because the buckets' worker sub-ranges are disjoint.
 func StripeOffsets(p int, stripes []int64, workers, k int, totals []int64) {
+	(*Pool)(nil).StripeOffsets(p, stripes, workers, k, totals)
+}
+
+// StripeOffsets is the free StripeOffsets running on the team; a nil pool
+// spawns.
+func (pl *Pool) StripeOffsets(p int, stripes []int64, workers, k int, totals []int64) {
 	if len(stripes) < workers*k {
 		panic("par: StripeOffsets stripe slice too short")
 	}
@@ -99,7 +116,7 @@ func StripeOffsets(p int, stripes []int64, workers, k int, totals []int64) {
 		}
 		return
 	}
-	For(p, k, func(lo, hi int) {
+	pl.For(p, k, func(lo, hi int) {
 		for c := lo; c < hi; c++ {
 			var run int64
 			for w := 0; w < workers; w++ {

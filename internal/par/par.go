@@ -215,7 +215,7 @@ func Do(fns ...func()) {
 // the stream-compaction primitive behind the matching worklist (§IV-B),
 // where each pass retains only the still-unmatched vertices.
 func Pack[T any](p int, src []T, keep []int64) []T {
-	return PackInto(p, src, keep, nil, nil)
+	return PackIntoWith(nil, p, src, keep, nil, nil)
 }
 
 // PackInto is Pack with caller-provided scratch: slots is the prefix-sum
@@ -224,6 +224,13 @@ func Pack[T any](p int, src []T, keep []int64) []T {
 // allocations. It returns the packed slice, which aliases dst's storage
 // when that was reused. src and dst must not overlap.
 func PackInto[T any](p int, src []T, keep, slots []int64, dst []T) []T {
+	return PackIntoWith(nil, p, src, keep, slots, dst)
+}
+
+// PackIntoWith is PackInto running on a worker team; a nil pool spawns. It
+// is a free function rather than a *Pool method only because methods cannot
+// be generic.
+func PackIntoWith[T any](pl *Pool, p int, src []T, keep, slots []int64, dst []T) []T {
 	n := len(src)
 	if n != len(keep) {
 		panic("par: Pack flag slice length mismatch")
@@ -256,7 +263,7 @@ func PackInto[T any](p int, src []T, keep, slots []int64, dst []T) []T {
 		}
 		return dst
 	}
-	For(p, n, func(lo, hi int) {
+	pl.For(p, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if keep[i] != 0 {
 				slots[i] = 1
@@ -265,12 +272,12 @@ func PackInto[T any](p int, src []T, keep, slots []int64, dst []T) []T {
 			}
 		}
 	})
-	total := ExclusiveSumInt64(p, slots)
+	total := pl.ExclusiveSumInt64(p, slots)
 	if int64(cap(dst)) < total {
 		dst = make([]T, total)
 	}
 	dst = dst[:total]
-	For(p, n, func(lo, hi int) {
+	pl.For(p, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if keep[i] != 0 {
 				dst[slots[i]] = src[i]
@@ -286,6 +293,12 @@ func PackInto[T any](p int, src []T, keep, slots []int64, dst []T) []T {
 // PackInto's scratch conventions. The matching worklist uses it to build the
 // initial active-vertex list in parallel.
 func PackIndexInto(p, n int, keep, slots, dst []int64) []int64 {
+	return (*Pool)(nil).PackIndexInto(p, n, keep, slots, dst)
+}
+
+// PackIndexInto is the free PackIndexInto running on the team; a nil pool
+// spawns.
+func (pl *Pool) PackIndexInto(p, n int, keep, slots, dst []int64) []int64 {
 	if n > len(keep) {
 		panic("par: PackIndexInto flag slice too short")
 	}
@@ -316,7 +329,7 @@ func PackIndexInto(p, n int, keep, slots, dst []int64) []int64 {
 		}
 		return dst
 	}
-	For(p, n, func(lo, hi int) {
+	pl.For(p, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if keep[i] != 0 {
 				slots[i] = 1
@@ -325,12 +338,12 @@ func PackIndexInto(p, n int, keep, slots, dst []int64) []int64 {
 			}
 		}
 	})
-	total := ExclusiveSumInt64(p, slots)
+	total := pl.ExclusiveSumInt64(p, slots)
 	if int64(cap(dst)) < total {
 		dst = make([]int64, total)
 	}
 	dst = dst[:total]
-	For(p, n, func(lo, hi int) {
+	pl.For(p, n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if keep[i] != 0 {
 				dst[slots[i]] = int64(i)

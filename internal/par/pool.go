@@ -1,0 +1,317 @@
+package par
+
+// This file adds the persistent worker team behind exec.Ctx. The free loop
+// functions in par.go spawn fresh goroutines on every call, which is fine for
+// the first phases of a detection run (millions of iterations amortize the
+// spawn) but dominates the late phases, where contraction has shrunk the
+// community graph to a few thousand vertices — the "parallelism runs out as
+// the graph contracts" regime that Staudt & Meyerhenke engineer around with
+// persistent thread teams. A Pool keeps p-1 long-lived goroutines parked on
+// per-worker channels (the Go analogue of a futex wait: the parked goroutine
+// costs nothing until signalled); submitting a loop stores the job in the
+// pool, wakes exactly the workers the loop needs, and runs the caller as
+// worker 0. Loop semantics — static chunking, dynamic grain scheduling,
+// worker indices, per-worker busy times — match the free functions exactly,
+// so a nil *Pool transparently falls back to them: every method is nil-safe,
+// which is how spawn-based contexts (exec.Background) and pooled ones share
+// one call surface.
+//
+// A Pool is single-submitter: loops must be issued one at a time, from one
+// goroutine at a time (loop bodies themselves run concurrently, of course).
+// Nested submissions from inside a loop body would corrupt the in-flight job.
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Pool is a handle to a persistent worker team. The exported wrapper exists
+// so an abandoned handle cannot leak its goroutines: workers reference only
+// the inner pool, so when the last *Pool reference is dropped the finalizer
+// closes the team down even if Close was never called. Close remains the
+// deterministic way to release the workers.
+type Pool struct{ *pool }
+
+type pool struct {
+	workers []*poolWorker // remote workers; worker ids 1..len(workers)
+	job     poolJob
+	pending atomic.Int64  // remote workers still running the current job
+	done    chan struct{} // buffered(1); last finisher signals
+	closed  atomic.Bool
+}
+
+type poolWorker struct {
+	wake chan struct{} // buffered(1); one token per submitted job
+}
+
+const (
+	jobStatic  int8 = iota // contiguous chunks, For/ForWorker semantics
+	jobDynamic             // shared-cursor grain scheduling, ForDynamic semantics
+)
+
+// poolJob describes the in-flight loop. The submitter writes it before the
+// wake sends and clears the reference-holding fields after the done receive;
+// both channel operations order the accesses, so no field needs to be atomic
+// except the dynamic cursor the workers share.
+type poolJob struct {
+	kind   int8
+	n      int
+	used   int
+	grain  int
+	cursor atomic.Int64
+	body   func(lo, hi int)
+	wbody  func(worker, lo, hi int)
+	times  []int64
+}
+
+// NewPool starts a team for up to p workers: the caller plus p-1 parked
+// goroutines. p <= 0 selects DefaultThreads.
+func NewPool(p int) *Pool {
+	if p <= 0 {
+		p = DefaultThreads()
+	}
+	inner := &pool{done: make(chan struct{}, 1)}
+	inner.spawn(p - 1)
+	pl := &Pool{inner}
+	runtime.SetFinalizer(pl, func(pl *Pool) { pl.pool.close() })
+	return pl
+}
+
+// spawn adds extra parked workers to the team. Each worker captures its own
+// wake channel and fixed id, so growing the slice later never races with a
+// running worker.
+func (p *pool) spawn(extra int) {
+	for i := 0; i < extra; i++ {
+		w := &poolWorker{wake: make(chan struct{}, 1)}
+		id := len(p.workers) + 1
+		p.workers = append(p.workers, w)
+		go p.serve(w, id)
+	}
+}
+
+// serve is the worker loop: park on the wake channel, run the current job's
+// share, and signal completion when this worker was the last one out. The
+// channel receive orders the job-field reads after the submitter's writes;
+// the pending decrement plus done send order the worker's writes before the
+// submitter continues.
+func (p *pool) serve(w *poolWorker, id int) {
+	for range w.wake {
+		p.exec(id)
+		if p.pending.Add(-1) == 0 {
+			p.done <- struct{}{}
+		}
+	}
+}
+
+// Workers reports the team's capacity including the caller, or 1 for a nil
+// pool (the caller alone).
+func (pl *Pool) Workers() int {
+	if pl == nil || pl.pool == nil {
+		return 1
+	}
+	return len(pl.pool.workers) + 1
+}
+
+// Grow ensures the team can run loops with up to p workers, spawning the
+// missing ones. It must not be called concurrently with a submitted loop.
+func (pl *Pool) Grow(p int) {
+	if pl == nil || pl.pool == nil {
+		return
+	}
+	if extra := (p - 1) - len(pl.pool.workers); extra > 0 {
+		pl.pool.spawn(extra)
+	}
+}
+
+// Close releases the team's goroutines. Submitting a loop after Close panics;
+// a nil pool's Close is a no-op. Close is idempotent.
+func (pl *Pool) Close() {
+	if pl == nil || pl.pool == nil {
+		return
+	}
+	runtime.SetFinalizer(pl, nil)
+	pl.pool.close()
+}
+
+func (p *pool) close() {
+	if !p.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for _, w := range p.workers {
+		close(w.wake)
+	}
+}
+
+// team clamps the worker count a loop may use to the pool's capacity.
+func (p *pool) team(used int) int {
+	if m := len(p.workers) + 1; used > m {
+		used = m
+	}
+	return used
+}
+
+// run executes the prepared job on used workers: wake used-1 remote workers,
+// take worker 0's share on the calling goroutine, wait for the team, then
+// drop the job's reference-holding fields so the pool does not keep the
+// caller's closures or slices alive between loops.
+func (p *pool) run(used int) {
+	p.pending.Store(int64(used - 1))
+	for i := 0; i < used-1; i++ {
+		p.workers[i].wake <- struct{}{}
+	}
+	p.exec(0)
+	<-p.done
+	p.job.body = nil
+	p.job.wbody = nil
+	p.job.times = nil
+}
+
+// exec runs worker id's share of the current job, accumulating busy time
+// when the job carries a times slice (ForWorkerTimes semantics).
+func (p *pool) exec(id int) {
+	j := &p.job
+	if j.times != nil {
+		t0 := time.Now()
+		p.execBody(id, j)
+		j.times[id] += time.Since(t0).Nanoseconds()
+		return
+	}
+	p.execBody(id, j)
+}
+
+func (p *pool) execBody(id int, j *poolJob) {
+	switch j.kind {
+	case jobStatic:
+		// Identical chunk math to the spawn-based For: worker id covers
+		// [id*chunk + min(id, rem), ...), one extra iteration for the first
+		// rem workers.
+		chunk := j.n / j.used
+		rem := j.n % j.used
+		lo := id * chunk
+		if id < rem {
+			lo += id
+		} else {
+			lo += rem
+		}
+		hi := lo + chunk
+		if id < rem {
+			hi++
+		}
+		if j.wbody != nil {
+			j.wbody(id, lo, hi)
+		} else {
+			j.body(lo, hi)
+		}
+	case jobDynamic:
+		for {
+			lo := int(j.cursor.Add(int64(j.grain))) - j.grain
+			if lo >= j.n {
+				return
+			}
+			hi := lo + j.grain
+			if hi > j.n {
+				hi = j.n
+			}
+			j.body(lo, hi)
+		}
+	}
+}
+
+// For is the free For running on the team: static contiguous chunks over
+// [0, n) with at most p workers (clamped to the team size). A nil pool
+// delegates to the spawn-based free function.
+func (pl *Pool) For(p, n int, body func(lo, hi int)) {
+	if pl == nil || pl.pool == nil {
+		For(p, n, body)
+		return
+	}
+	if n <= 0 {
+		return
+	}
+	used := pl.pool.team(normalize(p, n))
+	if used == 1 {
+		body(0, n)
+		return
+	}
+	j := &pl.pool.job
+	j.kind, j.n, j.used, j.body, j.wbody, j.times = jobStatic, n, used, body, nil, nil
+	pl.pool.run(used)
+}
+
+// ForDynamic is the free ForDynamic running on the team: workers repeatedly
+// grab grain-sized chunks from a shared cursor. grain <= 0 selects the same
+// n/(8p) heuristic clamped to [1, 4096].
+func (pl *Pool) ForDynamic(p, n, grain int, body func(lo, hi int)) {
+	if pl == nil || pl.pool == nil {
+		ForDynamic(p, n, grain, body)
+		return
+	}
+	if n <= 0 {
+		return
+	}
+	used := pl.pool.team(normalize(p, n))
+	if grain <= 0 {
+		grain = n / (8 * used)
+		if grain < 1 {
+			grain = 1
+		}
+		if grain > 4096 {
+			grain = 4096
+		}
+	}
+	if used == 1 {
+		body(0, n)
+		return
+	}
+	j := &pl.pool.job
+	j.kind, j.n, j.used, j.grain, j.body, j.wbody, j.times = jobDynamic, n, used, grain, body, nil, nil
+	j.cursor.Store(0)
+	pl.pool.run(used)
+}
+
+// ForWorker is the free ForWorker on the team: static chunks with the worker
+// index passed to the body. It reports the worker count actually used.
+func (pl *Pool) ForWorker(p, n int, body func(worker, lo, hi int)) int {
+	if pl == nil || pl.pool == nil {
+		return ForWorker(p, n, body)
+	}
+	if n <= 0 {
+		return 0
+	}
+	used := pl.pool.team(normalize(p, n))
+	if used == 1 {
+		body(0, 0, n)
+		return 1
+	}
+	j := &pl.pool.job
+	j.kind, j.n, j.used, j.body, j.wbody, j.times = jobStatic, n, used, nil, body, nil
+	pl.pool.run(used)
+	return used
+}
+
+// ForWorkerTimes is the free ForWorkerTimes on the team: ForWorker plus
+// per-worker busy-time accounting into times (which must hold at least the
+// used worker count). A nil times behaves exactly like ForWorker.
+func (pl *Pool) ForWorkerTimes(p, n int, times []int64, body func(worker, lo, hi int)) int {
+	if pl == nil || pl.pool == nil {
+		return ForWorkerTimes(p, n, times, body)
+	}
+	if times == nil {
+		return pl.ForWorker(p, n, body)
+	}
+	if n <= 0 {
+		return 0
+	}
+	used := pl.pool.team(normalize(p, n))
+	if used == 1 {
+		t0 := time.Now()
+		body(0, 0, n)
+		times[0] += time.Since(t0).Nanoseconds()
+		return 1
+	}
+	j := &pl.pool.job
+	j.kind, j.n, j.used, j.body, j.wbody, j.times = jobStatic, n, used, nil, body, times
+	pl.pool.run(used)
+	return used
+}

@@ -2,6 +2,11 @@ package par
 
 // SumInt64 returns the sum of xs computed with p workers.
 func SumInt64(p int, xs []int64) int64 {
+	return (*Pool)(nil).SumInt64(p, xs)
+}
+
+// SumInt64 is the free SumInt64 running on the team; a nil pool spawns.
+func (pl *Pool) SumInt64(p int, xs []int64) int64 {
 	n := len(xs)
 	if n == 0 {
 		return 0
@@ -15,7 +20,7 @@ func SumInt64(p int, xs []int64) int64 {
 		return s
 	}
 	partial := make([]int64, p)
-	ForWorker(p, n, func(w, lo, hi int) {
+	pl.ForWorker(p, n, func(w, lo, hi int) {
 		var s int64
 		for _, x := range xs[lo:hi] {
 			s += x
@@ -33,6 +38,11 @@ func SumInt64(p int, xs []int64) int64 {
 // order is deterministic for a fixed p (per-worker partials summed in
 // worker order), so repeated runs with the same p agree bit-for-bit.
 func SumFloat64(p int, xs []float64) float64 {
+	return (*Pool)(nil).SumFloat64(p, xs)
+}
+
+// SumFloat64 is the free SumFloat64 running on the team; a nil pool spawns.
+func (pl *Pool) SumFloat64(p int, xs []float64) float64 {
 	n := len(xs)
 	if n == 0 {
 		return 0
@@ -46,7 +56,7 @@ func SumFloat64(p int, xs []float64) float64 {
 		return s
 	}
 	partial := make([]float64, p)
-	ForWorker(p, n, func(w, lo, hi int) {
+	pl.ForWorker(p, n, func(w, lo, hi int) {
 		var s float64
 		for _, x := range xs[lo:hi] {
 			s += x

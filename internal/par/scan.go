@@ -9,6 +9,12 @@ package par
 // sums, a sequential scan over block sums, then per-block local scans offset
 // by the block prefix.
 func ExclusiveSumInt64(p int, xs []int64) int64 {
+	return (*Pool)(nil).ExclusiveSumInt64(p, xs)
+}
+
+// ExclusiveSumInt64 is the free ExclusiveSumInt64 running on the team; a nil
+// pool spawns.
+func (pl *Pool) ExclusiveSumInt64(p int, xs []int64) int64 {
 	n := len(xs)
 	if n == 0 {
 		return 0
@@ -28,7 +34,7 @@ func ExclusiveSumInt64(p int, xs []int64) int64 {
 	// ForWorker recomputes the same static partition for the same (p, n), so
 	// block w sees the same [lo, hi) in both passes.
 	blockSum := make([]int64, p)
-	ForWorker(p, n, func(w, lo, hi int) {
+	pl.ForWorker(p, n, func(w, lo, hi int) {
 		var s int64
 		for _, x := range xs[lo:hi] {
 			s += x
@@ -41,7 +47,7 @@ func ExclusiveSumInt64(p int, xs []int64) int64 {
 		blockSum[w] = total
 		total += s
 	}
-	ForWorker(p, n, func(w, lo, hi int) {
+	pl.ForWorker(p, n, func(w, lo, hi int) {
 		run := blockSum[w]
 		for i := lo; i < hi; i++ {
 			v := xs[i]

@@ -18,9 +18,9 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/metrics"
-	"repro/internal/par"
 )
 
 // Options configures a refinement run.
@@ -50,14 +50,20 @@ type Result struct {
 // Refine improves the partition comm (ids dense in [0, k)) of g by greedy
 // vertex moves. The input slice is not modified.
 func Refine(g *graph.Graph, comm []int64, k int64, opt Options) (*Result, error) {
+	return RefineExec(exec.Background(opt.Threads), g, comm, k, opt)
+}
+
+// RefineExec is Refine running on ec's workers (ec overrides opt.Threads).
+// When ec's context is cancelled the sweep loop stops early and the
+// better-of-before-and-after contract still holds: refinement is an
+// optimization, so cancellation degrades quality, never correctness, and no
+// error is returned.
+func RefineExec(ec *exec.Ctx, g *graph.Graph, comm []int64, k int64, opt Options) (*Result, error) {
 	n := g.NumVertices()
 	if err := metrics.ValidatePartition(comm, n, k); err != nil {
 		return nil, fmt.Errorf("refine: %w", err)
 	}
-	p := opt.Threads
-	if p <= 0 {
-		p = par.DefaultThreads()
-	}
+	p := ec.Threads()
 	maxSweeps := opt.MaxSweeps
 	if maxSweeps <= 0 {
 		maxSweeps = 64
@@ -86,8 +92,11 @@ func Refine(g *graph.Graph, comm []int64, k int64, opt Options) (*Result, error)
 	}
 
 	for sweep := 0; sweep < maxSweeps; sweep++ {
+		if ec.Err() != nil {
+			break // keep the best partition found so far
+		}
 		var moves int64
-		par.ForDynamic(p, int(n), 0, func(lo, hi int) {
+		ec.ForDynamic(int(n), 0, func(lo, hi int) {
 			neighborW := make(map[int64]int64)
 			var localMoves int64
 			for v := int64(lo); v < int64(hi); v++ {

@@ -1,8 +1,8 @@
 package scoring
 
 import (
+	"repro/internal/exec"
 	"repro/internal/graph"
-	"repro/internal/par"
 )
 
 // EdgeScore is a closed-form per-edge merge score: it sees the edge weight,
@@ -27,9 +27,9 @@ type Func struct {
 func (f Func) Name() string { return f.Label }
 
 // Score implements Scorer.
-func (f Func) Score(p int, g *graph.Graph, deg []int64, totalWeight int64, scores []float64) {
+func (f Func) Score(ec *exec.Ctx, g *graph.Graph, deg []int64, totalWeight int64, scores []float64) {
 	n := int(g.NumVertices())
-	par.ForDynamic(p, n, 0, func(lo, hi int) {
+	ec.ForDynamic(n, 0, func(lo, hi int) {
 		for x := lo; x < hi; x++ {
 			for e := g.Start[x]; e < g.End[x]; e++ {
 				u, v := g.U[e], g.V[e]

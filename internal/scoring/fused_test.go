@@ -3,6 +3,7 @@ package scoring
 import (
 	"testing"
 
+	"repro/internal/exec"
 	"repro/internal/graph"
 )
 
@@ -38,7 +39,7 @@ func TestScoreFusedMatchesSeparateSweeps(t *testing.T) {
 		}
 		for _, maxSize := range []int64{0, 3, 100} {
 			want := make([]float64, len(g.U))
-			scorer.Score(1, g, deg, totW, want)
+			scorer.Score(exec.Background(1), g, deg, totW, want)
 			if maxSize > 0 {
 				for x := int64(0); x < g.NumVertices(); x++ {
 					for e := g.Start[x]; e < g.End[x]; e++ {
@@ -48,11 +49,11 @@ func TestScoreFusedMatchesSeparateSweeps(t *testing.T) {
 					}
 				}
 			}
-			wantPos := HasPositive(1, g, want)
+			wantPos := HasPositive(exec.Background(1), g, want)
 
 			got := make([]float64, len(g.U))
 			var nMasked int64
-			gotPos := fused.ScoreFused(2, g, deg, totW, got, sizes, maxSize, &nMasked)
+			gotPos := fused.ScoreFused(exec.Background(2), g, deg, totW, got, sizes, maxSize, &nMasked)
 			if gotPos != wantPos {
 				t.Fatalf("%s maxSize=%d: fused positive=%v, separate=%v",
 					scorer.Name(), maxSize, gotPos, wantPos)
@@ -84,7 +85,7 @@ func TestScoreFusedMatchesSeparateSweeps(t *testing.T) {
 func TestScoreFusedZeroWeight(t *testing.T) {
 	g := graph.NewEmpty(3)
 	scores := make([]float64, 0)
-	if (Modularity{}).ScoreFused(1, g, nil, 0, scores, nil, 0, nil) {
+	if (Modularity{}).ScoreFused(exec.Background(1), g, nil, 0, scores, nil, 0, nil) {
 		t.Fatal("empty graph reported a positive score")
 	}
 }

@@ -9,8 +9,8 @@ package scoring
 import (
 	"sync/atomic"
 
+	"repro/internal/exec"
 	"repro/internal/graph"
-	"repro/internal/par"
 )
 
 // Scorer computes per-edge merge scores for a community graph.
@@ -23,7 +23,7 @@ import (
 // use and must not retain the slices.
 type Scorer interface {
 	Name() string
-	Score(p int, g *graph.Graph, deg []int64, totalWeight int64, scores []float64)
+	Score(ec *exec.Ctx, g *graph.Graph, deg []int64, totalWeight int64, scores []float64)
 }
 
 // Fused is an optional Scorer extension that folds the engine's three edge
@@ -42,7 +42,7 @@ type Scorer interface {
 // taps the sweep without this package depending on it. nil disables the
 // count at the cost of one predictable branch per chunk.
 type Fused interface {
-	ScoreFused(p int, g *graph.Graph, deg []int64, totalWeight int64, scores []float64, sizes []int64, maxSize int64, masked *int64) bool
+	ScoreFused(ec *exec.Ctx, g *graph.Graph, deg []int64, totalWeight int64, scores []float64, sizes []int64, maxSize int64, masked *int64) bool
 }
 
 // Modularity scores an edge {c, d} with the Newman–Girvan modularity change
@@ -57,16 +57,16 @@ type Modularity struct{}
 func (Modularity) Name() string { return "modularity" }
 
 // Score implements Scorer.
-func (Modularity) Score(p int, g *graph.Graph, deg []int64, totalWeight int64, scores []float64) {
+func (Modularity) Score(ec *exec.Ctx, g *graph.Graph, deg []int64, totalWeight int64, scores []float64) {
 	if totalWeight <= 0 {
-		scoreConstant(p, g, scores, 0)
+		scoreConstant(ec, g, scores, 0)
 		return
 	}
 	m := float64(totalWeight)
 	inv := 1 / m
 	half := 1 / (2 * m * m)
 	n := int(g.NumVertices())
-	par.ForDynamic(p, n, 0, func(lo, hi int) {
+	ec.ForDynamic(n, 0, func(lo, hi int) {
 		for x := lo; x < hi; x++ {
 			for e := g.Start[x]; e < g.End[x]; e++ {
 				scores[e] = float64(g.W[e])*inv - float64(deg[g.U[e]])*float64(deg[g.V[e]])*half
@@ -77,16 +77,16 @@ func (Modularity) Score(p int, g *graph.Graph, deg []int64, totalWeight int64, s
 
 // ScoreFused implements Fused: the modularity fill, size mask, and
 // positive-edge scan in a single sweep.
-func (Modularity) ScoreFused(p int, g *graph.Graph, deg []int64, totalWeight int64, scores []float64, sizes []int64, maxSize int64, masked *int64) bool {
+func (Modularity) ScoreFused(ec *exec.Ctx, g *graph.Graph, deg []int64, totalWeight int64, scores []float64, sizes []int64, maxSize int64, masked *int64) bool {
 	if totalWeight <= 0 {
-		scoreConstant(p, g, scores, 0)
+		scoreConstant(ec, g, scores, 0)
 		return false
 	}
 	m := float64(totalWeight)
 	inv := 1 / m
 	half := 1 / (2 * m * m)
 	n := int(g.NumVertices())
-	if par.Serial(p, n) {
+	if ec.Serial(n) {
 		positive := false
 		var nMasked int64
 		for x := 0; x < n; x++ {
@@ -106,7 +106,7 @@ func (Modularity) ScoreFused(p int, g *graph.Graph, deg []int64, totalWeight int
 		return positive
 	}
 	var found int64
-	par.ForDynamic(p, n, 0, func(lo, hi int) {
+	ec.ForDynamic(n, 0, func(lo, hi int) {
 		positive := false
 		var nMasked int64
 		for x := lo; x < hi; x++ {
@@ -144,9 +144,9 @@ type Conductance struct{}
 func (Conductance) Name() string { return "conductance" }
 
 // Score implements Scorer.
-func (Conductance) Score(p int, g *graph.Graph, deg []int64, totalWeight int64, scores []float64) {
+func (Conductance) Score(ec *exec.Ctx, g *graph.Graph, deg []int64, totalWeight int64, scores []float64) {
 	if totalWeight <= 0 {
-		scoreConstant(p, g, scores, 0)
+		scoreConstant(ec, g, scores, 0)
 		return
 	}
 	twoM := 2 * float64(totalWeight)
@@ -162,7 +162,7 @@ func (Conductance) Score(p int, g *graph.Graph, deg []int64, totalWeight int64, 
 		return cut / denom
 	}
 	n := int(g.NumVertices())
-	par.ForDynamic(p, n, 0, func(lo, hi int) {
+	ec.ForDynamic(n, 0, func(lo, hi int) {
 		for x := lo; x < hi; x++ {
 			for e := g.Start[x]; e < g.End[x]; e++ {
 				u, v, w := g.U[e], g.V[e], g.W[e]
@@ -176,9 +176,9 @@ func (Conductance) Score(p int, g *graph.Graph, deg []int64, totalWeight int64, 
 }
 
 // ScoreFused implements Fused for the conductance metric.
-func (Conductance) ScoreFused(p int, g *graph.Graph, deg []int64, totalWeight int64, scores []float64, sizes []int64, maxSize int64, masked *int64) bool {
+func (Conductance) ScoreFused(ec *exec.Ctx, g *graph.Graph, deg []int64, totalWeight int64, scores []float64, sizes []int64, maxSize int64, masked *int64) bool {
 	if totalWeight <= 0 {
-		scoreConstant(p, g, scores, 0)
+		scoreConstant(ec, g, scores, 0)
 		return false
 	}
 	twoM := 2 * float64(totalWeight)
@@ -194,7 +194,7 @@ func (Conductance) ScoreFused(p int, g *graph.Graph, deg []int64, totalWeight in
 		return cut / denom
 	}
 	n := int(g.NumVertices())
-	if par.Serial(p, n) {
+	if ec.Serial(n) {
 		positive := false
 		var nMasked int64
 		for x := 0; x < n; x++ {
@@ -216,7 +216,7 @@ func (Conductance) ScoreFused(p int, g *graph.Graph, deg []int64, totalWeight in
 		return positive
 	}
 	var found int64
-	par.ForDynamic(p, n, 0, func(lo, hi int) {
+	ec.ForDynamic(n, 0, func(lo, hi int) {
 		positive := false
 		var nMasked int64
 		for x := lo; x < hi; x++ {
@@ -251,9 +251,9 @@ func flushMasked(masked *int64, n int64) {
 }
 
 // scoreConstant fills every live edge's score with c.
-func scoreConstant(p int, g *graph.Graph, scores []float64, c float64) {
+func scoreConstant(ec *exec.Ctx, g *graph.Graph, scores []float64, c float64) {
 	n := int(g.NumVertices())
-	par.ForDynamic(p, n, 0, func(lo, hi int) {
+	ec.ForDynamic(n, 0, func(lo, hi int) {
 		for x := lo; x < hi; x++ {
 			for e := g.Start[x]; e < g.End[x]; e++ {
 				scores[e] = c
@@ -265,10 +265,10 @@ func scoreConstant(p int, g *graph.Graph, scores []float64, c float64) {
 // HasPositive reports whether any live edge of g has a strictly positive
 // score; if none does the engine has reached a local maximum and terminates
 // (§III).
-func HasPositive(p int, g *graph.Graph, scores []float64) bool {
+func HasPositive(ec *exec.Ctx, g *graph.Graph, scores []float64) bool {
 	n := int(g.NumVertices())
 	var found int64
-	par.ForDynamic(p, n, 0, func(lo, hi int) {
+	ec.ForDynamic(n, 0, func(lo, hi int) {
 		for x := lo; x < hi; x++ {
 			for e := g.Start[x]; e < g.End[x]; e++ {
 				if scores[e] > 0 {

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/exec"
 	"repro/internal/gen"
 	"repro/internal/graph"
 )
@@ -57,7 +58,7 @@ func scoreAll(t *testing.T, s Scorer, g *graph.Graph, p int) []float64 {
 	t.Helper()
 	deg := g.WeightedDegrees(p)
 	scores := make([]float64, len(g.U))
-	s.Score(p, g, deg, g.TotalWeight(p), scores)
+	s.Score(exec.Background(p), g, deg, g.TotalWeight(p), scores)
 	return scores
 }
 
@@ -149,7 +150,7 @@ func TestModularityCliquePositiveRingOfCliques(t *testing.T) {
 func TestModularityZeroWeightGraph(t *testing.T) {
 	g := graph.NewEmpty(5)
 	scores := make([]float64, 0)
-	Modularity{}.Score(1, g, g.WeightedDegrees(1), g.TotalWeight(1), scores)
+	Modularity{}.Score(exec.Background(1), g, g.WeightedDegrees(1), g.TotalWeight(1), scores)
 	// Nothing to score; simply must not panic.
 }
 
@@ -214,17 +215,17 @@ func splitScores(g *graph.Graph, scores []float64, s int64) (minIntra, maxBridge
 func TestHasPositive(t *testing.T) {
 	g := gen.Ring(6)
 	scores := make([]float64, len(g.U))
-	if HasPositive(2, g, scores) {
+	if HasPositive(exec.Background(2), g, scores) {
 		t.Fatal("all-zero scores reported positive")
 	}
 	scores[3] = 1e-9
-	if !HasPositive(2, g, scores) {
+	if !HasPositive(exec.Background(2), g, scores) {
 		t.Fatal("positive score not found")
 	}
 	for i := range scores {
 		scores[i] = -1
 	}
-	if HasPositive(2, g, scores) {
+	if HasPositive(exec.Background(2), g, scores) {
 		t.Fatal("negative scores reported positive")
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/contract"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/par"
@@ -266,7 +267,7 @@ func TestContractAlgebraicEqualsBucketKernel(t *testing.T) {
 		for v := range comm {
 			comm[v] = r.Int63n(k)
 		}
-		direct := contract.ByMapping(2, g, comm, k, contract.Contiguous)
+		direct := contract.ByMapping(exec.Background(2), g, comm, k, contract.Contiguous)
 		algebraic, err := ContractAlgebraic(2, g, comm, k)
 		if err != nil {
 			t.Fatal(err)
@@ -324,7 +325,7 @@ func TestAlgebraicContractionInsideEngineStep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	direct := contract.ByMapping(2, g, mapping, k, contract.Contiguous)
+	direct := contract.ByMapping(exec.Background(2), g, mapping, k, contract.Contiguous)
 	if algebraic.TotalWeight(1) != direct.TotalWeight(1) ||
 		algebraic.NumEdges() != direct.NumEdges() {
 		t.Fatal("algebraic and direct phase graphs differ")
