@@ -11,7 +11,7 @@ HOT_SRC := internal/core/core.go internal/matching/matching.go internal/contract
 CTX_SRC := $(HOT_SRC) internal/contract/listchase.go internal/scoring/scoring.go \
 	internal/scoring/func.go internal/refine/refine.go internal/hierarchy/hierarchy.go
 
-.PHONY: all build test race vet vet-obs bench clean
+.PHONY: all build test race vet vet-obs bench bench-smoke clean
 
 all: build vet vet-obs test
 
@@ -57,11 +57,18 @@ vet-obs:
 
 # Runs the arena-vs-fresh detection benchmarks (and anything else matching
 # $(BENCH)) with allocation stats, archiving the raw `go test -json` event
-# stream for later comparison. The first line of the archive is the host and
-# build metadata from cmd/bench -meta, so old streams stay attributable.
+# stream under results/ for later comparison. The first line of the archive
+# is the host and build metadata from cmd/bench -meta, so old streams stay
+# attributable. See README.md "Benchmark archive" for the compare workflow.
 bench:
-	$(GO) run ./cmd/bench -meta | tee BENCH_$(DATE).json
-	$(GO) test -run=NONE -bench='$(BENCH)' -benchmem -json . | tee -a BENCH_$(DATE).json
+	mkdir -p results
+	$(GO) run ./cmd/bench -meta | tee results/BENCH_$(DATE).json
+	$(GO) test -run=NONE -bench='$(BENCH)' -benchmem -json . | tee -a results/BENCH_$(DATE).json
+
+# One-iteration pass over the detection benchmarks: compiles and exercises
+# the full bench path without the cost of a real measurement. CI runs this.
+bench-smoke:
+	$(GO) test -run=NONE -bench=Detect -benchtime=1x .
 
 clean:
 	$(GO) clean -testcache

@@ -14,6 +14,10 @@
 //	-ablation  old vs. new matching and contraction kernels (§IV-B/C, the
 //	           "20% improvement" and "drastic on Intel" claims)
 //	-phases    per-phase time breakdown (§IV-C: contraction takes 40–80%)
+//	-imbalance edge-balanced scheduler vs dynamic chunking: per-region
+//	           worker imbalance on a skewed R-MAT and a uniform grid, plus
+//	           the analytic per-phase schedule bound
+
 //	-quality   modularity vs. sequential CNM and Louvain (§V sanity check)
 //	-extensions paper-named extensions: per-phase refinement (§II),
 //	           community size caps (§III), algebraic SᵀAS contraction (§VI)
@@ -56,6 +60,7 @@ type modes struct {
 	fig1, fig2, fig3          bool
 	ablation, phases, quality bool
 	extensions, memory        bool
+	imbalance                 bool
 }
 
 func main() {
@@ -71,6 +76,7 @@ func main() {
 	flag.BoolVar(&m.quality, "quality", false, "modularity vs sequential baselines (§V)")
 	flag.BoolVar(&m.extensions, "extensions", false, "paper-named extensions: per-phase refinement, size caps, algebraic contraction")
 	flag.BoolVar(&m.memory, "memory", false, "space accounting vs the paper's §IV formulas")
+	flag.BoolVar(&m.imbalance, "imbalance", false, "edge-balanced scheduler vs dynamic chunking (worker imbalance)")
 	all := flag.Bool("all", false, "run every experiment")
 	scale := flag.Int("scale", 16, "R-MAT scale (paper: 24)")
 	nLJ := flag.Int64("nlj", 200_000, "lj-sim vertices (paper: 4.8M)")
@@ -98,7 +104,7 @@ func main() {
 	}
 
 	if *all {
-		m = modes{true, true, true, true, true, true, true, true, true, true, true}
+		m = modes{true, true, true, true, true, true, true, true, true, true, true, true}
 	}
 	if *traceOut != "" {
 		m.phases = true // the trace records the instrumented phases run
@@ -186,6 +192,9 @@ func main() {
 	}
 	if m.memory {
 		b.runMemory()
+	}
+	if m.imbalance {
+		b.runImbalance()
 	}
 	if flushOnExit != nil {
 		flushOnExit()
@@ -399,6 +408,68 @@ func (b *bencher) printProfile(res *core.Result) {
 		fmt.Println("contraction bucket occupancy (pre-dedup length -> buckets):")
 		for _, hb := range prof.BucketHist {
 			fmt.Printf("  <=%-8d %d\n", hb.MaxLen, hb.Buckets)
+		}
+	}
+}
+
+// runImbalance contrasts the per-level edge-balanced scheduler (SchedAuto)
+// against the dynamic-chunking baseline (SchedDynamic) on a skewed R-MAT
+// and a uniform grid. Two views are printed per graph:
+//
+//   - the obs recorder's wall-clock per-region worker imbalance for both
+//     schedulers (meaningful only with real cores: on an oversubscribed or
+//     single-core host the workers time-share and the numbers are noise);
+//   - the analytic schedule bound per phase: a whole-bucket (vertex-aligned)
+//     schedule must hand the largest bucket to one worker, so its imbalance
+//     is at least maxBucket/((m+n)/p), while the hub-splitting span schedule
+//     is within one bucket's +1 unit of even by construction (~1.00). The
+//     bound is deterministic and host-independent.
+func (b *bencher) runImbalance() {
+	section("Scheduler imbalance — edge-balanced spans vs dynamic chunking")
+	p := b.maxThreads
+	side := int64(1) << (b.scale / 2)
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{b.rmatName(), b.rmat()},
+		{fmt.Sprintf("grid-%d", side), gen.Grid(side, side)},
+	}
+	for _, gr := range graphs {
+		var autoStats []core.PhaseStats
+		for _, sched := range []core.Scheduler{core.SchedAuto, core.SchedDynamic} {
+			rec := obs.New()
+			res, err := core.DetectContext(b.ctx, gr.g, core.Options{
+				Threads: p, Scheduler: sched, Recorder: rec})
+			check(err)
+			if sched == core.SchedAuto {
+				autoStats = res.Stats
+			}
+			fmt.Printf("\n%s  sched=%s  p=%d  (wall-clock region imbalance; needs real cores)\n",
+				gr.name, sched, p)
+			for _, r := range rec.Export().Regions {
+				fmt.Printf("  %-18s %4d calls  %2d workers  busy %7.3fs  imbalance %.2f\n",
+					r.Region, r.Calls, r.Workers, r.BusySec, r.Imbalance)
+			}
+		}
+		fmt.Printf("\n%s  analytic per-phase schedule bound at p=%d (host-independent):\n", gr.name, p)
+		fmt.Printf("  %5s %10s %10s %10s %14s %12s\n",
+			"phase", "vertices", "edges", "maxbucket", "aligned>=", "spans~")
+		for _, st := range autoStats {
+			work := st.Edges + st.Vertices // +1 unit per vertex, the partition's weighting
+			alignedLB := 1.0
+			if work > 0 {
+				if lb := float64(st.MaxBucketLen+1) * float64(p) / float64(work); lb > 1 {
+					alignedLB = lb
+				}
+			}
+			spanUB := 1.0
+			if work > 0 {
+				// A span boundary overshoots even by at most one vertex unit.
+				spanUB = 1 + float64(p)/float64(work)
+			}
+			fmt.Printf("  %5d %10d %10d %10d %14.2f %12.4f\n",
+				st.Phase, st.Vertices, st.Edges, st.MaxBucketLen, alignedLB, spanUB)
 		}
 	}
 }

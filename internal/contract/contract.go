@@ -32,6 +32,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/matching"
 	"repro/internal/obs"
+	"repro/internal/par"
 )
 
 // Layout selects how Bucket lays the new graph's buckets out in memory.
@@ -63,10 +64,13 @@ func (l Layout) String() string {
 // must not be shared by concurrent contractions.
 type Scratch struct {
 	counts      []int64 // per-new-vertex surviving-edge counts
-	cntStripes  []int64 // workers × k edge-count histogram / write cursors
-	selfStripes []int64 // workers × k self-loop weight partials
-	vtxWeight   []int64 // per-old-vertex work estimate, then its prefix sum
-	bounds      []int   // workers+1 vertex range boundaries
+	cntStripes  []int64 // spans × k edge-count histogram / write cursors
+	selfStripes []int64 // spans × k self-loop weight partials
+	// part is the kernel's own edge-balanced partition workspace. The
+	// count/scatter sweeps use it only when the engine has not already
+	// installed a matching level partition on the Ctx; the dedup stage
+	// rebuilds it over the surviving-bucket lengths either way.
+	part par.Partition
 }
 
 // orNew returns s, or a fresh Scratch when s is nil, keeping the kernels'
@@ -183,13 +187,15 @@ func ByMapping(ec *exec.Ctx, g *graph.Graph, mapping []int64, k int64, layout La
 // fresh allocations — ByMapping's behavior).
 //
 // Unlike the seed kernel, the count and scatter sweeps never touch a shared
-// atomic per edge. Vertices are partitioned once into worker ranges balanced
-// by bucket length; each worker counts surviving edges (and accumulates
-// collapsed-edge and old self-loop weight) into its own k-wide histogram
-// stripe; the striped-offset reduction turns the stripes into per-(worker,
-// bucket) write cursors in parallel; and the scatter sweep replays the
-// identical vertex ranges, so every worker writes a disjoint sub-range of
-// each destination bucket with plain stores. This is the radix-partition
+// atomic per edge. The old graph's edges are partitioned once into
+// edge-exact spans (the engine's installed level partition when one matches
+// g, a locally built one otherwise) — hub buckets may be split across
+// spans; each span counts surviving edges (and accumulates collapsed-edge
+// and old self-loop weight) into its own k-wide histogram stripe; the
+// striped-offset reduction turns the stripes into per-(span, bucket) write
+// cursors in parallel; and the scatter sweep replays the identical spans,
+// so every span writes a disjoint sub-range of each destination bucket with
+// plain stores. This is the radix-partition
 // discipline Staudt & Meyerhenke and Lu & Halappanavar use in place of
 // fetch-and-add on cache-based machines: the XMT's cheap hot-spot atomics
 // have no analogue here, and one atomic per edge serializes exactly on the
@@ -214,86 +220,58 @@ func byMappingRun(ec *exec.Ctx, g *graph.Graph, mapping []int64, k int64, layout
 
 	rec.Add(obs.CtrContractEdgesIn, g.NumEdges())
 
-	// Partition the old vertices into worker ranges balanced by bucket
-	// length (+1 per vertex for the constant work), so the count and
-	// scatter sweeps agree on which worker owns which vertices — the
-	// precondition for histogram stripes replacing atomics. The parity hash
-	// already scatters high-degree communities across many buckets, so
-	// balancing whole buckets is enough.
+	// Adopt the engine's edge-balanced level partition when one is installed
+	// for this graph, and build our own otherwise. Either way the count and
+	// scatter sweeps walk the same edge-exact spans — each span owns a
+	// private histogram stripe, which is the precondition for stripes
+	// replacing atomics. Hub buckets may be split across spans; the Self
+	// fold guards on owning the bucket's first edge so each vertex's
+	// per-vertex work is folded exactly once.
 	spPart := rec.Begin(obs.CatContract, "partition", -1)
-	workers := ec.Workers(n)
-	serial := workers == 1
-	s.vtxWeight = buf.Grow(s.vtxWeight, n)
-	vw := s.vtxWeight
-	if serial {
-		for x := 0; x < n; x++ {
-			vw[x] = g.End[x] - g.Start[x] + 1
-		}
-	} else {
-		ec.For(n, func(lo, hi int) {
-			for x := lo; x < hi; x++ {
-				vw[x] = g.End[x] - g.Start[x] + 1
-			}
-		})
+	serial := ec.Serial(n)
+	pt := ec.Balanced(n, g.NumEdges())
+	if pt == nil && !serial {
+		ec.BuildBuckets(&s.part, n, g.Start, g.End)
+		pt = &s.part
 	}
-	totalWork := ec.ExclusiveSumInt64(vw) // vw becomes its prefix sum
-	if cap(s.bounds) < workers+1 {
-		s.bounds = make([]int, workers+1)
+	spans := 1
+	if !serial {
+		spans = pt.Workers()
 	}
-	bounds := s.bounds[:workers+1]
-	for w := 0; w <= workers; w++ {
-		target := totalWork * int64(w) / int64(workers)
-		// First vertex whose prefix work reaches the target.
-		lo, hi := 0, n
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if vw[mid] < target {
-				lo = mid + 1
-			} else {
-				hi = mid
-			}
-		}
-		bounds[w] = lo
-	}
-	bounds[workers] = n
-	spPart.EndArgs("workers", int64(workers), "vertices", int64(n))
+	spPart.EndArgs("workers", int64(spans), "vertices", int64(n))
 
-	// Count surviving cross edges per (worker, new bucket) stripe; collapsed
+	// Count surviving cross edges per (span, new bucket) stripe; collapsed
 	// edges (both endpoints in one community) and old self-loops accumulate
-	// into the worker's self-loop stripe in the same sweep.
+	// into the span's self-loop stripe in the same sweep.
 	spCount := rec.Begin(obs.CatContract, "count", -1)
 	kk := int(k)
-	s.cntStripes = buf.Grow(s.cntStripes, workers*kk)
-	s.selfStripes = buf.Grow(s.selfStripes, workers*kk)
+	s.cntStripes = buf.Grow(s.cntStripes, spans*kk)
+	s.selfStripes = buf.Grow(s.selfStripes, spans*kk)
 	cntS, selfS := s.cntStripes, s.selfStripes
 	ec.ZeroInt64(cntS)
 	ec.ZeroInt64(selfS)
 	// The sweep bodies are plain functions (closure literals handed to the
-	// loop primitives escape and heap-allocate even on the one-worker path, which
-	// would break the arena's zero-allocation steady state). When recording,
-	// the parallel sweeps run under ForWorkerTimes so the recorder can report
-	// per-region worker imbalance; wtimes is nil when disabled, which makes
-	// ForWorkerTimes exactly ForWorker.
+	// loop primitives escape and heap-allocate even on the one-worker path,
+	// which would break the arena's zero-allocation steady state).
 	if serial {
-		countSweepRange(g, mapping, kk, cntS, selfS, bounds, 0, 1)
+		countSweepRange(g, mapping, cntS[:kk], selfS[:kk], 0, n, g.Start[0], g.End[n-1])
 	} else {
-		wtimes := rec.WorkerTimes(workers)
-		ec.ForWorkerTimes(workers, wtimes, func(_, wlo, whi int) {
-			countSweepRange(g, mapping, kk, cntS, selfS, bounds, wlo, whi)
+		ec.ForSpans("contract/count", pt, func(j int, sp par.Span) {
+			base := j * kk
+			countSweepRange(g, mapping, cntS[base:base+kk], selfS[base:base+kk], sp.LoV, sp.HiV, sp.LoE, sp.HiE)
 		})
-		rec.FoldWorkerTimes("contract/count", wtimes)
 	}
 	spCount.End()
 
-	// Parallel reductions over worker×bucket: per-bucket totals plus
-	// exclusive per-worker write offsets from the count stripes, and the new
+	// Parallel reductions over span×bucket: per-bucket totals plus
+	// exclusive per-span write offsets from the count stripes, and the new
 	// self-loop weights from the self stripes (overwriting — reused dst
 	// arrays never need pre-zeroing).
 	spOff := rec.Begin(obs.CatContract, "offsets", -1)
 	s.counts = buf.Grow(s.counts, kk)
 	counts := s.counts
-	ec.StripeOffsets(cntS, workers, kk, counts)
-	ec.MergeStripes(selfS, workers, kk, ng.Self)
+	ec.StripeOffsets(cntS, spans, kk, counts)
+	ec.MergeStripes(selfS, spans, kk, ng.Self)
 	rec.ObserveBuckets(counts[:kk])
 
 	// Bucket offsets: prefix sum (contiguous) or bump allocation
@@ -343,18 +321,18 @@ func byMappingRun(ec *exec.Ctx, g *graph.Graph, mapping []int64, k int64, layout
 
 	// Scatter (j; w) into the bucket of the stored-first endpoint, leaving
 	// the first endpoint implicit (§IV-C) — it is filled in during the
-	// sort-accumulate step. Each worker replays exactly the vertex range it
-	// counted, advancing its private cursors cntS[w·k+c] within the
-	// per-worker sub-range of each bucket: no synchronization at all.
+	// sort-accumulate step. Each span replays exactly the edge range it
+	// counted (same partition, same span index, so the same stripe),
+	// advancing its private cursors cntS[j·k+c] within the per-span
+	// sub-range of each bucket: no synchronization at all.
 	spScat := rec.Begin(obs.CatContract, "scatter", -1)
 	if serial {
-		scatterSweepRange(g, ng, mapping, kk, cntS, bounds, 0, 1)
+		scatterSweepRange(g, ng, mapping, cntS[:kk], 0, n, g.Start[0], g.End[n-1])
 	} else {
-		wtimes := rec.WorkerTimes(workers)
-		ec.ForWorkerTimes(workers, wtimes, func(_, wlo, whi int) {
-			scatterSweepRange(g, ng, mapping, kk, cntS, bounds, wlo, whi)
+		ec.ForSpans("contract/scatter", pt, func(j int, sp par.Span) {
+			base := j * kk
+			scatterSweepRange(g, ng, mapping, cntS[base:base+kk], sp.LoV, sp.HiV, sp.LoE, sp.HiE)
 		})
-		rec.FoldWorkerTimes("contract/scatter", wtimes)
 	}
 	spScat.End()
 
@@ -363,6 +341,10 @@ func byMappingRun(ec *exec.Ctx, g *graph.Graph, mapping []int64, k int64, layout
 	// additionally splits each bucket's time into its sort and accumulate
 	// halves via chunk-flushed hot counters; the disabled path keeps the
 	// clock-read-free dedupBuckets.
+	// Dedup cost per bucket is ~len·log len, so the dynamic chunker's
+	// equal-count chunks go badly wrong on skewed bucket sizes; rebuild the
+	// scratch partition over the surviving counts (the count/scatter
+	// schedule is spent by now) for a statically balanced sweep instead.
 	spDedup := rec.Begin(obs.CatContract, "dedup", -1)
 	hot := rec.Hot()
 	var live int64
@@ -372,17 +354,30 @@ func byMappingRun(ec *exec.Ctx, g *graph.Graph, mapping []int64, k int64, layout
 		} else {
 			live = dedupBuckets(ng, counts, 0, kk)
 		}
-	} else if hot != nil {
+	} else if ec.DynamicOnly() {
 		var acc int64
-		ec.ForDynamic(kk, 0, func(lo, hi int) {
-			atomic.AddInt64(&acc, dedupBucketsTimed(ng, counts, hot, lo, hi))
-		})
+		if hot != nil {
+			ec.ForDynamic(kk, 0, func(lo, hi int) {
+				atomic.AddInt64(&acc, dedupBucketsTimed(ng, counts, hot, lo, hi))
+			})
+		} else {
+			ec.ForDynamic(kk, 0, func(lo, hi int) {
+				atomic.AddInt64(&acc, dedupBuckets(ng, counts, lo, hi))
+			})
+		}
 		live = acc
 	} else {
+		ec.BuildWeights(&s.part, kk, counts)
 		var acc int64
-		ec.ForDynamic(kk, 0, func(lo, hi int) {
-			atomic.AddInt64(&acc, dedupBuckets(ng, counts, lo, hi))
-		})
+		if hot != nil {
+			ec.ForRanges("contract/dedup", &s.part, func(lo, hi int) {
+				atomic.AddInt64(&acc, dedupBucketsTimed(ng, counts, hot, lo, hi))
+			})
+		} else {
+			ec.ForRanges("contract/dedup", &s.part, func(lo, hi int) {
+				atomic.AddInt64(&acc, dedupBuckets(ng, counts, lo, hi))
+			})
+		}
 		live = acc
 	}
 	ng.SetCounts(k, live)
@@ -392,46 +387,61 @@ func byMappingRun(ec *exec.Ctx, g *graph.Graph, mapping []int64, k int64, layout
 	return ng
 }
 
-// countSweepRange counts surviving cross edges per (worker, new bucket)
-// stripe for workers [wlo, whi), folding collapsed-edge and old self-loop
-// weight into the worker's self stripe.
-func countSweepRange(g *graph.Graph, mapping []int64, kk int, cntS, selfS []int64, bounds []int, wlo, whi int) {
-	for w := wlo; w < whi; w++ {
-		base := w * kk
-		for x := bounds[w]; x < bounds[w+1]; x++ {
+// countSweepRange counts surviving cross edges into the span's k-wide
+// stripe (cntS/selfS are already the span's sub-slices), folding
+// collapsed-edge and old self-loop weight into the self stripe. The range
+// follows the Span clamp discipline: eloFirst/ehiLast clamp the first and
+// last bucket to the span's exact edge run. A vertex's per-vertex work —
+// the old self-loop fold — belongs to the span piece that owns the
+// bucket's first edge, so a hub bucket split across spans folds it exactly
+// once.
+func countSweepRange(g *graph.Graph, mapping []int64, cntS, selfS []int64, lo, hi int, eloFirst, ehiLast int64) {
+	for x := lo; x < hi; x++ {
+		elo, ehi := g.Start[x], g.End[x]
+		if x == lo {
+			elo = eloFirst
+		}
+		if x == hi-1 {
+			ehi = ehiLast
+		}
+		if elo == g.Start[x] {
 			if sw := g.Self[x]; sw != 0 {
-				selfS[base+int(mapping[x])] += sw
+				selfS[mapping[x]] += sw
 			}
-			for e := g.Start[x]; e < g.End[x]; e++ {
-				ni, nj := mapping[g.U[e]], mapping[g.V[e]]
-				if ni == nj {
-					selfS[base+int(ni)] += g.W[e]
-					continue
-				}
-				first, _ := graph.StoredOrder(ni, nj)
-				cntS[base+int(first)]++
+		}
+		for e := elo; e < ehi; e++ {
+			ni, nj := mapping[g.U[e]], mapping[g.V[e]]
+			if ni == nj {
+				selfS[ni] += g.W[e]
+				continue
 			}
+			first, _ := graph.StoredOrder(ni, nj)
+			cntS[first]++
 		}
 	}
 }
 
-// scatterSweepRange replays countSweepRange's vertex ranges for workers
-// [wlo, whi), writing each surviving edge at its private cursor position.
-func scatterSweepRange(g, ng *graph.Graph, mapping []int64, kk int, cntS []int64, bounds []int, wlo, whi int) {
-	for w := wlo; w < whi; w++ {
-		base := w * kk
-		for x := bounds[w]; x < bounds[w+1]; x++ {
-			for e := g.Start[x]; e < g.End[x]; e++ {
-				ni, nj := mapping[g.U[e]], mapping[g.V[e]]
-				if ni == nj {
-					continue
-				}
-				first, second := graph.StoredOrder(ni, nj)
-				pos := ng.Start[first] + cntS[base+int(first)]
-				cntS[base+int(first)]++
-				ng.V[pos] = second
-				ng.W[pos] = g.W[e]
+// scatterSweepRange replays countSweepRange's exact edge range against the
+// same stripe, writing each surviving edge at its private cursor position.
+func scatterSweepRange(g, ng *graph.Graph, mapping []int64, cntS []int64, lo, hi int, eloFirst, ehiLast int64) {
+	for x := lo; x < hi; x++ {
+		elo, ehi := g.Start[x], g.End[x]
+		if x == lo {
+			elo = eloFirst
+		}
+		if x == hi-1 {
+			ehi = ehiLast
+		}
+		for e := elo; e < ehi; e++ {
+			ni, nj := mapping[g.U[e]], mapping[g.V[e]]
+			if ni == nj {
+				continue
 			}
+			first, second := graph.StoredOrder(ni, nj)
+			pos := ng.Start[first] + cntS[first]
+			cntS[first]++
+			ng.V[pos] = second
+			ng.W[pos] = g.W[e]
 		}
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/matching"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/refine"
 	"repro/internal/scoring"
 )
@@ -80,6 +81,37 @@ func (k ContractKernel) String() string {
 	return fmt.Sprintf("ContractKernel(%d)", int(k))
 }
 
+// Scheduler selects how the engine schedules parallel kernel sweeps.
+type Scheduler int
+
+const (
+	// SchedAuto, the default, prefix-sums the bucket lengths of each
+	// hierarchy level once and installs the resulting edge-balanced
+	// partition on the execution context: edge-parallel sweeps (scoring,
+	// contraction's count/scatter) walk edge-exact spans that split hub
+	// buckets across workers, vertex-state sweeps (matching, refinement,
+	// dedup) get degree-balanced vertex-aligned ranges, and anything below
+	// the parallel threshold stays serial.
+	SchedAuto Scheduler = iota
+	// SchedDynamic disables static balanced scheduling (an ablation and
+	// measurement baseline): sweeps fall back to dynamic equal-count
+	// chunking wherever the kernel admits it. Contraction's histogram
+	// stripes require a static schedule and keep a locally built span
+	// partition either way.
+	SchedDynamic
+)
+
+// String returns the scheduler's name for logs and benchmark labels.
+func (s Scheduler) String() string {
+	switch s {
+	case SchedAuto:
+		return "auto"
+	case SchedDynamic:
+		return "dynamic"
+	}
+	return fmt.Sprintf("Scheduler(%d)", int(s))
+}
+
 // Options configures a detection run. The zero value asks for modularity
 // maximization with the paper's improved kernels on all available threads,
 // running to a local maximum.
@@ -91,6 +123,10 @@ type Options struct {
 	// Matching and Contraction select the kernels.
 	Matching    MatchKernel
 	Contraction ContractKernel
+	// Scheduler selects how parallel sweeps are scheduled across workers;
+	// the zero value (SchedAuto) builds an edge-balanced schedule per
+	// hierarchy level, SchedDynamic keeps the dynamic-chunking baseline.
+	Scheduler Scheduler
 	// MinCoverage stops the run once the fraction of input edge weight
 	// inside communities reaches this value; 0 disables. The paper's §V
 	// experiments use 0.5, "following the spirit of the 10th DIMACS
@@ -287,6 +323,22 @@ func detect(ec *exec.Ctx, g *graph.Graph, opt Options, s *Scratch) (*Result, err
 	}
 	matchFn, _ := matchFunc(opt.Matching)
 	contractFn, _ := contractFunc(opt.Contraction)
+	// The level schedule (Options.Scheduler): detect installs a partition on
+	// ec at the top of every phase and must leave neither it nor the
+	// dynamic-only flag behind for the next user of the context.
+	if opt.Scheduler == SchedDynamic {
+		ec.SetDynamicOnly(true)
+		defer ec.SetDynamicOnly(false)
+	}
+	defer ec.SetPartition(nil)
+	// The arena carries the partition workspace; only the no-scratch path
+	// allocates one (conditionally, so the arena path stays off the heap).
+	var levelPart *par.Partition
+	if s != nil {
+		levelPart = &s.part
+	} else {
+		levelPart = &par.Partition{}
+	}
 	// p is the worker count for the helpers outside the exec-threaded layers
 	// (graph degree/weight sweeps); single-assignment so closures below don't
 	// heap-box it. rec likewise: a nil rec makes every instrumentation call a
@@ -376,6 +428,22 @@ func detect(ec *exec.Ctx, g *graph.Graph, opt Options, s *Scratch) (*Result, err
 		}
 
 		phSpan := rec.BeginPhase(phase, cg.NumVertices(), cg.NumEdges())
+
+		// Primitive 0: the level schedule. One prefix sum over the bucket
+		// lengths yields the edge-balanced partition that every kernel sweep
+		// over cg adopts through Balanced; kernels keep their dynamic (or
+		// locally built) fallbacks for serial runs, immutable contexts, and
+		// SchedDynamic, where no partition is installed.
+		nv := int(cg.NumVertices())
+		if !ec.Serial(nv) && !ec.DynamicOnly() {
+			if ec.SetPartition(levelPart); ec.Partition() == levelPart {
+				ssp := rec.Begin(obs.CatKernel, "schedule", -1)
+				ec.BuildBuckets(levelPart, nv, cg.Start, cg.End)
+				ssp.EndArgs("workers", int64(levelPart.Workers()), "vertices", int64(nv))
+			}
+		} else {
+			ec.SetPartition(nil)
+		}
 
 		// Primitive 1: score. Builtin metrics implement scoring.Fused, which
 		// folds the score fill, the MaxCommunitySize mask, and the

@@ -13,6 +13,7 @@ import (
 	"repro/internal/contract"
 	"repro/internal/graph"
 	"repro/internal/matching"
+	"repro/internal/par"
 )
 
 // Scratch is the engine's reusable per-run arena. A zero Scratch (or
@@ -38,9 +39,12 @@ type Scratch struct {
 	mapping     []int64
 	sizes       [2][]int64
 	sizeStripes []int64
-	match       matching.Scratch
-	contract    contract.Scratch
-	cg          [2]*graph.Graph
+	// part is the per-level edge-balanced schedule the engine installs on
+	// the execution context at the top of each phase (Options.Scheduler).
+	part     par.Partition
+	match    matching.Scratch
+	contract contract.Scratch
+	cg       [2]*graph.Graph
 }
 
 // NewScratch returns an empty arena; buffers are allocated on first use.

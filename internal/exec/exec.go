@@ -35,6 +35,16 @@ type Ctx struct {
 	rec     *obs.Recorder
 	pool    *par.Pool
 	threads int
+	// part is the engine-installed edge-balanced schedule for the current
+	// hierarchy level (nil between levels); kernels consult it through
+	// Balanced. immutable marks the cached Background contexts, which are
+	// shared process-wide and therefore reject SetPartition.
+	part      *par.Partition
+	immutable bool
+	// dynOnly disables static balanced scheduling: Balanced always reports
+	// nil and kernels that build their own schedules consult DynamicOnly to
+	// keep their dynamic-chunking paths. An ablation/measurement switch.
+	dynOnly bool
 }
 
 // maxBackground bounds the cached pool-less contexts handed out by Background.
@@ -44,7 +54,7 @@ var backgrounds [maxBackground + 1]*Ctx
 
 func init() {
 	for p := 1; p <= maxBackground; p++ {
-		backgrounds[p] = &Ctx{ctx: context.Background(), threads: p}
+		backgrounds[p] = &Ctx{ctx: context.Background(), threads: p, immutable: true}
 	}
 }
 
@@ -59,7 +69,7 @@ func Background(p int) *Ctx {
 	if p <= maxBackground {
 		return backgrounds[p]
 	}
-	return &Ctx{ctx: context.Background(), threads: p}
+	return &Ctx{ctx: context.Background(), threads: p, immutable: true}
 }
 
 // New builds a Ctx with its own persistent worker team when p > 1 (p <= 0
@@ -143,6 +153,8 @@ func (c *Ctx) Release() {
 	}
 	c.ctx = nil
 	c.rec = nil
+	c.part = nil
+	c.dynOnly = false
 	freeMu.Lock()
 	if len(freeCtxs) < maxFree {
 		freeCtxs = append(freeCtxs, c)
@@ -173,6 +185,7 @@ func (c *Ctx) WithThreads(t int) *Ctx {
 	}
 	d := *c
 	d.threads = t
+	d.immutable = false
 	if d.pool != nil {
 		d.pool.Grow(t)
 	} else if t > 1 {
@@ -189,6 +202,7 @@ func (c *Ctx) WithContext(ctx context.Context) *Ctx {
 	}
 	d := *c
 	d.ctx = ctx
+	d.immutable = false
 	return &d
 }
 
@@ -197,6 +211,7 @@ func (c *Ctx) WithContext(ctx context.Context) *Ctx {
 func (c *Ctx) WithRecorder(rec *obs.Recorder) *Ctx {
 	d := *c
 	d.rec = rec
+	d.immutable = false
 	return &d
 }
 
@@ -283,4 +298,112 @@ func (c *Ctx) PackIndexInto(n int, keep, slots, dst []int64) []int64 {
 // rather than a method).
 func PackInto[T any](c *Ctx, src []T, keep, slots []int64, dst []T) []T {
 	return par.PackIntoWith(c.pool, c.threads, src, keep, slots, dst)
+}
+
+// SetPartition installs pt as the edge-balanced schedule kernels may adopt
+// through Balanced, or clears it with nil. The engine calls it once per
+// hierarchy level; pt must stay valid (and unmodified) until cleared. The
+// cached Background contexts are shared process-wide, so on them
+// SetPartition is a no-op and kernels keep their dynamic fallback.
+func (c *Ctx) SetPartition(pt *par.Partition) {
+	if c.immutable {
+		return
+	}
+	c.part = pt
+}
+
+// Partition returns the installed level partition, nil when absent.
+func (c *Ctx) Partition() *par.Partition { return c.part }
+
+// SetDynamicOnly disables (on=true) or restores (on=false) static balanced
+// scheduling on this context: while set, Balanced reports nil and kernels
+// that build private schedules fall back to dynamic chunking wherever the
+// sweep admits it. Contraction's histogram stripes require a static
+// schedule and are unaffected. Like SetPartition, a no-op on the shared
+// Background contexts; Release resets the flag.
+func (c *Ctx) SetDynamicOnly(on bool) {
+	if c.immutable {
+		return
+	}
+	c.dynOnly = on
+}
+
+// DynamicOnly reports whether static balanced scheduling is disabled.
+func (c *Ctx) DynamicOnly() bool { return c.dynOnly }
+
+// Balanced returns the installed partition when it matches a sweep over n
+// bucketed items carrying `edges` total edges and was built for a parallel
+// worker count; otherwise nil and the caller should fall back to dynamic
+// scheduling. The weight check (edges plus one unit per item) rejects
+// partitions built for a different level or graph, so a stale install can
+// never misdirect a sweep.
+func (c *Ctx) Balanced(n int, edges int64) *par.Partition {
+	pt := c.part
+	if c.dynOnly {
+		return nil
+	}
+	if pt == nil || pt.Workers() < 2 || pt.Items() != n ||
+		pt.TotalWeight() != edges+int64(n) {
+		return nil
+	}
+	return pt
+}
+
+// BuildBuckets (re)builds pt as the edge-balanced schedule for n buckets
+// with edge runs start[x]..end[x], on the team.
+func (c *Ctx) BuildBuckets(pt *par.Partition, n int, start, end []int64) {
+	pt.BuildBuckets(c.pool, c.threads, n, start, end)
+}
+
+// BuildIndexed (re)builds pt over an index list, item i weighing
+// end[list[i]]-start[list[i]]+1, on the team. Only item-aligned ranges are
+// produced.
+func (c *Ctx) BuildIndexed(pt *par.Partition, list, start, end []int64) {
+	pt.BuildIndexed(c.pool, c.threads, list, start, end)
+}
+
+// BuildWeights (re)builds pt over n items with the given extra weights (each
+// item costs weight[x]+1), on the team. Only item-aligned ranges are
+// produced.
+func (c *Ctx) BuildWeights(pt *par.Partition, n int, weight []int64) {
+	pt.BuildWeights(c.pool, c.threads, n, weight)
+}
+
+// ForRanges runs body once per non-empty item-aligned range of pt,
+// distributing the ranges over the team and folding per-worker busy times
+// into the recorder under region. It is the static-balanced counterpart of
+// ForDynamic for kernels that must not split an item between workers.
+func (c *Ctx) ForRanges(region string, pt *par.Partition, body func(lo, hi int)) {
+	w := pt.Workers()
+	times := c.rec.WorkerTimes(w)
+	c.pool.ForWorkerTimes(c.threads, w, times, func(_, jlo, jhi int) {
+		for j := jlo; j < jhi; j++ {
+			lo, hi := pt.Range(j)
+			if lo < hi {
+				body(lo, hi)
+			}
+		}
+	})
+	c.rec.FoldWorkerTimes(region, times)
+}
+
+// ForSpans runs body once per non-empty edge-exact span of pt, distributing
+// the spans over the team and folding per-worker busy times into the
+// recorder under region. body receives the span's index j in [0,
+// pt.Workers()) — stable across sweeps over the same partition, so striped
+// kernels (contraction's count/scatter replay) can key private state by it
+// — and the span itself. Spans may cover partial buckets at their ends, so
+// only edge-parallel sweeps that tolerate hub splitting may use it.
+func (c *Ctx) ForSpans(region string, pt *par.Partition, body func(j int, sp par.Span)) {
+	w := pt.Workers()
+	times := c.rec.WorkerTimes(w)
+	c.pool.ForWorkerTimes(c.threads, w, times, func(_, jlo, jhi int) {
+		for j := jlo; j < jhi; j++ {
+			sp := pt.Span(j)
+			if sp.LoV < sp.HiV {
+				body(j, sp)
+			}
+		}
+	})
+	c.rec.FoldWorkerTimes(region, times)
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/obs"
+	"repro/internal/par"
 )
 
 func TestBackgroundCachedAndImmutable(t *testing.T) {
@@ -130,6 +131,98 @@ func TestAcquireSerialSteadyStateAllocFree(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("Acquire/Release allocated %.1f times per run", allocs)
+	}
+}
+
+func TestSetPartitionLifecycle(t *testing.T) {
+	c := Acquire(nil, 3, nil)
+	start := []int64{0, 10, 20, 30}
+	end := []int64{10, 20, 30, 40}
+	var pt par.Partition
+	c.BuildBuckets(&pt, 4, start, end)
+	c.SetPartition(&pt)
+	if c.Partition() != &pt {
+		t.Fatal("SetPartition did not install")
+	}
+	if got := c.Balanced(4, 40); got != &pt {
+		t.Fatalf("Balanced(4, 40) = %v, want the installed partition", got)
+	}
+	// A mismatched item count or edge total means the partition belongs to
+	// some other level: the kernel must fall back to dynamic scheduling.
+	if c.Balanced(5, 40) != nil || c.Balanced(4, 39) != nil {
+		t.Fatal("Balanced accepted a stale partition")
+	}
+	c.Release()
+	if c2 := Acquire(nil, 3, nil); c2.Partition() != nil {
+		c2.Release()
+		t.Fatal("Release leaked the partition into the next acquire")
+	} else {
+		c2.Release()
+	}
+}
+
+func TestSetPartitionNoOpOnBackground(t *testing.T) {
+	c := Background(2)
+	var pt par.Partition
+	pt.BuildBuckets(nil, 2, 2, []int64{0, 5}, []int64{5, 10})
+	c.SetPartition(&pt)
+	if c.Partition() != nil {
+		t.Fatal("cached Background context accepted a partition")
+	}
+	// A derived view is private and may carry one.
+	v := c.WithRecorder(nil)
+	v.SetPartition(&pt)
+	if v.Partition() != &pt {
+		t.Fatal("derived view rejected the partition")
+	}
+	if c.Partition() != nil {
+		t.Fatal("view's partition leaked into the cached context")
+	}
+}
+
+func TestForRangesAndSpansCover(t *testing.T) {
+	c := Acquire(nil, 4, obs.New())
+	defer c.Release()
+	n := 100
+	start := make([]int64, n)
+	end := make([]int64, n)
+	var cur int64
+	for x := 0; x < n; x++ {
+		start[x] = cur
+		cur += int64(1 + x%7)
+		end[x] = cur
+	}
+	var pt par.Partition
+	c.BuildBuckets(&pt, n, start, end)
+
+	var items int64
+	c.ForRanges("test/ranges", &pt, func(lo, hi int) {
+		atomic.AddInt64(&items, int64(hi-lo))
+	})
+	if items != int64(n) {
+		t.Fatalf("ForRanges covered %d of %d items", items, n)
+	}
+
+	var edges int64
+	c.ForSpans("test/spans", &pt, func(_ int, sp par.Span) {
+		for x := sp.LoV; x < sp.HiV; x++ {
+			elo, ehi := start[x], end[x]
+			if x == sp.LoV {
+				elo = sp.LoE
+			}
+			if x == sp.HiV-1 {
+				ehi = sp.HiE
+			}
+			atomic.AddInt64(&edges, ehi-elo)
+		}
+	})
+	if edges != cur {
+		t.Fatalf("ForSpans covered %d of %d edges", edges, cur)
+	}
+
+	prof := c.Recorder().Export()
+	if len(prof.Regions) != 2 {
+		t.Fatalf("regions = %+v", prof.Regions)
 	}
 }
 

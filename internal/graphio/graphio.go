@@ -231,14 +231,18 @@ func ReadBinary(r io.Reader, p int) (*graph.Graph, error) {
 	return g, nil
 }
 
-// readInt64s reads exactly count little-endian int64s in bounded chunks,
-// growing the destination as the stream delivers data rather than trusting
-// count for one allocation.
+// readInt64s reads exactly count little-endian int64s in bounded chunks.
+// The destination is allocated for count up front — clamping the hint to one
+// read chunk made every large graph pay log₂(count/chunk) append-doubling
+// copies of data already in memory — but only up to maxUpfront: a corrupt or
+// hostile header claiming more must deliver actual stream bytes before the
+// slice grows past that, so the giant-allocation defense is preserved.
 func readInt64s(r io.Reader, count int64, what string) ([]int64, error) {
 	const chunk = 1 << 16
+	const maxUpfront = 1 << 23 // 8 Mi int64s = 64 MiB speculative allocation at most
 	capHint := count
-	if capHint > chunk {
-		capHint = chunk
+	if capHint > maxUpfront {
+		capHint = maxUpfront
 	}
 	out := make([]int64, 0, capHint)
 	buf := make([]int64, chunk)

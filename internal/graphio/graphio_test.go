@@ -2,6 +2,7 @@ package graphio
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"strings"
@@ -120,6 +121,39 @@ func TestBinaryRejectsGarbage(t *testing.T) {
 	trunc := buf.Bytes()[:buf.Len()-9]
 	if _, err := ReadBinary(bytes.NewReader(trunc), 1); err == nil {
 		t.Fatal("accepted truncated input")
+	}
+}
+
+func TestBinaryHostileHeaderCounts(t *testing.T) {
+	// A header claiming in-range but enormous counts over an empty body must
+	// fail on the short stream without allocating for the claimed sizes
+	// (readInt64s clamps its speculative allocation).
+	var buf bytes.Buffer
+	hdr := []uint64{binaryMagic, 1 << 30, 1 << 40}
+	if err := binary.Write(&buf, binary.LittleEndian, hdr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBinary(bytes.NewReader(buf.Bytes()), 1); err == nil {
+		t.Fatal("accepted a hostile header with no body")
+	}
+}
+
+func TestReadInt64sPreallocatesKnownCount(t *testing.T) {
+	// Below the speculative-allocation cap the known count is trusted for a
+	// single up-front allocation: the returned slice must not carry
+	// append-doubling slack even when the payload spans many read chunks.
+	const count = 3 << 16 // three chunks
+	payload := make([]int64, count)
+	var buf bytes.Buffer
+	if err := binary.Write(&buf, binary.LittleEndian, payload); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readInt64s(bytes.NewReader(buf.Bytes()), count, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != count || cap(out) != count {
+		t.Fatalf("len=%d cap=%d, want both %d (single up-front allocation)", len(out), cap(out), count)
 	}
 }
 

@@ -105,6 +105,12 @@ type Scratch struct {
 	list2    []int64 // worklist double-buffer, pong
 	keep     []int64
 	slots    []int64
+	// part is the per-pass degree-balanced schedule over the worklist:
+	// item i weighs deg(list[i])+1, so a pass hands every worker an equal
+	// share of bucket scanning instead of an equal share of vertices.
+	// Ranges are vertex-aligned — the claim phase keeps per-vertex
+	// candidate state, so a vertex must never split between workers.
+	part par.Partition
 }
 
 // grow resizes every buffer for an n-vertex graph. candPass entries are
@@ -229,8 +235,17 @@ func WorklistWith(ec *exec.Ctx, g *graph.Graph, scores []float64, scratch *Scrat
 		// live in plain functions so the serial path evaluates no closure
 		// literal (a literal handed to ForDynamic escapes and heap-allocates
 		// even when the loop then runs on one worker).
+		balanced := !ec.Serial(len(lst)) && !ec.DynamicOnly()
 		if ec.Serial(len(lst)) {
 			worklistPropose(g, scores, s, lst, pass, 0, len(lst))
+		} else if balanced {
+			// One degree-balanced schedule serves both phases of the pass,
+			// so a worker revisits in phase B the vertices it proposed for
+			// in phase A with the candidate tables still warm.
+			ec.BuildIndexed(&s.part, lst, g.Start, g.End)
+			ec.ForRanges("match/propose", &s.part, func(lo, hi int) {
+				worklistPropose(g, scores, s, lst, pass, lo, hi)
+			})
 		} else {
 			ec.ForDynamic(len(lst), 0, func(lo, hi int) {
 				worklistPropose(g, scores, s, lst, pass, lo, hi)
@@ -242,6 +257,10 @@ func WorklistWith(ec *exec.Ctx, g *graph.Graph, scores []float64, scratch *Scrat
 		keep := keepFlags[:len(lst)]
 		if ec.Serial(len(lst)) {
 			worklistClaim(g, s, lst, keep, pass, hot, 0, len(lst))
+		} else if balanced {
+			ec.ForRanges("match/claim", &s.part, func(lo, hi int) {
+				worklistClaim(g, s, lst, keep, pass, hot, lo, hi)
+			})
 		} else {
 			ec.ForDynamic(len(lst), 0, func(lo, hi int) {
 				worklistClaim(g, s, lst, keep, pass, hot, lo, hi)

@@ -1,0 +1,131 @@
+package par
+
+import (
+	"sync"
+	"testing"
+)
+
+// chunkRecorder collects the (lo, hi) chunks a dynamic loop hands out, plus
+// an exactly-once visit count per index.
+type chunkRecorder struct {
+	mu     sync.Mutex
+	sizes  []int
+	visits []int32
+}
+
+func (c *chunkRecorder) body(lo, hi int) {
+	c.mu.Lock()
+	c.sizes = append(c.sizes, hi-lo)
+	for i := lo; i < hi; i++ {
+		c.visits[i]++
+	}
+	c.mu.Unlock()
+}
+
+// expectedGrain mirrors the documented heuristic: n/(8p) clamped to
+// [1, 4096], where p is the worker count the loop actually uses.
+func expectedGrain(used, n int) int {
+	g := n / (8 * used)
+	if g < 1 {
+		g = 1
+	}
+	if g > 4096 {
+		g = 4096
+	}
+	return g
+}
+
+// The grain<=0 heuristic must respect its documented clamp bounds and
+// still cover [0, n) exactly once, across adversarial n/p combinations:
+// n smaller than p, n barely above the clamp knee, n far above it, primes
+// that leave ragged tails, and p larger than the machine.
+func TestForDynamicGrainHeuristic(t *testing.T) {
+	cases := []struct{ n, p int }{
+		{1, 2},          // single index, heuristic floor
+		{7, 3},          // n < 8p: grain clamps up to 1
+		{100, 13},       // ragged: 100/104 rounds to 0 -> 1
+		{4096, 2},       // exactly at the knee: 4096/16 = 256
+		{65536, 2},      // 65536/16 = 4096, at the upper clamp
+		{70000, 2},      // 70000/16 = 4375, must clamp down to 4096
+		{1 << 20, 2},    // far past the clamp
+		{524309, 7},     // prime n, odd p
+		{8192, 1024},    // p clamps to n first, then grain to 1
+		{4000, 1 << 30}, // absurd p: normalize to n, grain 1
+	}
+	for _, tc := range cases {
+		used := Workers(tc.p, tc.n)
+		want := expectedGrain(used, tc.n)
+		rec := &chunkRecorder{visits: make([]int32, tc.n)}
+		ForDynamic(tc.p, tc.n, 0, rec.body)
+		checkGrainChunks(t, "free", tc.n, tc.p, used, want, rec)
+	}
+}
+
+// The pooled variant must implement the identical heuristic, with the used
+// worker count additionally clamped to the team size.
+func TestPoolForDynamicGrainHeuristic(t *testing.T) {
+	pl := NewPool(4)
+	defer pl.Close()
+	cases := []struct{ n, p int }{
+		{7, 3},
+		{100, 13},    // normalize gives 13, team clamps to 4
+		{70000, 2},   // 70000/16 = 4375 -> 4096
+		{70000, 16},  // team clamp to 4: 70000/32 = 2187
+		{1 << 18, 4}, // 2^18/32 = 8192 -> 4096
+	}
+	for _, tc := range cases {
+		used := Workers(tc.p, tc.n)
+		if used > pl.Workers() {
+			used = pl.Workers()
+		}
+		want := expectedGrain(used, tc.n)
+		rec := &chunkRecorder{visits: make([]int32, tc.n)}
+		pl.ForDynamic(tc.p, tc.n, 0, rec.body)
+		checkGrainChunks(t, "pool", tc.n, tc.p, used, want, rec)
+	}
+}
+
+func checkGrainChunks(t *testing.T, kind string, n, p, used, want int, rec *chunkRecorder) {
+	t.Helper()
+	if want < 1 || want > 4096 {
+		t.Fatalf("%s n=%d p=%d: expected grain %d outside clamp [1, 4096]", kind, n, p, want)
+	}
+	for i, c := range rec.visits {
+		if c != 1 {
+			t.Fatalf("%s n=%d p=%d: index %d visited %d times", kind, n, p, i, c)
+		}
+	}
+	if used == 1 {
+		// Single-worker shortcut: one chunk covering everything, the
+		// heuristic unobservable by design.
+		if len(rec.sizes) != 1 || rec.sizes[0] != n {
+			t.Fatalf("%s n=%d p=%d: serial path chunks = %v", kind, n, p, rec.sizes)
+		}
+		return
+	}
+	var tail int
+	for _, s := range rec.sizes {
+		if s > want {
+			t.Fatalf("%s n=%d p=%d: chunk of %d exceeds heuristic grain %d", kind, n, p, s, want)
+		}
+		if s != want {
+			tail++
+		}
+	}
+	// Every chunk is exactly the heuristic grain except at most one
+	// truncated tail chunk.
+	if tail > 1 {
+		t.Fatalf("%s n=%d p=%d: %d chunks differ from grain %d (sizes %v)", kind, n, p, tail, want, rec.sizes)
+	}
+	if rem := n % want; rem != 0 {
+		found := false
+		for _, s := range rec.sizes {
+			if s == rem {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s n=%d p=%d: missing tail chunk of %d (sizes %v)", kind, n, p, rem, want)
+		}
+	}
+}

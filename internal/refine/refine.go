@@ -21,6 +21,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/par"
 )
 
 // Options configures a refinement run.
@@ -91,48 +92,66 @@ func RefineExec(ec *exec.Ctx, g *graph.Graph, comm []int64, k int64, opt Options
 		vol[cur[v]] += deg[v]
 	}
 
+	// Each sweep visits every CSR entry, so on skewed graphs dynamic
+	// equal-count chunks put whole hubs on one worker. Degrees are fixed
+	// across sweeps: build one degree-balanced partition up front and hand
+	// every sweep the same vertex-aligned ranges. Ranges, not spans — the
+	// neighbor scan is per-vertex state, so a vertex must not be split.
+	var pt par.Partition
+	balanced := !ec.Serial(int(n)) && !ec.DynamicOnly()
+	if balanced {
+		ec.BuildBuckets(&pt, int(n), csr.Offsets[:n], csr.Offsets[1:n+1])
+	}
+
+	var moves int64
+	sweepBody := func(lo, hi int) {
+		neighborW := make(map[int64]int64)
+		var localMoves int64
+		for v := int64(lo); v < int64(hi); v++ {
+			adj, wgt := csr.Neighbors(v)
+			if len(adj) == 0 {
+				continue
+			}
+			clear(neighborW)
+			for i, u := range adj {
+				neighborW[atomic.LoadInt64(&cur[u])] += wgt[i]
+			}
+			cv := atomic.LoadInt64(&cur[v])
+			dv := float64(deg[v])
+			// Gain of being in community d (v's own volume removed):
+			// w(v→d)/m − deg_v·vol_d\{v}/(2m²).
+			volCv := float64(atomic.LoadInt64(&vol[cv])) - dv
+			bestGain := float64(neighborW[cv])/m - dv*volCv/(2*m*m)
+			best := cv
+			for d, w := range neighborW {
+				if d == cv {
+					continue
+				}
+				gain := float64(w)/m - dv*float64(atomic.LoadInt64(&vol[d]))/(2*m*m)
+				if gain > bestGain+1e-15 || (gain > bestGain-1e-15 && best != cv && d < best) {
+					best, bestGain = d, gain
+				}
+			}
+			if best != cv {
+				atomic.AddInt64(&vol[cv], -deg[v])
+				atomic.AddInt64(&vol[best], deg[v])
+				atomic.StoreInt64(&cur[v], best)
+				localMoves++
+			}
+		}
+		atomic.AddInt64(&moves, localMoves)
+	}
+
 	for sweep := 0; sweep < maxSweeps; sweep++ {
 		if ec.Err() != nil {
 			break // keep the best partition found so far
 		}
-		var moves int64
-		ec.ForDynamic(int(n), 0, func(lo, hi int) {
-			neighborW := make(map[int64]int64)
-			var localMoves int64
-			for v := int64(lo); v < int64(hi); v++ {
-				adj, wgt := csr.Neighbors(v)
-				if len(adj) == 0 {
-					continue
-				}
-				clear(neighborW)
-				for i, u := range adj {
-					neighborW[atomic.LoadInt64(&cur[u])] += wgt[i]
-				}
-				cv := atomic.LoadInt64(&cur[v])
-				dv := float64(deg[v])
-				// Gain of being in community d (v's own volume removed):
-				// w(v→d)/m − deg_v·vol_d\{v}/(2m²).
-				volCv := float64(atomic.LoadInt64(&vol[cv])) - dv
-				bestGain := float64(neighborW[cv])/m - dv*volCv/(2*m*m)
-				best := cv
-				for d, w := range neighborW {
-					if d == cv {
-						continue
-					}
-					gain := float64(w)/m - dv*float64(atomic.LoadInt64(&vol[d]))/(2*m*m)
-					if gain > bestGain+1e-15 || (gain > bestGain-1e-15 && best != cv && d < best) {
-						best, bestGain = d, gain
-					}
-				}
-				if best != cv {
-					atomic.AddInt64(&vol[cv], -deg[v])
-					atomic.AddInt64(&vol[best], deg[v])
-					atomic.StoreInt64(&cur[v], best)
-					localMoves++
-				}
-			}
-			atomic.AddInt64(&moves, localMoves)
-		})
+		moves = 0
+		if balanced {
+			ec.ForRanges("refine/sweep", &pt, sweepBody)
+		} else {
+			ec.ForDynamic(int(n), 0, sweepBody)
+		}
 		res.Sweeps++
 		res.Moves += moves
 		if moves == 0 {

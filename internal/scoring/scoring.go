@@ -11,7 +11,17 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/graph"
+	"repro/internal/par"
 )
+
+// Scoring sweeps are edge-parallel with no per-vertex state, so they accept
+// hub splitting: when the engine has installed an edge-balanced partition
+// for the level (exec.Balanced), each worker walks one par.Span — a vertex
+// range whose first and last buckets may be clamped to partial edge runs —
+// and otherwise the sweep falls back to dynamic chunks over whole vertices.
+// Every sweep body is therefore written against (lo, hi, eloFirst, ehiLast):
+// dynamic chunks pass the unclamped g.Start[lo] / g.End[hi-1], making the
+// clamps no-ops.
 
 // Scorer computes per-edge merge scores for a community graph.
 //
@@ -66,13 +76,30 @@ func (Modularity) Score(ec *exec.Ctx, g *graph.Graph, deg []int64, totalWeight i
 	inv := 1 / m
 	half := 1 / (2 * m * m)
 	n := int(g.NumVertices())
+	if pt := ec.Balanced(n, g.NumEdges()); pt != nil {
+		ec.ForSpans("score/fill", pt, func(_ int, sp par.Span) {
+			modularityFill(g, deg, scores, inv, half, sp.LoV, sp.HiV, sp.LoE, sp.HiE)
+		})
+		return
+	}
 	ec.ForDynamic(n, 0, func(lo, hi int) {
-		for x := lo; x < hi; x++ {
-			for e := g.Start[x]; e < g.End[x]; e++ {
-				scores[e] = float64(g.W[e])*inv - float64(deg[g.U[e]])*float64(deg[g.V[e]])*half
-			}
-		}
+		modularityFill(g, deg, scores, inv, half, lo, hi, g.Start[lo], g.End[hi-1])
 	})
+}
+
+func modularityFill(g *graph.Graph, deg []int64, scores []float64, inv, half float64, lo, hi int, eloFirst, ehiLast int64) {
+	for x := lo; x < hi; x++ {
+		elo, ehi := g.Start[x], g.End[x]
+		if x == lo {
+			elo = eloFirst
+		}
+		if x == hi-1 {
+			ehi = ehiLast
+		}
+		for e := elo; e < ehi; e++ {
+			scores[e] = float64(g.W[e])*inv - float64(deg[g.U[e]])*float64(deg[g.V[e]])*half
+		}
+	}
 }
 
 // ScoreFused implements Fused: the modularity fill, size mask, and
@@ -106,28 +133,48 @@ func (Modularity) ScoreFused(ec *exec.Ctx, g *graph.Graph, deg []int64, totalWei
 		return positive
 	}
 	var found int64
-	ec.ForDynamic(n, 0, func(lo, hi int) {
-		positive := false
-		var nMasked int64
-		for x := lo; x < hi; x++ {
-			for e := g.Start[x]; e < g.End[x]; e++ {
-				u, v := g.U[e], g.V[e]
-				if maxSize > 0 && sizes[u]+sizes[v] > maxSize {
-					scores[e] = -1
-					nMasked++
-					continue
-				}
-				s := float64(g.W[e])*inv - float64(deg[u])*float64(deg[v])*half
-				scores[e] = s
-				positive = positive || s > 0
+	if pt := ec.Balanced(n, g.NumEdges()); pt != nil {
+		ec.ForSpans("score/fused", pt, func(_ int, sp par.Span) {
+			positive, nMasked := modularityFused(g, deg, scores, sizes, inv, half, maxSize, sp.LoV, sp.HiV, sp.LoE, sp.HiE)
+			flushMasked(masked, nMasked)
+			if positive {
+				atomicStoreOne(&found)
 			}
-		}
+		})
+		return found != 0
+	}
+	ec.ForDynamic(n, 0, func(lo, hi int) {
+		positive, nMasked := modularityFused(g, deg, scores, sizes, inv, half, maxSize, lo, hi, g.Start[lo], g.End[hi-1])
 		flushMasked(masked, nMasked)
 		if positive {
 			atomicStoreOne(&found)
 		}
 	})
 	return found != 0
+}
+
+func modularityFused(g *graph.Graph, deg []int64, scores []float64, sizes []int64, inv, half float64, maxSize int64, lo, hi int, eloFirst, ehiLast int64) (positive bool, nMasked int64) {
+	for x := lo; x < hi; x++ {
+		elo, ehi := g.Start[x], g.End[x]
+		if x == lo {
+			elo = eloFirst
+		}
+		if x == hi-1 {
+			ehi = ehiLast
+		}
+		for e := elo; e < ehi; e++ {
+			u, v := g.U[e], g.V[e]
+			if maxSize > 0 && sizes[u]+sizes[v] > maxSize {
+				scores[e] = -1
+				nMasked++
+				continue
+			}
+			s := float64(g.W[e])*inv - float64(deg[u])*float64(deg[v])*half
+			scores[e] = s
+			positive = positive || s > 0
+		}
+	}
+	return positive, nMasked
 }
 
 // Conductance scores an edge {c, d} with the negated change in the sum of
@@ -162,17 +209,34 @@ func (Conductance) Score(ec *exec.Ctx, g *graph.Graph, deg []int64, totalWeight 
 		return cut / denom
 	}
 	n := int(g.NumVertices())
+	if pt := ec.Balanced(n, g.NumEdges()); pt != nil {
+		ec.ForSpans("score/fill", pt, func(_ int, sp par.Span) {
+			conductanceFill(g, deg, scores, phi, sp.LoV, sp.HiV, sp.LoE, sp.HiE)
+		})
+		return
+	}
 	ec.ForDynamic(n, 0, func(lo, hi int) {
-		for x := lo; x < hi; x++ {
-			for e := g.Start[x]; e < g.End[x]; e++ {
-				u, v, w := g.U[e], g.V[e], g.W[e]
-				phiU := phi(deg[u], g.Self[u])
-				phiV := phi(deg[v], g.Self[v])
-				merged := phi(deg[u]+deg[v], g.Self[u]+g.Self[v]+w)
-				scores[e] = phiU + phiV - merged
-			}
-		}
+		conductanceFill(g, deg, scores, phi, lo, hi, g.Start[lo], g.End[hi-1])
 	})
+}
+
+func conductanceFill(g *graph.Graph, deg []int64, scores []float64, phi func(vol, internal int64) float64, lo, hi int, eloFirst, ehiLast int64) {
+	for x := lo; x < hi; x++ {
+		elo, ehi := g.Start[x], g.End[x]
+		if x == lo {
+			elo = eloFirst
+		}
+		if x == hi-1 {
+			ehi = ehiLast
+		}
+		for e := elo; e < ehi; e++ {
+			u, v, w := g.U[e], g.V[e], g.W[e]
+			phiU := phi(deg[u], g.Self[u])
+			phiV := phi(deg[v], g.Self[v])
+			merged := phi(deg[u]+deg[v], g.Self[u]+g.Self[v]+w)
+			scores[e] = phiU + phiV - merged
+		}
+	}
 }
 
 // ScoreFused implements Fused for the conductance metric.
@@ -216,30 +280,50 @@ func (Conductance) ScoreFused(ec *exec.Ctx, g *graph.Graph, deg []int64, totalWe
 		return positive
 	}
 	var found int64
-	ec.ForDynamic(n, 0, func(lo, hi int) {
-		positive := false
-		var nMasked int64
-		for x := lo; x < hi; x++ {
-			for e := g.Start[x]; e < g.End[x]; e++ {
-				u, v, w := g.U[e], g.V[e], g.W[e]
-				if maxSize > 0 && sizes[u]+sizes[v] > maxSize {
-					scores[e] = -1
-					nMasked++
-					continue
-				}
-				phiU := phi(deg[u], g.Self[u])
-				phiV := phi(deg[v], g.Self[v])
-				s := phiU + phiV - phi(deg[u]+deg[v], g.Self[u]+g.Self[v]+w)
-				scores[e] = s
-				positive = positive || s > 0
+	if pt := ec.Balanced(n, g.NumEdges()); pt != nil {
+		ec.ForSpans("score/fused", pt, func(_ int, sp par.Span) {
+			positive, nMasked := conductanceFused(g, deg, scores, sizes, phi, maxSize, sp.LoV, sp.HiV, sp.LoE, sp.HiE)
+			flushMasked(masked, nMasked)
+			if positive {
+				atomicStoreOne(&found)
 			}
-		}
+		})
+		return found != 0
+	}
+	ec.ForDynamic(n, 0, func(lo, hi int) {
+		positive, nMasked := conductanceFused(g, deg, scores, sizes, phi, maxSize, lo, hi, g.Start[lo], g.End[hi-1])
 		flushMasked(masked, nMasked)
 		if positive {
 			atomicStoreOne(&found)
 		}
 	})
 	return found != 0
+}
+
+func conductanceFused(g *graph.Graph, deg []int64, scores []float64, sizes []int64, phi func(vol, internal int64) float64, maxSize int64, lo, hi int, eloFirst, ehiLast int64) (positive bool, nMasked int64) {
+	for x := lo; x < hi; x++ {
+		elo, ehi := g.Start[x], g.End[x]
+		if x == lo {
+			elo = eloFirst
+		}
+		if x == hi-1 {
+			ehi = ehiLast
+		}
+		for e := elo; e < ehi; e++ {
+			u, v, w := g.U[e], g.V[e], g.W[e]
+			if maxSize > 0 && sizes[u]+sizes[v] > maxSize {
+				scores[e] = -1
+				nMasked++
+				continue
+			}
+			phiU := phi(deg[u], g.Self[u])
+			phiV := phi(deg[v], g.Self[v])
+			s := phiU + phiV - phi(deg[u]+deg[v], g.Self[u]+g.Self[v]+w)
+			scores[e] = s
+			positive = positive || s > 0
+		}
+	}
+	return positive, nMasked
 }
 
 // flushMasked adds a chunk's masked-edge count to the optional tap with one
@@ -253,13 +337,30 @@ func flushMasked(masked *int64, n int64) {
 // scoreConstant fills every live edge's score with c.
 func scoreConstant(ec *exec.Ctx, g *graph.Graph, scores []float64, c float64) {
 	n := int(g.NumVertices())
+	if pt := ec.Balanced(n, g.NumEdges()); pt != nil {
+		ec.ForSpans("score/fill", pt, func(_ int, sp par.Span) {
+			constantFill(g, scores, c, sp.LoV, sp.HiV, sp.LoE, sp.HiE)
+		})
+		return
+	}
 	ec.ForDynamic(n, 0, func(lo, hi int) {
-		for x := lo; x < hi; x++ {
-			for e := g.Start[x]; e < g.End[x]; e++ {
-				scores[e] = c
-			}
-		}
+		constantFill(g, scores, c, lo, hi, g.Start[lo], g.End[hi-1])
 	})
+}
+
+func constantFill(g *graph.Graph, scores []float64, c float64, lo, hi int, eloFirst, ehiLast int64) {
+	for x := lo; x < hi; x++ {
+		elo, ehi := g.Start[x], g.End[x]
+		if x == lo {
+			elo = eloFirst
+		}
+		if x == hi-1 {
+			ehi = ehiLast
+		}
+		for e := elo; e < ehi; e++ {
+			scores[e] = c
+		}
+	}
 }
 
 // HasPositive reports whether any live edge of g has a strictly positive
@@ -268,15 +369,36 @@ func scoreConstant(ec *exec.Ctx, g *graph.Graph, scores []float64, c float64) {
 func HasPositive(ec *exec.Ctx, g *graph.Graph, scores []float64) bool {
 	n := int(g.NumVertices())
 	var found int64
-	ec.ForDynamic(n, 0, func(lo, hi int) {
-		for x := lo; x < hi; x++ {
-			for e := g.Start[x]; e < g.End[x]; e++ {
-				if scores[e] > 0 {
-					atomicStoreOne(&found)
-					return
-				}
+	if pt := ec.Balanced(n, g.NumEdges()); pt != nil {
+		ec.ForSpans("score/haspos", pt, func(_ int, sp par.Span) {
+			if hasPositive(g, scores, sp.LoV, sp.HiV, sp.LoE, sp.HiE) {
+				atomicStoreOne(&found)
 			}
+		})
+		return found != 0
+	}
+	ec.ForDynamic(n, 0, func(lo, hi int) {
+		if hasPositive(g, scores, lo, hi, g.Start[lo], g.End[hi-1]) {
+			atomicStoreOne(&found)
 		}
 	})
 	return found != 0
+}
+
+func hasPositive(g *graph.Graph, scores []float64, lo, hi int, eloFirst, ehiLast int64) bool {
+	for x := lo; x < hi; x++ {
+		elo, ehi := g.Start[x], g.End[x]
+		if x == lo {
+			elo = eloFirst
+		}
+		if x == hi-1 {
+			ehi = ehiLast
+		}
+		for e := elo; e < ehi; e++ {
+			if scores[e] > 0 {
+				return true
+			}
+		}
+	}
+	return false
 }
