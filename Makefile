@@ -11,7 +11,12 @@ HOT_SRC := internal/core/core.go internal/matching/matching.go internal/contract
 CTX_SRC := $(HOT_SRC) internal/contract/listchase.go internal/scoring/scoring.go \
 	internal/scoring/func.go internal/refine/refine.go internal/hierarchy/hierarchy.go
 
-.PHONY: all build test race vet vet-obs bench bench-smoke clean
+# Kernel packages where wall-clock reads must go through obs.NowNS (vet-obs
+# forbids raw time.Now there: ad-hoc clock reads dodge the recording gate and
+# drift from the trace timeline's epoch).
+KERNEL_SRC := internal/scoring/*.go internal/matching/*.go internal/contract/*.go internal/refine/*.go
+
+.PHONY: all build test race vet vet-obs bench bench-smoke bench-compare clean
 
 all: build vet vet-obs test
 
@@ -54,6 +59,11 @@ vet-obs:
 		echo "vet-obs: kernel takes a positional worker count (thread *exec.Ctx instead):"; \
 		echo "$$bad"; exit 1; \
 	fi
+	@bad=$$(grep -nE 'time\.Now\(' $(KERNEL_SRC) /dev/null | grep -v '_test.go'); \
+	if [ -n "$$bad" ]; then \
+		echo "vet-obs: kernel package reads the wall clock directly (use obs.NowNS):"; \
+		echo "$$bad"; exit 1; \
+	fi
 
 # Runs the arena-vs-fresh detection benchmarks (and anything else matching
 # $(BENCH)) with allocation stats, archiving the raw `go test -json` event
@@ -66,9 +76,23 @@ bench:
 	$(GO) test -run=NONE -bench='$(BENCH)' -benchmem -json . | tee -a results/BENCH_$(DATE).json
 
 # One-iteration pass over the detection benchmarks: compiles and exercises
-# the full bench path without the cost of a real measurement. CI runs this.
+# the full bench path without the cost of a real measurement. CI runs this,
+# teeing the JSON event stream to results/BENCH_smoke.json so the workflow
+# can archive it and feed it to benchdiff.
 bench-smoke:
-	$(GO) test -run=NONE -bench=Detect -benchtime=1x .
+	mkdir -p results
+	$(GO) run ./cmd/bench -meta | tee results/BENCH_smoke.json
+	$(GO) test -run=NONE -bench=Detect -benchtime=1x -benchmem -json . | tee -a results/BENCH_smoke.json
+
+# Measures the benchmarks fresh and diffs them against the checked-in
+# baseline: a markdown table with Mann–Whitney significance marks, non-zero
+# exit on a significant regression beyond 5%. -count=6 gives the U test
+# enough samples per side to call a difference real.
+bench-compare:
+	mkdir -p results
+	$(GO) run ./cmd/bench -meta | tee results/BENCH_head.json
+	$(GO) test -run=NONE -bench='$(BENCH)' -benchmem -count=6 -json . | tee -a results/BENCH_head.json
+	$(GO) run ./cmd/benchdiff -threshold 0.05 results/BENCH_baseline.json results/BENCH_head.json
 
 clean:
 	$(GO) clean -testcache

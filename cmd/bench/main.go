@@ -87,6 +87,8 @@ func main() {
 	csvDir := flag.String("csv", "", "also write raw records as CSV into this directory")
 	metaOnly := flag.Bool("meta", false, "print run metadata (go version, CPUs, git revision) as one JSON line and exit")
 	traceOut := flag.String("trace.out", "", "write a Chrome trace_event timeline of the -phases run to this file (implies -phases)")
+	convergence := flag.Bool("convergence", false, "print the -phases run's per-level convergence table (implies -phases)")
+	ledgerPath := flag.String("ledger", "", "append the -phases run's JSON manifest to this file (implies -phases)")
 	metricsAddr := flag.String("metrics.addr", "", "serve live detection metrics over HTTP on this address (e.g. localhost:6070)")
 	flag.Parse()
 
@@ -106,8 +108,8 @@ func main() {
 	if *all {
 		m = modes{true, true, true, true, true, true, true, true, true, true, true, true}
 	}
-	if *traceOut != "" {
-		m.phases = true // the trace records the instrumented phases run
+	if *traceOut != "" || *convergence || *ledgerPath != "" {
+		m.phases = true // these sinks record the instrumented phases run
 	}
 	if m == (modes{}) && *metricsAddr == "" {
 		flag.Usage()
@@ -126,18 +128,35 @@ func main() {
 	}
 	if m.phases || *metricsAddr != "" {
 		b.rec = obs.New()
+		b.led = obs.NewLedger()
+		b.convergence = *convergence
+		b.ledgerPath = *ledgerPath
 	}
 	if *traceOut != "" {
 		path := *traceOut
 		flushOnExit = func() { writeTrace(b.rec, path) }
 	}
 	if *metricsAddr != "" {
-		obs.SetLive(b.rec)
-		ln, err := obs.Serve(*metricsAddr, b.rec)
+		srv, err := obs.Serve(*metricsAddr, b.rec, b.led)
 		check(err)
-		defer ln.Close()
-		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (expvar at /debug/vars)\n", ln.Addr())
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (convergence at /convergence, expvar at /debug/vars)\n", srv.Addr())
 	}
+	// A panic below must not lose the trace/ledger gathered so far: flush the
+	// partial artifacts, then re-panic with the original value so the crash
+	// itself is unchanged.
+	defer func() {
+		if r := recover(); r != nil {
+			if flushOnExit != nil {
+				flushOnExit()
+				flushOnExit = nil
+			}
+			if b.led.NumLevels() > 0 {
+				b.flushLedger("partial")
+			}
+			panic(r)
+		}
+	}()
 
 	if m.table1 {
 		section("Table I — platform characteristics (host stand-in for the paper's five platforms)")
@@ -229,7 +248,14 @@ type bencher struct {
 	maxThreads int
 	seed       uint64
 	csvDir     string
-	rec        *obs.Recorder // nil unless -phases / -trace.out / -metrics.addr
+	rec         *obs.Recorder // nil unless -phases / -trace.out / -metrics.addr
+	led         *obs.Ledger   // convergence rows for the -phases run; same gating
+	convergence bool          // print the convergence table after -phases
+	ledgerPath  string        // append the -phases manifest here ("" = off)
+	// ledgerGraph/ledgerOpt describe the instrumented run for its manifest;
+	// set by runPhases before detection so a panic flush can label partial rows.
+	ledgerGraph report.GraphInfo
+	ledgerOpt   core.Options
 
 	rmatG, ljG, webG *graph.Graph
 	smallRecs        []harness.Record
@@ -348,10 +374,19 @@ func (b *bencher) runAblation() {
 func (b *bencher) runPhases() {
 	section("Phase breakdown — share of time per primitive (§IV-C)")
 	g := b.lj()
-	res, err := core.DetectContext(b.ctx, g, core.Options{
-		Threads: b.maxThreads, MinCoverage: 0.5, Recorder: b.rec})
+	opt := core.Options{
+		Threads: b.maxThreads, MinCoverage: 0.5, Recorder: b.rec, Ledger: b.led}
+	b.ledgerGraph = report.Info("lj-sim", g)
+	b.ledgerOpt = opt
+	res, err := core.DetectContext(b.ctx, g, opt)
 	check(err)
 	check(harness.RenderPhaseTable(os.Stdout, res.Stats))
+	if b.convergence {
+		check(harness.RenderConvergenceTable(os.Stdout, b.led.Levels(), b.led.Warnings()))
+	}
+	if b.ledgerPath != "" {
+		b.flushLedger("run")
+	}
 	var score, match, contractT time.Duration
 	for _, st := range res.Stats {
 		score += st.ScoreTime
@@ -364,6 +399,30 @@ func (b *bencher) runPhases() {
 		100*float64(match)/float64(total),
 		100*float64(contractT)/float64(total))
 	b.printProfile(res)
+}
+
+// flushLedger appends the instrumented run's manifest (kind "run" normally,
+// "partial" from the panic path) to -ledger.
+func (b *bencher) flushLedger(kind string) {
+	if b.ledgerPath == "" {
+		return
+	}
+	m := &report.Manifest{
+		Kind:    kind,
+		Time:    time.Now().UTC(),
+		Host:    report.CollectMeta(),
+		Graph:   b.ledgerGraph,
+		Options: report.OptionsOf(b.ledgerOpt),
+		Kernels: b.rec.KernelSeconds(),
+	}
+	if p := b.led.Export(); p != nil {
+		m.Levels, m.Warnings = p.Levels, p.Warnings
+	}
+	if err := report.AppendManifest(b.ledgerPath, m); err != nil {
+		fmt.Fprintln(os.Stderr, "bench: manifest:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "appended run manifest to %s\n", b.ledgerPath)
 }
 
 // printProfile renders the recorder's kernel-level view of the phases run:

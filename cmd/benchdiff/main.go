@@ -1,0 +1,79 @@
+// Command benchdiff compares two archived benchmark streams (`go test -json`
+// event logs, as teed under results/ by `make bench`) and renders a paired
+// markdown delta table with Mann–Whitney significance marks. It exits 1 when
+// any statistically significant regression exceeds -threshold, 2 on usage or
+// parse errors, 0 otherwise — so CI can gate on it directly:
+//
+//	go run ./cmd/benchdiff results/BENCH_baseline.json results/BENCH_2026-08-06.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/benchcmp"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its streams and exit code exposed for testing.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 0.05,
+		"relative change a significant difference must exceed to gate (0.05 = 5%)")
+	alpha := fs.Float64("alpha", 0.05, "significance level for the Mann–Whitney test")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: benchdiff [-threshold F] [-alpha F] OLD.json NEW.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	base, err := parseFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	head, err := parseFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	deltas := benchcmp.Compare(base, head, *threshold, *alpha)
+	if len(deltas) == 0 {
+		fmt.Fprintln(stderr, "benchdiff: no benchmarks in common")
+		return 2
+	}
+	if err := benchcmp.RenderMarkdown(stdout, deltas); err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	if n := benchcmp.Regressions(deltas); n > 0 {
+		fmt.Fprintf(stderr, "benchdiff: %d significant regression(s) beyond %.0f%%\n",
+			n, 100**threshold)
+		return 1
+	}
+	return 0
+}
+
+func parseFile(path string) ([]benchcmp.Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	res, err := benchcmp.ParseStream(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return res, nil
+}

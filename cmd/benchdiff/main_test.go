@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeStream writes a synthetic test2json bench archive: a meta header plus
+// five repeated measurements of one benchmark at the given ns/op center.
+func writeStream(t *testing.T, path string, ns float64, allocs int) {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(`{"bench":"cmd/bench","date":"2026-08-06T00:00:00Z","meta":{"go_version":"go1.24.0"}}` + "\n")
+	for i := 0; i < 5; i++ {
+		line := fmt.Sprintf("BenchmarkDetect_PooledTeam-8 \t      10\t %.0f ns/op\t  314256 B/op\t       %d allocs/op\n",
+			ns+float64(i), allocs)
+		fmt.Fprintf(&b, `{"Action":"output","Package":"repro","Output":%q}`+"\n", line)
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExitsNonZeroOnInjectedRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := filepath.Join(dir, "old.json")
+	bad := filepath.Join(dir, "bad.json")
+	writeStream(t, old, 100_000_000, 4)
+	writeStream(t, bad, 130_000_000, 4) // +30% ns/op
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-threshold", "0.05", old, bad}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "| ! |") {
+		t.Fatalf("table missing regression mark:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "regression") {
+		t.Fatalf("stderr missing summary: %s", stderr.String())
+	}
+}
+
+func TestRunExitsZeroWhenUnchanged(t *testing.T) {
+	dir := t.TempDir()
+	old := filepath.Join(dir, "old.json")
+	same := filepath.Join(dir, "same.json")
+	writeStream(t, old, 100_000_000, 4)
+	writeStream(t, same, 100_000_500, 4) // noise-level wobble
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{old, same}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, want 0; stderr: %s\n%s", code, stderr.String(), stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "BenchmarkDetect_PooledTeam") {
+		t.Fatalf("table missing benchmark row:\n%s", stdout.String())
+	}
+}
+
+func TestRunGatesDeterministicAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := filepath.Join(dir, "old.json")
+	bad := filepath.Join(dir, "bad.json")
+	writeStream(t, old, 100_000_000, 4)
+	writeStream(t, bad, 100_000_000, 6) // +2 allocs/op, timings unchanged
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{old, bad}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d, want 1 for alloc regression:\n%s", code, stdout.String())
+	}
+}
+
+func TestRunUsageAndParseErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"/nonexistent/a.json", "/nonexistent/b.json"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("missing files: exit %d, want 2", code)
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte("PASS\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{empty, empty}, &stdout, &stderr); code != 2 {
+		t.Fatalf("benchless files: exit %d, want 2", code)
+	}
+}
+
+// TestRunAgainstRepoBaseline pins the real archive format: the checked-in
+// baseline must parse and self-compare cleanly.
+func TestRunAgainstRepoBaseline(t *testing.T) {
+	base := filepath.Join("..", "..", "results", "BENCH_baseline.json")
+	if _, err := os.Stat(base); err != nil {
+		t.Skip("no baseline archive in this checkout")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{base, base}, &stdout, &stderr); code != 0 {
+		t.Fatalf("baseline self-compare exit %d: %s", code, stderr.String())
+	}
+}

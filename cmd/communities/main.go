@@ -60,6 +60,8 @@ func main() {
 		validate = flag.Bool("validate", false, "run invariant checks every phase (slow; debugging)")
 
 		stats       = flag.Bool("stats", false, "print the per-phase kernel breakdown table to stderr")
+		convergence = flag.Bool("convergence", false, "print the per-level convergence table to stderr")
+		ledgerPath  = flag.String("ledger", "", "append a self-contained JSON run manifest to this file (e.g. results/ledger.jsonl)")
 		traceOut    = flag.String("trace.out", "", "write a Chrome trace_event timeline of the run to this file")
 		metricsAddr = flag.String("metrics.addr", "", "serve live detection metrics over HTTP on this address (e.g. localhost:6070)")
 	)
@@ -93,22 +95,37 @@ func main() {
 		fatal(err)
 	}
 
-	// Any observability sink turns on the recorder; a nil recorder keeps the
-	// engine on its zero-overhead path.
+	// Any observability sink turns on the recorder (and ledger); nil sinks
+	// keep the engine on its zero-overhead path.
 	var rec *obs.Recorder
 	if *traceOut != "" || *metricsAddr != "" || *jsonPath != "" {
 		rec = obs.New()
 		opt.Recorder = rec
 	}
+	var led *obs.Ledger
+	if *convergence || *ledgerPath != "" || *metricsAddr != "" || *jsonPath != "" {
+		led = obs.NewLedger()
+		opt.Ledger = led
+	}
 	if *metricsAddr != "" {
-		obs.SetLive(rec)
-		ln, err := obs.Serve(*metricsAddr, rec)
+		srv, err := obs.Serve(*metricsAddr, rec, led)
 		if err != nil {
 			fatal(err)
 		}
-		defer ln.Close()
-		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (expvar at /debug/vars)\n", ln.Addr())
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (convergence at /convergence, expvar at /debug/vars)\n", srv.Addr())
 	}
+
+	// A panic mid-detection must not lose the observability already gathered:
+	// flush the partial trace, convergence table, and a "partial" manifest,
+	// then re-panic so the crash (stack, exit code) is unchanged.
+	graphInfo := report.Info(runName(*inPath, *genName), g)
+	defer func() {
+		if r := recover(); r != nil {
+			flushPartial(rec, led, *traceOut, *convergence, *ledgerPath, graphInfo, opt)
+			panic(r)
+		}
+	}()
 
 	// SIGINT cancels the detection at the next phase or kernel boundary; the
 	// partial hierarchy is still summarized and every requested artifact
@@ -131,6 +148,11 @@ func main() {
 
 	if *stats {
 		if err := harness.RenderPhaseTable(os.Stderr, res.Stats); err != nil {
+			fatal(err)
+		}
+	}
+	if *convergence {
+		if err := harness.RenderConvergenceTable(os.Stderr, led.Levels(), led.Warnings()); err != nil {
 			fatal(err)
 		}
 	}
@@ -171,21 +193,30 @@ func main() {
 			fmt.Println("baseline cnm:     skipped (graph too large for the sequential queue)")
 		}
 	}
-	if *jsonPath != "" {
-		f, err := os.Create(*jsonPath)
-		if err != nil {
-			fatal(err)
-		}
+	if *jsonPath != "" || *ledgerPath != "" {
 		run := report.FromResult(runName(*inPath, *genName), g, opt, res)
 		run.Meta = report.CollectMeta()
 		run.Obs = rec.Export()
-		if err := run.WriteJSON(f); err != nil {
-			fatal(err)
+		run.AttachLedger(led)
+		if *jsonPath != "" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				fatal(err)
+			}
+			if err := run.WriteJSON(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote JSON report to %s\n", *jsonPath)
 		}
-		if err := f.Close(); err != nil {
-			fatal(err)
+		if *ledgerPath != "" {
+			if err := report.AppendManifest(*ledgerPath, report.ManifestFromRun(run)); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("appended run manifest to %s\n", *ledgerPath)
 		}
-		fmt.Printf("wrote JSON report to %s\n", *jsonPath)
 	}
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
@@ -283,6 +314,44 @@ func runName(inPath, genName string) string {
 		return inPath
 	}
 	return "gen:" + genName
+}
+
+// flushPartial salvages the observability a panicking run has already
+// gathered: the span timeline recorded so far (valid Chrome trace), the
+// convergence rows for completed levels, and a manifest marked "partial" so
+// the archive distinguishes it from finished runs. Errors here only warn —
+// the panic in flight is the story, not a second failure on its way out.
+func flushPartial(rec *obs.Recorder, led *obs.Ledger, traceOut string, convergence bool, ledgerPath string, gi report.GraphInfo, opt core.Options) {
+	fmt.Fprintln(os.Stderr, "communities: panic: flushing partial observability artifacts")
+	if traceOut != "" && rec != nil {
+		if f, err := os.Create(traceOut); err == nil {
+			if err := rec.WriteTrace(f); err != nil {
+				fmt.Fprintln(os.Stderr, "communities: partial trace:", err)
+			}
+			f.Close()
+		} else {
+			fmt.Fprintln(os.Stderr, "communities: partial trace:", err)
+		}
+	}
+	if convergence && led.NumLevels() > 0 {
+		harness.RenderConvergenceTable(os.Stderr, led.Levels(), led.Warnings())
+	}
+	if ledgerPath != "" {
+		m := &report.Manifest{
+			Kind:    "partial",
+			Time:    time.Now().UTC(),
+			Host:    report.CollectMeta(),
+			Graph:   gi,
+			Options: report.OptionsOf(opt),
+			Kernels: rec.KernelSeconds(),
+		}
+		if p := led.Export(); p != nil {
+			m.Levels, m.Warnings = p.Levels, p.Warnings
+		}
+		if err := report.AppendManifest(ledgerPath, m); err != nil {
+			fmt.Fprintln(os.Stderr, "communities: partial manifest:", err)
+		}
+	}
 }
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

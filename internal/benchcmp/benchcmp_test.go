@@ -1,0 +1,243 @@
+package benchcmp
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// streamFromLines wraps raw bench result lines as a test2json event stream
+// with a cmd/bench -meta header, splitting each line across two Output
+// events the way test2json actually emits them.
+func streamFromLines(lines ...string) string {
+	var b strings.Builder
+	b.WriteString(`{"bench":"cmd/bench","date":"2026-08-06T00:00:00Z","meta":{"go_version":"go1.24.0"}}` + "\n")
+	b.WriteString(`{"Time":"2026-08-06T00:00:00Z","Action":"start","Package":"repro"}` + "\n")
+	for _, ln := range lines {
+		mid := len(ln) / 2
+		fmt.Fprintf(&b, `{"Action":"output","Package":"repro","Output":%q}`+"\n", ln[:mid])
+		fmt.Fprintf(&b, `{"Action":"output","Package":"repro","Output":%q}`+"\n", ln[mid:]+"\n")
+	}
+	b.WriteString(`{"Action":"pass","Package":"repro"}` + "\n")
+	return b.String()
+}
+
+func TestParseStreamJSONEvents(t *testing.T) {
+	in := streamFromLines(
+		"BenchmarkDetect_Arena-8   \t       4\t 303099790 ns/op\t   1067007 edges/s\t  314256 B/op\t       4 allocs/op",
+		"BenchmarkParFor/pool/n=100-8 \t 2101287\t       585.5 ns/op\t       0 B/op\t       0 allocs/op",
+	)
+	res, err := ParseStream(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("parsed %d results, want 2: %+v", len(res), res)
+	}
+	// The -8 GOMAXPROCS suffix is stripped for pairing.
+	if res[0].Name != "BenchmarkDetect_Arena" || res[1].Name != "BenchmarkParFor/pool/n=100" {
+		t.Fatalf("names %q, %q", res[0].Name, res[1].Name)
+	}
+	if res[0].Values["ns/op"] != 303099790 || res[0].Values["allocs/op"] != 4 {
+		t.Fatalf("values %+v", res[0].Values)
+	}
+	if res[1].Values["ns/op"] != 585.5 {
+		t.Fatalf("fractional ns/op parsed as %v", res[1].Values["ns/op"])
+	}
+}
+
+func TestParseStreamRawText(t *testing.T) {
+	raw := `goos: linux
+BenchmarkDetect_Arena-4    3	 310000000 ns/op	  314256 B/op	       4 allocs/op
+BenchmarkDetect_Arena-4    3	 305000000 ns/op	  314256 B/op	       4 allocs/op
+PASS
+`
+	res, err := ParseStream(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].Name != "BenchmarkDetect_Arena" {
+		t.Fatalf("parsed %+v", res)
+	}
+}
+
+func TestParseStreamNoBenchmarks(t *testing.T) {
+	if _, err := ParseStream(strings.NewReader("goos: linux\nPASS\n")); err == nil {
+		t.Fatal("want error for a stream with no benchmark lines")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("odd median %v", m)
+	}
+	if m := Median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Fatalf("even median %v", m)
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Fatal("empty median not NaN")
+	}
+}
+
+func TestMannWhitneySeparatedSamplesSignificant(t *testing.T) {
+	a := []float64{100, 101, 99, 102, 100}
+	b := []float64{130, 131, 129, 132, 130}
+	p := MannWhitneyP(a, b)
+	if math.IsNaN(p) || p >= 0.05 {
+		t.Fatalf("disjoint samples p=%v, want < 0.05", p)
+	}
+	// Symmetry.
+	if p2 := MannWhitneyP(b, a); math.Abs(p-p2) > 1e-12 {
+		t.Fatalf("asymmetric p: %v vs %v", p, p2)
+	}
+}
+
+func TestMannWhitneyOverlappingSamplesNotSignificant(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	a := make([]float64, 8)
+	b := make([]float64, 8)
+	for i := range a {
+		a[i] = 100 + r.Float64()
+		b[i] = 100 + r.Float64()
+	}
+	if p := MannWhitneyP(a, b); math.IsNaN(p) || p < 0.05 {
+		t.Fatalf("same-distribution samples p=%v, want >= 0.05", p)
+	}
+}
+
+func TestMannWhitneySmallOrTiedSamples(t *testing.T) {
+	if p := MannWhitneyP([]float64{1}, []float64{2}); !math.IsNaN(p) {
+		t.Fatalf("single samples judged: p=%v", p)
+	}
+	if p := MannWhitneyP([]float64{5, 5, 5}, []float64{5, 5, 5}); !math.IsNaN(p) {
+		t.Fatalf("all-tied samples judged: p=%v", p)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	if !Deterministic([]float64{4}, []float64{5}) {
+		t.Fatal("single exact samples should be deterministic")
+	}
+	if Deterministic([]float64{4, 5}, []float64{5}) {
+		t.Fatal("varying side is not deterministic")
+	}
+	if Deterministic(nil, []float64{5}) {
+		t.Fatal("empty side is not deterministic")
+	}
+}
+
+// results builds n repeated Results of one benchmark around the given ns/op
+// values.
+func resultsOf(name string, ns []float64, allocs float64) []Result {
+	var out []Result
+	for _, v := range ns {
+		out = append(out, Result{Name: name, Iters: 10, Values: map[string]float64{
+			"ns/op": v, "allocs/op": allocs,
+		}})
+	}
+	return out
+}
+
+func TestCompareFlagsInjectedRegression(t *testing.T) {
+	base := resultsOf("BenchmarkDetect", []float64{100, 101, 99, 100, 102}, 4)
+	head := resultsOf("BenchmarkDetect", []float64{125, 126, 124, 125, 127}, 4)
+	deltas := Compare(base, head, 0.05, 0.05)
+	var ns *Delta
+	for i := range deltas {
+		if deltas[i].Unit == "ns/op" {
+			ns = &deltas[i]
+		}
+	}
+	if ns == nil || !ns.Significant || !ns.Regression {
+		t.Fatalf("25%% slowdown not gated: %+v", deltas)
+	}
+	// The unchanged allocs/op row must not gate.
+	for _, d := range deltas {
+		if d.Unit == "allocs/op" && d.Regression {
+			t.Fatalf("unchanged allocs flagged: %+v", d)
+		}
+	}
+}
+
+func TestCompareImprovementNotGated(t *testing.T) {
+	base := resultsOf("BenchmarkDetect", []float64{125, 126, 124, 125, 127}, 4)
+	head := resultsOf("BenchmarkDetect", []float64{100, 101, 99, 100, 102}, 4)
+	for _, d := range Compare(base, head, 0.05, 0.05) {
+		if d.Regression {
+			t.Fatalf("improvement gated as regression: %+v", d)
+		}
+	}
+}
+
+func TestCompareDeterministicAllocsSingleSample(t *testing.T) {
+	// One sample per side — the U test cannot judge, but allocs/op is exact,
+	// so 4 → 6 allocs (+50%) must gate.
+	base := resultsOf("BenchmarkDetect", []float64{100}, 4)
+	head := resultsOf("BenchmarkDetect", []float64{100}, 6)
+	var gated bool
+	for _, d := range Compare(base, head, 0.05, 0.05) {
+		if d.Unit == "allocs/op" {
+			gated = d.Regression
+		} else if d.Regression {
+			t.Fatalf("single-sample %s gated: %+v", d.Unit, d)
+		}
+	}
+	if !gated {
+		t.Fatal("deterministic alloc regression not gated on single samples")
+	}
+}
+
+func TestCompareThroughputDirection(t *testing.T) {
+	mk := func(rate float64) []Result {
+		var out []Result
+		for i := 0; i < 5; i++ {
+			out = append(out, Result{Name: "BenchmarkDetect", Values: map[string]float64{
+				"edges/s": rate + float64(i),
+			}})
+		}
+		return out
+	}
+	// Throughput falling is the regression direction for /s units.
+	deltas := Compare(mk(1000), mk(800), 0.05, 0.05)
+	if len(deltas) != 1 || !deltas[0].Regression {
+		t.Fatalf("throughput drop not gated: %+v", deltas)
+	}
+	if deltas := Compare(mk(800), mk(1000), 0.05, 0.05); deltas[0].Regression {
+		t.Fatalf("throughput gain gated: %+v", deltas[0])
+	}
+}
+
+func TestCompareSubThresholdNotGated(t *testing.T) {
+	base := resultsOf("BenchmarkDetect", []float64{100.0, 100.1, 99.9, 100.0, 100.2}, 4)
+	head := resultsOf("BenchmarkDetect", []float64{102.0, 102.1, 101.9, 102.0, 102.2}, 4)
+	for _, d := range Compare(base, head, 0.05, 0.05) {
+		if d.Unit == "ns/op" && !d.Significant {
+			t.Fatalf("clearly separated samples not significant: %+v", d)
+		}
+		if d.Regression {
+			t.Fatalf("2%% change gated at 5%% threshold: %+v", d)
+		}
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	base := resultsOf("BenchmarkDetect", []float64{100, 101, 99, 100, 102}, 4)
+	head := resultsOf("BenchmarkDetect", []float64{125, 126, 124, 125, 127}, 4)
+	var buf bytes.Buffer
+	if err := RenderMarkdown(&buf, Compare(base, head, 0.05, 0.05)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "| benchmark |") {
+		t.Fatalf("missing header: %s", out)
+	}
+	if !strings.Contains(out, "| ! |") {
+		t.Fatalf("regression row missing ! mark:\n%s", out)
+	}
+	if !strings.Contains(out, "+25.0%") {
+		t.Fatalf("delta column missing:\n%s", out)
+	}
+}

@@ -1,0 +1,175 @@
+package benchcmp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Delta is one paired (benchmark, unit) comparison.
+type Delta struct {
+	Name      string
+	Unit      string
+	OldMedian float64
+	NewMedian float64
+	// Pct is the relative change (NewMedian−OldMedian)/OldMedian; positive
+	// means the value went up, whatever that means for the unit.
+	Pct float64
+	// P is the Mann–Whitney two-sided p-value; NaN when either side has too
+	// few samples to judge and the unit is not deterministic.
+	P float64
+	// Significant: the difference is real — p below alpha, or a changed
+	// deterministic counter.
+	Significant bool
+	// Regression: significant, in the unit's worse direction, and beyond the
+	// caller's threshold.
+	Regression bool
+	// OldN/NewN are the per-side sample counts.
+	OldN, NewN int
+}
+
+// higherIsBetter classifies a unit's good direction: throughput units
+// ("edges/s", "MB/s") improve upward, everything else — times, bytes,
+// allocations per op — improves downward.
+func higherIsBetter(unit string) bool {
+	return strings.HasSuffix(unit, "/s")
+}
+
+// deterministicUnit marks units that are exact run to run, where a changed
+// value is significant without repeated samples. Only the allocation count
+// qualifies unconditionally; ns/op never does, and B/op can wobble with map
+// growth so it takes the statistical path too.
+func deterministicUnit(unit string) bool {
+	return unit == "allocs/op"
+}
+
+// Compare pairs two parsed streams by benchmark name and unit. threshold is
+// the relative-change floor a significant difference must exceed to count as
+// a regression (0.05 = 5%); alpha is the significance level for the
+// Mann–Whitney p-value. Benchmarks present on only one side are skipped —
+// the gate judges changes, not coverage.
+func Compare(base, head []Result, threshold, alpha float64) []Delta {
+	names, oldBy := Samples(base)
+	_, newBy := Samples(head)
+	var out []Delta
+	for _, name := range names {
+		newUnits, ok := newBy[name]
+		if !ok {
+			continue
+		}
+		oldUnits := oldBy[name]
+		units := make([]string, 0, len(oldUnits))
+		for u := range oldUnits {
+			if _, ok := newUnits[u]; ok {
+				units = append(units, u)
+			}
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			a, b := oldUnits[unit], newUnits[unit]
+			d := Delta{
+				Name:      name,
+				Unit:      unit,
+				OldMedian: Median(a),
+				NewMedian: Median(b),
+				P:         MannWhitneyP(a, b),
+				OldN:      len(a),
+				NewN:      len(b),
+			}
+			if d.OldMedian != 0 {
+				d.Pct = (d.NewMedian - d.OldMedian) / d.OldMedian
+			}
+			if !math.IsNaN(d.P) && d.P < alpha {
+				d.Significant = true
+			}
+			if deterministicUnit(unit) && Deterministic(a, b) && d.OldMedian != d.NewMedian {
+				d.Significant = true
+			}
+			if d.Significant {
+				worse := d.Pct > 0
+				if higherIsBetter(unit) {
+					worse = d.Pct < 0
+				}
+				if worse && math.Abs(d.Pct) > threshold {
+					d.Regression = true
+				}
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Regressions counts the gated deltas.
+func Regressions(deltas []Delta) int {
+	n := 0
+	for _, d := range deltas {
+		if d.Regression {
+			n++
+		}
+	}
+	return n
+}
+
+// RenderMarkdown writes the paired comparison as a GitHub-flavored markdown
+// table. The delta column carries the significance mark: "!" a gated
+// regression, "✓" a significant improvement, "≈" a significant but
+// sub-threshold change, "~" statistically indistinguishable or not enough
+// samples to tell.
+func RenderMarkdown(w io.Writer, deltas []Delta) error {
+	if _, err := fmt.Fprintln(w, "| benchmark | unit | old | new | delta | p | n | verdict |"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "|---|---|---:|---:|---:|---:|---|:---:|"); err != nil {
+		return err
+	}
+	for _, d := range deltas {
+		mark := "~"
+		if d.Significant {
+			switch {
+			case d.Regression:
+				mark = "!"
+			case math.Abs(d.Pct) > 0:
+				worse := d.Pct > 0
+				if higherIsBetter(d.Unit) {
+					worse = d.Pct < 0
+				}
+				if worse {
+					mark = "≈"
+				} else {
+					mark = "✓"
+				}
+			default:
+				mark = "≈"
+			}
+		}
+		p := "-"
+		if !math.IsNaN(d.P) {
+			p = fmt.Sprintf("%.3f", d.P)
+		}
+		if _, err := fmt.Fprintf(w, "| %s | %s | %s | %s | %+.1f%% | %s | %d/%d | %s |\n",
+			d.Name, d.Unit, formatValue(d.OldMedian), formatValue(d.NewMedian),
+			100*d.Pct, p, d.OldN, d.NewN, mark); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatValue prints a metric with precision matched to its magnitude, the
+// way `go test` itself scales benchmark output.
+func formatValue(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a >= 1e6:
+		return fmt.Sprintf("%.0f", v)
+	case a >= 100:
+		return fmt.Sprintf("%.1f", v)
+	case a >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}

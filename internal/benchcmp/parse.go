@@ -1,0 +1,127 @@
+// Package benchcmp compares two archived benchmark streams — the `go test
+// -json` event logs the Makefile bench targets tee under results/ — and
+// decides, per benchmark and metric, whether the difference is statistically
+// significant rather than run-to-run noise. It is the repo's regression gate:
+// cmd/benchdiff renders the paired table and exits non-zero when a
+// significant regression exceeds the caller's threshold. No external stats
+// dependency: the Mann–Whitney U test ships in stats.go.
+package benchcmp
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark invocation's measured metrics: Values maps a unit
+// ("ns/op", "B/op", "allocs/op", "edges/s", ...) to its value. Repeated
+// -count runs of the same benchmark yield multiple Results with one Name.
+type Result struct {
+	Name   string
+	Iters  int64
+	Values map[string]float64
+}
+
+// event is the subset of a test2json record the parser needs.
+type event struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// benchLine matches a completed benchmark result line. The name keeps its
+// -N GOMAXPROCS suffix here; canonName strips it for pairing.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)((?:\s+[0-9.eE+-]+\s+\S+)+)\s*$`)
+
+// canonSuffix strips the trailing -N GOMAXPROCS tag so the same benchmark
+// pairs across hosts with different core counts.
+var canonSuffix = regexp.MustCompile(`-\d+$`)
+
+func canonName(name string) string { return canonSuffix.ReplaceAllString(name, "") }
+
+// ParseStream reads one archived benchmark stream and returns its results in
+// file order. It tolerates the three shapes the repo archives: a cmd/bench
+// -meta JSON line first, test2json event lines (benchmark output is split
+// across several Output events, so events concatenate before line scanning),
+// and raw `go test -bench` text with no JSON at all.
+func ParseStream(r io.Reader) ([]Result, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var text strings.Builder
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		if strings.HasPrefix(trimmed, "{") {
+			var ev event
+			if err := json.Unmarshal([]byte(trimmed), &ev); err == nil {
+				// A JSON line that is not a test2json output event (meta
+				// header, start/run/pass actions) contributes no text.
+				if ev.Action == "output" {
+					text.WriteString(ev.Output)
+				}
+				continue
+			}
+		}
+		text.WriteString(line)
+		text.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return parseText(text.String())
+}
+
+func parseText(text string) ([]Result, error) {
+	var out []Result
+	for _, line := range strings.Split(text, "\n") {
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchcmp: bad iteration count in %q: %w", line, err)
+		}
+		fields := strings.Fields(m[3])
+		if len(fields)%2 != 0 {
+			return nil, fmt.Errorf("benchcmp: odd value/unit pairing in %q", line)
+		}
+		res := Result{Name: canonName(m[1]), Iters: iters, Values: make(map[string]float64, len(fields)/2)}
+		for i := 0; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchcmp: bad value %q in %q: %w", fields[i], line, err)
+			}
+			res.Values[fields[i+1]] = v
+		}
+		out = append(out, res)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchcmp: no benchmark result lines found")
+	}
+	return out, nil
+}
+
+// Samples groups results by benchmark name, preserving first-seen order, and
+// returns per-name per-unit sample vectors.
+func Samples(results []Result) (names []string, byName map[string]map[string][]float64) {
+	byName = make(map[string]map[string][]float64)
+	for _, r := range results {
+		units, ok := byName[r.Name]
+		if !ok {
+			units = make(map[string][]float64)
+			byName[r.Name] = units
+			names = append(names, r.Name)
+		}
+		for unit, v := range r.Values {
+			units[unit] = append(units[unit], v)
+		}
+	}
+	return names, byName
+}

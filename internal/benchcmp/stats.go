@@ -1,0 +1,120 @@
+package benchcmp
+
+import (
+	"math"
+	"sort"
+)
+
+// Median returns the middle of xs (mean of the middle pair for even counts).
+// It copies before sorting; NaN for an empty slice.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// minSamples is the smallest per-side sample count the normal approximation
+// of the U distribution is allowed to judge. Below it MannWhitneyP returns
+// NaN ("cannot tell"), except for deterministic units — see Deterministic.
+const minSamples = 3
+
+// MannWhitneyP computes the two-sided p-value of the Mann–Whitney U test
+// (Wilcoxon rank-sum) for samples a and b, using the normal approximation
+// with tie correction and a 0.5 continuity correction. It answers "could
+// these two sets of timings come from the same distribution?" without
+// assuming normality — benchmark timings are skewed and multi-modal, so a
+// t-test's normality assumption would misfire exactly when machines do.
+// Returns NaN when either side has fewer than minSamples samples or when
+// every value is tied.
+func MannWhitneyP(a, b []float64) float64 {
+	n1, n2 := len(a), len(b)
+	if n1 < minSamples || n2 < minSamples {
+		return math.NaN()
+	}
+	type obs struct {
+		v     float64
+		first bool
+	}
+	all := make([]obs, 0, n1+n2)
+	for _, v := range a {
+		all = append(all, obs{v, true})
+	}
+	for _, v := range b {
+		all = append(all, obs{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Midranks with tie bookkeeping: a run of t equal values all get the
+	// average of the ranks they span, and contribute t³−t to the correction.
+	var r1 float64      // rank sum of sample a
+	var tieTerm float64 // Σ (t³ − t) over tie groups
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		t := float64(j - i)
+		rank := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		if t > 1 {
+			tieTerm += t*t*t - t
+		}
+		for k := i; k < j; k++ {
+			if all[k].first {
+				r1 += rank
+			}
+		}
+		i = j
+	}
+	f1, f2 := float64(n1), float64(n2)
+	u1 := r1 - f1*(f1+1)/2
+	mean := f1 * f2 / 2
+	nTot := f1 + f2
+	variance := f1 * f2 / 12 * (nTot + 1 - tieTerm/(nTot*(nTot-1)))
+	if variance <= 0 {
+		// Every observation tied: the samples are literally identical.
+		return math.NaN()
+	}
+	z := u1 - mean
+	// Continuity correction toward the mean.
+	switch {
+	case z > 0.5:
+		z -= 0.5
+	case z < -0.5:
+		z += 0.5
+	default:
+		z = 0
+	}
+	z /= math.Sqrt(variance)
+	// Two-sided p from the standard normal survival function.
+	return math.Erfc(math.Abs(z) / math.Sqrt2)
+}
+
+// Deterministic reports whether the two sample sets behave like a
+// deterministic counter: every sample on each side equals that side's first
+// sample. allocs/op (and B/op under a steady-state allocator) is exact run
+// to run, so a difference needs no statistics — one sample per side already
+// proves the code changed. This is the significance escape hatch for
+// single-sample archives, which the U test alone can never judge.
+func Deterministic(a, b []float64) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	for _, v := range a {
+		if v != a[0] {
+			return false
+		}
+	}
+	for _, v := range b {
+		if v != b[0] {
+			return false
+		}
+	}
+	return true
+}

@@ -171,6 +171,16 @@ type Options struct {
 	// and adds no allocations. A Recorder must not be shared by concurrent
 	// runs.
 	Recorder *obs.Recorder
+	// Ledger receives the per-level convergence rows: merge fractions,
+	// matching rounds and worklist drain curves, the metric trajectory,
+	// community-size histograms, hub share, and the per-level schedule
+	// imbalance against its analytic bound — with anomalies flagged as
+	// structured warnings. Rows are recorded before any RefineEveryPhase
+	// rebuild, so with refinement on the summed merged-vertex counts may
+	// differ from n − NumCommunities. nil (the default) disables the ledger
+	// at the same zero cost as a nil Recorder; the two are independent. A
+	// Ledger must not be shared by concurrent runs.
+	Ledger *obs.Ledger
 }
 
 // Termination labels why a run stopped.
@@ -345,6 +355,10 @@ func detect(ec *exec.Ctx, g *graph.Graph, opt Options, s *Scratch) (*Result, err
 	// predictable-branch no-op.
 	p := ec.Threads()
 	rec := ec.Recorder()
+	// One run = one set of ledger rows. Reset (rather than requiring a fresh
+	// ledger) keeps a pointer published to the live expvar endpoint valid
+	// across bench iterations.
+	opt.Ledger.Reset()
 
 	start := time.Now()
 	n := g.NumVertices()
@@ -435,11 +449,13 @@ func detect(ec *exec.Ctx, g *graph.Graph, opt Options, s *Scratch) (*Result, err
 		// locally built) fallbacks for serial runs, immutable contexts, and
 		// SchedDynamic, where no partition is installed.
 		nv := int(cg.NumVertices())
+		schedBuilt := false
 		if !ec.Serial(nv) && !ec.DynamicOnly() {
 			if ec.SetPartition(levelPart); ec.Partition() == levelPart {
 				ssp := rec.Begin(obs.CatKernel, "schedule", -1)
 				ec.BuildBuckets(levelPart, nv, cg.Start, cg.End)
 				ssp.EndArgs("workers", int64(levelPart.Workers()), "vertices", int64(nv))
+				schedBuilt = true
 			}
 		} else {
 			ec.SetPartition(nil)
@@ -501,6 +517,13 @@ func detect(ec *exec.Ctx, g *graph.Graph, opt Options, s *Scratch) (*Result, err
 			phSpan.End()
 			res, _ := finish(TermCanceled, deg, cg, sizes)
 			return res, fmt.Errorf("core: canceled at phase %d after scoring: %w", phase, err)
+		}
+		// The ledger's eligible-edge population. Counted only when the
+		// ledger is on (an extra sweep over the score array), after the
+		// size-cap mask, so it is exactly what the matching sees.
+		var posEdges int64
+		if opt.Ledger.Enabled() {
+			posEdges = countPositive(ec, cg, scores)
 		}
 
 		// Primitive 2: greedy heavy maximal matching.
@@ -628,20 +651,51 @@ func detect(ec *exec.Ctx, g *graph.Graph, opt Options, s *Scratch) (*Result, err
 			sizes = newSizes
 		}
 
+		mod := modularityOf(ec, cg, deg, totW)
+		maxBucket := cg.MaxBucketLen()
 		res.Stats = append(res.Stats, PhaseStats{
 			Phase:        phase,
 			Vertices:     cg.NumVertices(),
 			Edges:        cg.NumEdges(),
 			Coverage:     cov,
-			Modularity:   modularityOf(ec, cg, deg, totW),
+			Modularity:   mod,
 			MatchedPairs: mres.Pairs,
 			MatchPasses:  mres.Passes,
 			MatchWeight:  mres.Weight,
 			ScoreTime:    scoreTime,
 			MatchTime:    matchTime,
 			ContractTime: contractTime,
-			MaxBucketLen: cg.MaxBucketLen(),
+			MaxBucketLen: maxBucket,
 		})
+		if opt.Ledger.Enabled() {
+			st := obs.LevelStats{
+				Level:         phase,
+				Vertices:      cg.NumVertices(),
+				Edges:         cg.NumEdges(),
+				PositiveEdges: posEdges,
+				MatchedPairs:  mres.Pairs,
+				OutVertices:   ng.NumVertices(),
+				OutEdges:      ng.NumEdges(),
+				Metric:        mod,
+				Coverage:      cov,
+				MatchPasses:   mres.Passes,
+				// Drain aliases matching scratch; the ledger row outlives
+				// the phase, so copy.
+				Drain:        append([]int64(nil), mres.Drain...),
+				SizeHist:     obs.SizeHistogram(sizes),
+				MaxBucketLen: maxBucket,
+			}
+			if schedBuilt {
+				st.SchedImbalance = levelPart.AlignedImbalance()
+				if work := cg.NumEdges() + cg.NumVertices(); work > 0 {
+					st.SchedBound = 1
+					if lb := float64(maxBucket+1) * float64(levelPart.Workers()) / float64(work); lb > 1 {
+						st.SchedBound = lb
+					}
+				}
+			}
+			opt.Ledger.Record(st)
+		}
 		if !opt.DiscardLevels {
 			// mapping is freshly allocated whenever levels are kept, so the
 			// Result never aliases arena memory.
@@ -762,4 +816,44 @@ func modularityOf(ec *exec.Ctx, cg *graph.Graph, deg []int64, totW int64) float6
 		q += x
 	}
 	return q
+}
+
+// countPositive counts edges with a positive merge score — the matching's
+// eligible population for the convergence ledger. It runs only when the
+// ledger is enabled, after the size-cap mask has already forced capped edges
+// negative, so the count is exactly what the matching sees. The sweep walks
+// the buckets, not the raw score array: the slack holes between buckets hold
+// stale scores from earlier phases (the scratch buffer is reused), which the
+// kernels never read.
+func countPositive(ec *exec.Ctx, g *graph.Graph, scores []float64) int64 {
+	n := int(g.NumVertices())
+	start, end := g.Start, g.End
+	if ec.Serial(n) {
+		var c int64
+		for x := 0; x < n; x++ {
+			for e := start[x]; e < end[x]; e++ {
+				if scores[e] > 0 {
+					c++
+				}
+			}
+		}
+		return c
+	}
+	partial := make([]int64, ec.Threads())
+	used := ec.ForWorker(n, func(w, lo, hi int) {
+		var c int64
+		for x := lo; x < hi; x++ {
+			for e := start[x]; e < end[x]; e++ {
+				if scores[e] > 0 {
+					c++
+				}
+			}
+		}
+		partial[w] = c
+	})
+	var c int64
+	for _, x := range partial[:used] {
+		c += x
+	}
+	return c
 }

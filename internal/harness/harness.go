@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -376,6 +377,39 @@ func RenderPhaseTable(w io.Writer, stats []core.PhaseStats) error {
 		float64(match.Microseconds())/1e3,
 		float64(contract.Microseconds())/1e3)
 	return tw.Flush()
+}
+
+// RenderConvergenceTable prints the convergence ledger's per-level rows —
+// the cmd/communities -convergence view: how fast the agglomeration merged,
+// how the metric moved, how the matching drained, and whether the per-level
+// schedule stayed inside its analytic imbalance bound. Warnings print after
+// the table so an anomalous run is visible without reading every row.
+func RenderConvergenceTable(w io.Writer, levels []obs.LevelStats, warnings []obs.Warning) error {
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "level\t|V|\t|E|\tpos edges\tpairs\tmerged\tmerge%\tmetric\tΔmetric\tpasses\thub%\timbalance\tbound")
+	var merged int64
+	for _, st := range levels {
+		imb, bound := "-", "-"
+		if st.SchedImbalance > 0 {
+			imb = fmt.Sprintf("%.2f", st.SchedImbalance)
+			bound = fmt.Sprintf("%.2f", st.SchedBound)
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\t%.1f\t%.4f\t%+.4f\t%d\t%.1f\t%s\t%s\n",
+			st.Level, st.Vertices, st.Edges, st.PositiveEdges, st.MatchedPairs,
+			st.MergedVertices, 100*st.MergeFraction, st.Metric, st.MetricDelta,
+			st.MatchPasses, 100*st.HubShare, imb, bound)
+		merged += st.MergedVertices
+	}
+	fmt.Fprintf(tw, "total\t\t\t\t\t%d\t\t\t\t\t\t\t\n", merged)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, wn := range warnings {
+		if _, err := fmt.Fprintf(w, "warning: level %d: %s: %s\n", wn.Level, wn.Code, wn.Detail); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // PlatformTable prints the Table I stand-in: the characteristics of the

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/obs"
 )
 
 func TestThreadSeries(t *testing.T) {
@@ -245,5 +246,41 @@ func TestSweepDefaults(t *testing.T) {
 	}
 	if recs[0].Threads != 1 {
 		t.Fatalf("default sweep should start at 1 thread, got %d", recs[0].Threads)
+	}
+}
+
+func TestRenderConvergenceTable(t *testing.T) {
+	levels := []obs.LevelStats{
+		{Level: 0, Vertices: 100, Edges: 400, PositiveEdges: 390, MatchedPairs: 40,
+			MergedVertices: 40, MergeFraction: 0.4, Metric: 0.1, MatchPasses: 3,
+			HubShare: 0.02, SchedImbalance: 1.05, SchedBound: 1.0},
+		{Level: 1, Vertices: 60, Edges: 250, PositiveEdges: 200, MatchedPairs: 15,
+			MergedVertices: 15, MergeFraction: 0.25, Metric: 0.3, MetricDelta: 0.2,
+			MatchPasses: 2, HubShare: 0.05},
+	}
+	warnings := []obs.Warning{{Level: 1, Code: obs.WarnMatchingStall, Detail: "no progress"}}
+	var buf bytes.Buffer
+	if err := RenderConvergenceTable(&buf, levels, warnings); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header + 2 rows + total + 1 warning.
+	if len(lines) != 5 {
+		t.Fatalf("rendered %d lines, want 5:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "merge%") || !strings.Contains(lines[0], "imbalance") {
+		t.Fatalf("header missing columns: %q", lines[0])
+	}
+	// The total row carries the merged-vertex sum.
+	if !strings.Contains(lines[3], "55") {
+		t.Fatalf("total row missing merged sum: %q", lines[3])
+	}
+	// Levels without a built schedule render "-" instead of a bogus 0.
+	if !strings.Contains(lines[2], "-") {
+		t.Fatalf("serial level should render dashes: %q", lines[2])
+	}
+	if !strings.Contains(lines[4], "matching-stall") {
+		t.Fatalf("warning line missing: %q", lines[4])
 	}
 }

@@ -115,6 +115,18 @@ func (d *Dendrogram) CommunityCounts() []int64 {
 	return append([]int64(nil), d.counts...)
 }
 
+// MergedAt returns how many communities merge level l removed: the
+// difference between the community counts entering and leaving the level.
+// Summed over all levels it is n minus the final community count, which is
+// the invariant the convergence ledger's MergedVertices column is checked
+// against.
+func (d *Dendrogram) MergedAt(level int) (int64, error) {
+	if level < 0 || level >= d.NumLevels() {
+		return 0, fmt.Errorf("hierarchy: level %d outside [0,%d)", level, d.NumLevels())
+	}
+	return d.counts[level] - d.counts[level+1], nil
+}
+
 // CutAtCount returns the finest partition with at most target communities,
 // or the coarsest available if every level exceeds target. This is how an
 // application imposes "a minimum number of communities" after the fact

@@ -49,6 +49,12 @@ type Result struct {
 	Weight float64
 	// Passes is the number of parallel sweeps the kernel ran.
 	Passes int
+	// Drain is the active-vertex count at the start of each pass — the
+	// worklist drain curve the convergence ledger records (the edge sweep
+	// has no worklist, so it reports the full vertex count per pass). Like
+	// Match it aliases scratch storage when a Scratch was supplied, valid
+	// only until the scratch's next use.
+	Drain []int64
 }
 
 // edgeKey orders candidate edges: first by score, then by a hash of the
@@ -111,6 +117,9 @@ type Scratch struct {
 	// Ranges are vertex-aligned — the claim phase keeps per-vertex
 	// candidate state, so a vertex must never split between workers.
 	part par.Partition
+	// drain accumulates the per-pass active counts (one append per pass,
+	// reused across runs, so the steady state stays off the heap).
+	drain []int64
 }
 
 // grow resizes every buffer for an n-vertex graph. candPass entries are
@@ -222,11 +231,13 @@ func WorklistWith(ec *exec.Ctx, g *graph.Graph, scores []float64, scratch *Scrat
 
 	buf := s.list2
 	hot := rec.Hot() // nil when disabled; claim chunks flush into it
+	s.drain = s.drain[:0]
 	passes := 0
 	for len(list) > 0 {
 		if ec.Err() != nil {
 			break // cancelled: the matching so far is symmetric, stop refining it
 		}
+		s.drain = append(s.drain, int64(len(list)))
 		pass := int64(passes)
 		lst := list // single-assignment alias for closure capture
 		sp := rec.Begin(obs.CatMatch, "pass", -1)
@@ -279,7 +290,9 @@ func WorklistWith(ec *exec.Ctx, g *graph.Graph, scores []float64, scratch *Scrat
 	s.list, s.list2 = list[:0], buf[:0]
 	rec.Add(obs.CtrMatchRounds, int64(passes))
 	rec.FoldHot()
-	return finishResult(ec, g, scores, s.match, passes)
+	res := finishResult(ec, g, scores, s.match, passes)
+	res.Drain = s.drain
+	return res
 }
 
 // worklistPropose is phase A of one worklist pass over list[lo:hi]: each
@@ -386,6 +399,7 @@ func EdgeSweepWith(ec *exec.Ctx, g *graph.Graph, scores []float64, scratch *Scra
 	s.grow(ec, n)
 
 	hot := rec.Hot()
+	s.drain = s.drain[:0]
 	passes := 0
 	for {
 		if ec.Err() != nil {
@@ -421,12 +435,15 @@ func EdgeSweepWith(ec *exec.Ctx, g *graph.Graph, scores []float64, scratch *Scra
 			})
 		}
 		passes++
+		s.drain = append(s.drain, int64(n))
 		sp.EndArgs("active", int64(n), "pass", pass)
 		rec.Add(obs.CtrMatchActive, int64(n))
 	}
 	rec.Add(obs.CtrMatchRounds, int64(passes))
 	rec.FoldHot()
-	return finishResult(ec, g, scores, s.match, passes)
+	res := finishResult(ec, g, scores, s.match, passes)
+	res.Drain = s.drain
+	return res
 }
 
 // edgeSweepBest is sweep 1 of one edge-sweep pass over buckets [lo, hi): it

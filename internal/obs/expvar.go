@@ -1,12 +1,14 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"net"
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // The live metrics endpoint publishes a snapshot of the "current" recorder —
@@ -15,8 +17,10 @@ import (
 // matter how many recorders come and go (harness sweeps swap recorders per
 // run).
 var (
-	liveRec     atomic.Pointer[Recorder]
-	publishOnce sync.Once
+	liveRec        atomic.Pointer[Recorder]
+	publishOnce    sync.Once
+	liveLedger     atomic.Pointer[Ledger]
+	publishLedOnce sync.Once
 )
 
 // SetLive makes r the recorder exposed by the expvar/HTTP endpoint. Pass nil
@@ -31,26 +35,47 @@ func SetLive(r *Recorder) *Recorder {
 	return r
 }
 
-// snapshot serves the live recorder's Profile as a standalone JSON document
-// (expvar's /debug/vars mixes it with runtime vars; /metrics is just ours).
-func snapshot(w http.ResponseWriter, _ *http.Request) {
+// SetLiveLedger makes l the convergence ledger exposed by the expvar/HTTP
+// endpoint under the "convergence" var and the /convergence path: per-level
+// merge fractions, metric trajectory, and any warnings, readable mid-run.
+// Pass nil to detach. Returns l for chaining.
+func SetLiveLedger(l *Ledger) *Ledger {
+	publishLedOnce.Do(func() {
+		expvar.Publish("convergence", expvar.Func(func() any {
+			return liveLedger.Load().Export()
+		}))
+	})
+	liveLedger.Store(l)
+	return l
+}
+
+// writeSnapshot serves v as a standalone indented JSON document (expvar's
+// /debug/vars mixes everything with runtime vars; these paths are just ours).
+// A typed-nil export serializes as JSON null, which keeps "nothing live yet"
+// distinguishable from an empty profile.
+func writeSnapshot[T any](w http.ResponseWriter, v *T) {
 	w.Header().Set("Content-Type", "application/json")
-	p := liveRec.Load().Export()
-	if p == nil {
+	if v == nil {
 		w.Write([]byte("{}\n"))
 		return
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(p)
+	enc.Encode(v)
 }
 
 // Handler returns the metrics endpoint's mux: /metrics (live Profile JSON),
-// /debug/vars (standard expvar, including the "detection" var), and /healthz.
-// Exposed separately from Serve so tests can drive it without a listener.
+// /convergence (live LedgerProfile JSON), /debug/vars (standard expvar,
+// including the "detection" and "convergence" vars), and /healthz. Exposed
+// separately from Serve so tests can drive it without a listener.
 func Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", snapshot)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		writeSnapshot(w, liveRec.Load().Export())
+	})
+	mux.HandleFunc("/convergence", func(w http.ResponseWriter, _ *http.Request) {
+		writeSnapshot(w, liveLedger.Load().Export())
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
@@ -58,17 +83,53 @@ func Handler() http.Handler {
 	return mux
 }
 
-// Serve registers r as the live recorder and starts the metrics endpoint on
-// addr (e.g. "localhost:8123") in a background goroutine. It returns the
-// bound listener so callers can report the actual address and close it on
-// shutdown; the CLIs treat a bind failure as fatal flag misuse.
-func Serve(addr string, r *Recorder) (net.Listener, error) {
+// MetricsServer is a running live-metrics endpoint. Close shuts it down
+// cleanly: the listener stops accepting, in-flight requests get a grace
+// period, and Close only returns once the server goroutine has exited — the
+// fix for the old API, which returned the bare listener and leaked the
+// http.Server (its keep-alive connections outlived every "shutdown").
+type MetricsServer struct {
+	ln    net.Listener
+	srv   *http.Server
+	close sync.Once
+	done  chan struct{}
+	err   error
+}
+
+// Addr returns the bound address, usable with an OS-assigned ":0" port.
+func (m *MetricsServer) Addr() net.Addr { return m.ln.Addr() }
+
+// Close shuts the endpoint down and waits for the serve goroutine to exit.
+// Safe to call more than once and from deferred paths.
+func (m *MetricsServer) Close() error {
+	m.close.Do(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		m.err = m.srv.Shutdown(ctx)
+		<-m.done
+	})
+	return m.err
+}
+
+// Serve registers r as the live recorder and l as the live ledger (either
+// may be nil), then starts the metrics endpoint on addr (e.g.
+// "localhost:8123", or "127.0.0.1:0" for an OS-assigned test port) in a
+// background goroutine. The CLIs treat a bind failure as fatal flag misuse.
+func Serve(addr string, r *Recorder, l *Ledger) (*MetricsServer, error) {
 	SetLive(r)
+	SetLiveLedger(l)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: Handler()}
-	go srv.Serve(ln)
-	return ln, nil
+	m := &MetricsServer{
+		ln:   ln,
+		srv:  &http.Server{Handler: Handler()},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(m.done)
+		m.srv.Serve(ln)
+	}()
+	return m, nil
 }

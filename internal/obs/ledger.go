@@ -1,0 +1,270 @@
+package obs
+
+// The convergence ledger is the algorithm-quality counterpart of the
+// Recorder's timing view. Where the Recorder answers "where did the time
+// go", the Ledger answers the Figure 1/2-style questions the paper's
+// evaluation is built on: how fast does the agglomeration converge (merge
+// fractions, matching rounds, the modularity trajectory), how skewed is the
+// community graph at each level (hub share, size histogram), and did the
+// per-level schedule stay inside its analytic imbalance bound. The engine
+// records one LevelStats row per contraction level; anomalies (a metric
+// decrease, a stalled matching, a schedule past its bound) become structured
+// Warnings instead of silently odd numbers.
+//
+// Like the Recorder, a nil *Ledger is the disabled ledger: every method is a
+// nil-check no-op, so the engine threads one pointer and the disabled path
+// costs only predictable branches. All per-level derived work (positive-edge
+// counts, size histograms) is computed by the engine only when the ledger is
+// enabled. A Ledger must not be shared by concurrent detection runs; the
+// live expvar endpoint may snapshot it concurrently with a run.
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// epoch anchors NowNS; the absolute origin is irrelevant, only differences
+// are used.
+var epoch = time.Now()
+
+// NowNS returns a monotonic nanosecond timestamp for kernel-side interval
+// timing. Kernel packages (scoring/matching/contract/refine) must not read
+// the clock directly — the vet-obs lint forbids raw time.Now there — so this
+// is the one sanctioned clock for instrumentation that runs only when
+// recording is on (see contract's dedupBucketsTimed).
+func NowNS() int64 { return int64(time.Since(epoch)) }
+
+// LevelStats is one contraction level's convergence row. "In" quantities
+// describe the community graph the level started from; "Out" quantities the
+// contracted graph it produced. The engine fills the raw fields;
+// Ledger.Record derives MergeFraction, HubShare, and MetricDelta.
+type LevelStats struct {
+	// Level is the contraction level (phase) index, 0-based.
+	Level int `json:"level"`
+	// Vertices and Edges describe the community graph entering the level.
+	Vertices int64 `json:"vertices"`
+	Edges    int64 `json:"edges"`
+	// PositiveEdges counts edges whose merge score was positive — the
+	// matching's eligible population.
+	PositiveEdges int64 `json:"positive_edges"`
+	// MatchedPairs is the number of community pairs the matching selected.
+	MatchedPairs int64 `json:"matched_pairs"`
+	// MergedVertices is the number of communities the contraction removed:
+	// Vertices − OutVertices. Summed over all levels it equals
+	// n − (final community count).
+	MergedVertices int64 `json:"merged_vertices"`
+	// OutVertices and OutEdges describe the contracted graph.
+	OutVertices int64 `json:"out_vertices"`
+	OutEdges    int64 `json:"out_edges"`
+	// MergeFraction is MergedVertices / Vertices (derived).
+	MergeFraction float64 `json:"merge_fraction"`
+	// Metric is the scoring metric (modularity by default) of the partition
+	// entering the level; MetricDelta is the change from the previous level
+	// (0 at level 0). Coverage is the in-community weight fraction.
+	Metric      float64 `json:"metric"`
+	MetricDelta float64 `json:"metric_delta"`
+	Coverage    float64 `json:"coverage"`
+	// MatchPasses is the number of matching rounds; Drain is the worklist
+	// length at the start of each round — the drain curve whose shape shows
+	// whether the locally-dominant matching converged geometrically or
+	// stalled on contested hubs.
+	MatchPasses int     `json:"match_passes"`
+	Drain       []int64 `json:"drain,omitempty"`
+	// SizeHist is the log2 histogram of post-merge community sizes (original
+	// vertices per community): bin b counts communities whose size has
+	// bit-length b. The drift of mass toward high bins is the hub
+	// concentration that motivated the bucketed-triple design.
+	SizeHist []int64 `json:"size_hist,omitempty"`
+	// MaxBucketLen is the largest adjacency bucket entering the level;
+	// HubShare is its share of the edge array (derived).
+	MaxBucketLen int64   `json:"max_bucket_len"`
+	HubShare     float64 `json:"hub_share"`
+	// SchedImbalance is the built per-level schedule's item-aligned
+	// imbalance (max worker share over even share, 1 = perfect); 0 when the
+	// level ran serial or dynamic. SchedBound is the analytic aligned lower
+	// bound max(1, (MaxBucketLen+1)·p/(Edges+Vertices)) — a whole-bucket
+	// schedule cannot beat it, so imbalance far above it flags a scheduling
+	// bug rather than graph skew.
+	SchedImbalance float64 `json:"sched_imbalance,omitempty"`
+	SchedBound     float64 `json:"sched_bound,omitempty"`
+}
+
+// Warning codes.
+const (
+	// WarnMetricDecrease: the metric went down between levels. Greedy
+	// merging over positive scores should be monotone; a decrease means the
+	// scorer and the metric disagree or refinement regressed.
+	WarnMetricDecrease = "metric-decrease"
+	// WarnMatchingStall: a matching round made no progress (the worklist
+	// did not shrink) or the round count blew past the geometric-drain
+	// expectation.
+	WarnMatchingStall = "matching-stall"
+	// WarnImbalance: the built schedule's imbalance exceeded its analytic
+	// bound by more than imbalanceSlack.
+	WarnImbalance = "imbalance"
+)
+
+// stallPassCap flags a matching that needed more rounds than the geometric
+// drain the locally-dominant discipline predicts (a handful on real graphs).
+const stallPassCap = 64
+
+// imbalanceSlack is the multiplicative headroom over the analytic bound
+// before a schedule is flagged; the bound is exact for the worst bucket, so
+// 1.5x past it is a genuine blow-past, not rounding.
+const imbalanceSlack = 1.5
+
+// Warning is one structured anomaly flagged while recording a level.
+type Warning struct {
+	Level  int    `json:"level"`
+	Code   string `json:"code"`
+	Detail string `json:"detail"`
+}
+
+// Ledger accumulates one run's per-level convergence rows. The zero value
+// is ready; NewLedger is the conventional constructor. A nil *Ledger is the
+// disabled ledger — every method no-ops.
+type Ledger struct {
+	mu       sync.Mutex
+	levels   []LevelStats
+	warnings []Warning
+}
+
+// NewLedger returns an enabled empty ledger.
+func NewLedger() *Ledger { return &Ledger{} }
+
+// Enabled reports whether l records anything; false for the nil ledger.
+func (l *Ledger) Enabled() bool { return l != nil }
+
+// Reset clears all recorded rows, keeping capacity, for reuse across runs.
+func (l *Ledger) Reset() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.levels = l.levels[:0]
+	l.warnings = l.warnings[:0]
+	l.mu.Unlock()
+}
+
+// Record appends one level row. It derives MergedVertices, MergeFraction,
+// HubShare, and MetricDelta from the raw fields, then checks the row for
+// anomalies and appends structured Warnings. Rows must arrive in level
+// order from the engine goroutine; concurrent Export/snapshot is safe.
+func (l *Ledger) Record(st LevelStats) {
+	if l == nil {
+		return
+	}
+	st.MergedVertices = st.Vertices - st.OutVertices
+	if st.Vertices > 0 {
+		st.MergeFraction = float64(st.MergedVertices) / float64(st.Vertices)
+	}
+	if st.Edges > 0 {
+		st.HubShare = float64(st.MaxBucketLen) / float64(st.Edges)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n := len(l.levels); n > 0 {
+		st.MetricDelta = st.Metric - l.levels[n-1].Metric
+		if st.MetricDelta < -1e-12 {
+			l.warn(st.Level, WarnMetricDecrease,
+				fmt.Sprintf("metric fell %.6f -> %.6f", l.levels[n-1].Metric, st.Metric))
+		}
+	}
+	for i := 0; i+1 < len(st.Drain); i++ {
+		if st.Drain[i+1] >= st.Drain[i] {
+			l.warn(st.Level, WarnMatchingStall,
+				fmt.Sprintf("pass %d made no progress: worklist %d -> %d",
+					i, st.Drain[i], st.Drain[i+1]))
+			break
+		}
+	}
+	if st.MatchPasses > stallPassCap {
+		l.warn(st.Level, WarnMatchingStall,
+			fmt.Sprintf("%d matching passes (expected geometric drain)", st.MatchPasses))
+	}
+	if st.SchedBound > 0 && st.SchedImbalance > st.SchedBound*imbalanceSlack {
+		l.warn(st.Level, WarnImbalance,
+			fmt.Sprintf("schedule imbalance %.2f exceeds analytic bound %.2f",
+				st.SchedImbalance, st.SchedBound))
+	}
+	l.levels = append(l.levels, st)
+}
+
+// warn appends a warning; callers hold l.mu.
+func (l *Ledger) warn(level int, code, detail string) {
+	l.warnings = append(l.warnings, Warning{Level: level, Code: code, Detail: detail})
+}
+
+// Levels returns a copy of the recorded rows, in level order.
+func (l *Ledger) Levels() []LevelStats {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]LevelStats(nil), l.levels...)
+}
+
+// Warnings returns a copy of the flagged anomalies.
+func (l *Ledger) Warnings() []Warning {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Warning(nil), l.warnings...)
+}
+
+// NumLevels reports the number of recorded rows.
+func (l *Ledger) NumLevels() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.levels)
+}
+
+// LedgerProfile is the ledger's structured export, embedded in report JSON
+// and served by the live expvar endpoint.
+type LedgerProfile struct {
+	Levels   []LevelStats `json:"levels,omitempty"`
+	Warnings []Warning    `json:"warnings,omitempty"`
+}
+
+// Export snapshots the ledger. Safe to call concurrently with a run; nil
+// for the disabled ledger.
+func (l *Ledger) Export() *LedgerProfile {
+	if l == nil {
+		return nil
+	}
+	return &LedgerProfile{Levels: l.Levels(), Warnings: l.Warnings()}
+}
+
+// SizeHistogram folds community sizes into a log2 histogram: bin b counts
+// communities whose size has bit-length b (bin 1 = size 1, bin 2 = 2–3, bin
+// 3 = 4–7, ...). Trailing empty bins are trimmed; zero-size slots (absent
+// communities in a sparse roll-up) are skipped.
+func SizeHistogram(sizes []int64) []int64 {
+	var hist [histBins]int64
+	top := 0
+	for _, s := range sizes {
+		if s <= 0 {
+			continue
+		}
+		b := bits.Len64(uint64(s))
+		if b >= histBins {
+			b = histBins - 1
+		}
+		hist[b]++
+		if b > top {
+			top = b
+		}
+	}
+	if top == 0 {
+		return nil
+	}
+	return append([]int64(nil), hist[:top+1]...)
+}

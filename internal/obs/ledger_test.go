@@ -1,0 +1,143 @@
+package obs
+
+import "testing"
+
+func TestNilLedgerIsSafe(t *testing.T) {
+	var l *Ledger
+	if l.Enabled() {
+		t.Fatal("nil ledger reports enabled")
+	}
+	l.Reset()
+	l.Record(LevelStats{Level: 0, Vertices: 10})
+	if l.Levels() != nil || l.Warnings() != nil || l.NumLevels() != 0 || l.Export() != nil {
+		t.Fatal("nil ledger returned non-empty state")
+	}
+}
+
+func TestLedgerDerivesFields(t *testing.T) {
+	l := NewLedger()
+	l.Record(LevelStats{
+		Level: 0, Vertices: 100, Edges: 400, OutVertices: 60,
+		MaxBucketLen: 100, Metric: 0.2,
+	})
+	l.Record(LevelStats{
+		Level: 1, Vertices: 60, Edges: 200, OutVertices: 45,
+		MaxBucketLen: 40, Metric: 0.5,
+	})
+	rows := l.Levels()
+	if len(rows) != 2 {
+		t.Fatalf("recorded %d rows, want 2", len(rows))
+	}
+	r0, r1 := rows[0], rows[1]
+	if r0.MergedVertices != 40 || r0.MergeFraction != 0.4 {
+		t.Fatalf("row 0 merged %d frac %v, want 40 / 0.4", r0.MergedVertices, r0.MergeFraction)
+	}
+	if r0.HubShare != 0.25 {
+		t.Fatalf("row 0 hub share %v, want 0.25", r0.HubShare)
+	}
+	if r0.MetricDelta != 0 {
+		t.Fatalf("first row has metric delta %v", r0.MetricDelta)
+	}
+	if d := r1.MetricDelta; d < 0.3-1e-12 || d > 0.3+1e-12 {
+		t.Fatalf("row 1 metric delta %v, want 0.3", d)
+	}
+	if len(l.Warnings()) != 0 {
+		t.Fatalf("unexpected warnings: %+v", l.Warnings())
+	}
+}
+
+func TestLedgerWarnsOnMetricDecrease(t *testing.T) {
+	l := NewLedger()
+	l.Record(LevelStats{Level: 0, Metric: 0.5})
+	l.Record(LevelStats{Level: 1, Metric: 0.3})
+	ws := l.Warnings()
+	if len(ws) != 1 || ws[0].Code != WarnMetricDecrease || ws[0].Level != 1 {
+		t.Fatalf("warnings %+v, want one metric-decrease at level 1", ws)
+	}
+}
+
+func TestLedgerWarnsOnMatchingStall(t *testing.T) {
+	l := NewLedger()
+	// Non-shrinking drain curve.
+	l.Record(LevelStats{Level: 0, MatchPasses: 3, Drain: []int64{100, 40, 40}})
+	// Pass count past the geometric-drain cap.
+	l.Record(LevelStats{Level: 1, MatchPasses: stallPassCap + 1})
+	var stalls int
+	for _, w := range l.Warnings() {
+		if w.Code == WarnMatchingStall {
+			stalls++
+		}
+	}
+	if stalls != 2 {
+		t.Fatalf("got %d stall warnings, want 2: %+v", stalls, l.Warnings())
+	}
+	// A strictly shrinking drain must not warn.
+	l.Reset()
+	l.Record(LevelStats{Level: 0, MatchPasses: 3, Drain: []int64{100, 40, 5}})
+	if len(l.Warnings()) != 0 {
+		t.Fatalf("shrinking drain warned: %+v", l.Warnings())
+	}
+}
+
+func TestLedgerWarnsOnImbalanceBlowPast(t *testing.T) {
+	l := NewLedger()
+	// Within slack of the bound: no warning.
+	l.Record(LevelStats{Level: 0, SchedImbalance: 1.4, SchedBound: 1.0})
+	if len(l.Warnings()) != 0 {
+		t.Fatalf("in-slack imbalance warned: %+v", l.Warnings())
+	}
+	// Past bound*slack: warns.
+	l.Record(LevelStats{Level: 1, SchedImbalance: 1.6, SchedBound: 1.0})
+	ws := l.Warnings()
+	if len(ws) != 1 || ws[0].Code != WarnImbalance {
+		t.Fatalf("warnings %+v, want one imbalance at level 1", ws)
+	}
+}
+
+func TestLedgerResetAndExport(t *testing.T) {
+	l := NewLedger()
+	l.Record(LevelStats{Level: 0, Metric: 0.5})
+	l.Record(LevelStats{Level: 1, Metric: 0.1})
+	ep := l.Export()
+	if len(ep.Levels) != 2 || len(ep.Warnings) != 1 {
+		t.Fatalf("export %d levels %d warnings, want 2/1", len(ep.Levels), len(ep.Warnings))
+	}
+	l.Reset()
+	if l.NumLevels() != 0 || len(l.Warnings()) != 0 {
+		t.Fatal("reset left state behind")
+	}
+	// The export snapshot must be unaffected by the reset.
+	if len(ep.Levels) != 2 {
+		t.Fatal("export aliases live storage")
+	}
+}
+
+func TestSizeHistogram(t *testing.T) {
+	// Sizes 1,1,2,3,4,7,8: bit lengths 1,1,2,2,3,3,4.
+	h := SizeHistogram([]int64{1, 1, 2, 3, 4, 7, 8, 0, -2})
+	want := []int64{0, 2, 2, 2, 1}
+	if len(h) != len(want) {
+		t.Fatalf("histogram %v, want %v", h, want)
+	}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Fatalf("histogram %v, want %v", h, want)
+		}
+	}
+	if SizeHistogram(nil) != nil || SizeHistogram([]int64{0}) != nil {
+		t.Fatal("empty input should yield nil histogram")
+	}
+	// Oversized values clamp into the last bin instead of indexing out.
+	big := SizeHistogram([]int64{1 << 40})
+	if len(big) != histBins || big[histBins-1] != 1 {
+		t.Fatalf("oversized value not clamped: %v", big)
+	}
+}
+
+func TestNowNSMonotone(t *testing.T) {
+	a := NowNS()
+	b := NowNS()
+	if b < a {
+		t.Fatalf("NowNS went backwards: %d then %d", a, b)
+	}
+}

@@ -3,6 +3,8 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"net"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -188,59 +190,6 @@ func TestForWorkerTimesRecords(t *testing.T) {
 	}
 }
 
-func TestWriteTraceValidJSON(t *testing.T) {
-	r := New()
-	ph := r.BeginPhase(0, 10, 20)
-	s := r.Begin(CatKernel, "contract", -1)
-	sub := r.Begin(CatContract, "dedup", -1)
-	sub.EndArgs("edges", 9, "", 0)
-	s.End()
-	ph.End()
-
-	var buf bytes.Buffer
-	if err := r.WriteTrace(&buf); err != nil {
-		t.Fatal(err)
-	}
-	var doc struct {
-		DisplayTimeUnit string `json:"displayTimeUnit"`
-		TraceEvents     []struct {
-			Name string         `json:"name"`
-			Ph   string         `json:"ph"`
-			Pid  int            `json:"pid"`
-			Tid  int            `json:"tid"`
-			TS   float64        `json:"ts"`
-			Dur  float64        `json:"dur"`
-			Args map[string]any `json:"args"`
-		} `json:"traceEvents"`
-	}
-	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
-		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
-	}
-	if doc.DisplayTimeUnit != "ms" {
-		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
-	}
-	var complete, meta int
-	for _, ev := range doc.TraceEvents {
-		switch ev.Ph {
-		case "X":
-			complete++
-			if ev.Dur < 0 || ev.TS < 0 {
-				t.Fatalf("negative ts/dur: %+v", ev)
-			}
-		case "M":
-			meta++
-		default:
-			t.Fatalf("unexpected event phase %q", ev.Ph)
-		}
-	}
-	if complete != 3 {
-		t.Fatalf("complete events = %d, want 3", complete)
-	}
-	if meta == 0 {
-		t.Fatal("no thread_name metadata events")
-	}
-}
-
 func TestResetClears(t *testing.T) {
 	r := New()
 	r.Begin(CatKernel, "score", 0).End()
@@ -308,13 +257,17 @@ func TestMetricsHandler(t *testing.T) {
 
 func TestServeBindsAndServes(t *testing.T) {
 	r := New()
-	ln, err := Serve("127.0.0.1:0", r)
+	led := NewLedger()
+	led.Record(LevelStats{Level: 0, Vertices: 10, OutVertices: 4})
+	srv, err := Serve("127.0.0.1:0", r, led)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer ln.Close()
+	defer srv.Close()
 	defer SetLive(nil)
-	resp, err := httptest.NewServer(Handler()).Client().Get("http://" + ln.Addr().String() + "/healthz")
+	defer SetLiveLedger(nil)
+	base := "http://" + srv.Addr().String()
+	resp, err := http.Get(base + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,6 +275,46 @@ func TestServeBindsAndServes(t *testing.T) {
 	if resp.StatusCode != 200 {
 		t.Fatalf("healthz status %d", resp.StatusCode)
 	}
+	// The live ledger serves its rows on /convergence.
+	resp, err = http.Get(base + "/convergence")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lp LedgerProfile
+	err = json.NewDecoder(resp.Body).Decode(&lp)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("convergence not valid JSON: %v", err)
+	}
+	if len(lp.Levels) != 1 || lp.Levels[0].MergedVertices != 6 {
+		t.Fatalf("convergence snapshot = %+v", lp)
+	}
+}
+
+func TestMetricsServerCloseReleasesPort(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer SetLive(nil)
+	defer SetLiveLedger(nil)
+	addr := srv.Addr().String()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// Close is idempotent (deferred paths may race a normal shutdown).
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	// The listener is gone: requests fail and the port can be rebound.
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("endpoint still serving after Close")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("port not released after Close: %v", err)
+	}
+	ln.Close()
 }
 
 func TestCounterNames(t *testing.T) {

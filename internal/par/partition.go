@@ -63,6 +63,26 @@ func (pt *Partition) Range(w int) (lo, hi int) { return pt.bounds[w], pt.bounds[
 // Span returns worker w's edge-exact share. Only valid when HasSpans.
 func (pt *Partition) Span(w int) Span { return pt.spans[w] }
 
+// AlignedImbalance reports the item-aligned schedule's load imbalance: the
+// heaviest worker's weight over the perfectly even share (1 = exact balance).
+// It is a property of the built schedule, not of a measured run, so it is
+// deterministic and host-independent — the convergence ledger records it per
+// level against the analytic whole-bucket lower bound. An empty partition
+// reports 0.
+func (pt *Partition) AlignedImbalance() float64 {
+	if pt.workers == 0 || pt.total == 0 {
+		return 0
+	}
+	prefix := pt.prefix[:pt.items+1]
+	var max int64
+	for w := 0; w < pt.workers; w++ {
+		if d := prefix[pt.bounds[w+1]] - prefix[pt.bounds[w]]; d > max {
+			max = d
+		}
+	}
+	return float64(max) * float64(pt.workers) / float64(pt.total)
+}
+
 // Reset empties the partition (storage is kept for reuse). An empty
 // partition matches no sweep.
 func (pt *Partition) Reset() {

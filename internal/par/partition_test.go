@@ -329,3 +329,57 @@ func TestPartitionLargeParallelPrefix(t *testing.T) {
 		t.Fatalf("span edge total = %d, want %d", sum, total-int64(n))
 	}
 }
+
+func TestPartitionAlignedImbalance(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for name, lens := range bucketLayouts(r) {
+		start, end := randBuckets(r, lens)
+		n := len(lens)
+		var total, maxW int64
+		for x := 0; x < n; x++ {
+			w := end[x] - start[x] + 1
+			total += w
+			if w > maxW {
+				maxW = w
+			}
+		}
+		for _, p := range []int{1, 2, 3, 8, 31} {
+			var pt Partition
+			pt.BuildBuckets(nil, p, n, start, end)
+			got := pt.AlignedImbalance()
+			if got < 1 {
+				t.Fatalf("%s p=%d: imbalance %v below 1", name, p, got)
+			}
+			// Brute-force the heaviest worker from Range.
+			w := pt.Workers()
+			var heaviest int64
+			for i := 0; i < w; i++ {
+				lo, hi := pt.Range(i)
+				var wt int64
+				for x := lo; x < hi; x++ {
+					wt += end[x] - start[x] + 1
+				}
+				if wt > heaviest {
+					heaviest = wt
+				}
+			}
+			want := float64(heaviest) * float64(w) / float64(total)
+			if got != want {
+				t.Fatalf("%s p=%d: imbalance %v, brute force %v", name, p, got, want)
+			}
+			// The analytic whole-bucket bound: a schedule that never splits
+			// a bucket cannot beat max(1, maxW*w/total).
+			bound := float64(maxW) * float64(w) / float64(total)
+			if bound < 1 {
+				bound = 1
+			}
+			if got+1e-9 < bound {
+				t.Fatalf("%s p=%d: imbalance %v beats analytic bound %v", name, p, got, bound)
+			}
+		}
+	}
+	var empty Partition
+	if got := empty.AlignedImbalance(); got != 0 {
+		t.Fatalf("empty partition imbalance %v, want 0", got)
+	}
+}

@@ -6,6 +6,8 @@ package report
 import (
 	"encoding/json"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"time"
@@ -31,6 +33,20 @@ type Run struct {
 	// contraction counters, the bucket-occupancy histogram, worker-imbalance
 	// regions, and the span timeline.
 	Obs *obs.Profile `json:"obs,omitempty"`
+	// Levels and Warnings carry the convergence ledger when the run was
+	// recorded with an obs.Ledger: one row per contraction level plus any
+	// flagged anomalies.
+	Levels   []obs.LevelStats `json:"levels,omitempty"`
+	Warnings []obs.Warning    `json:"warnings,omitempty"`
+}
+
+// AttachLedger copies the ledger's rows and warnings into the run; a nil or
+// empty ledger leaves the run unchanged.
+func (r *Run) AttachLedger(l *obs.Ledger) {
+	if p := l.Export(); p != nil {
+		r.Levels = p.Levels
+		r.Warnings = p.Warnings
+	}
 }
 
 // GraphInfo identifies the workload. It doubles as the harness's Table II
@@ -101,6 +117,25 @@ type Options struct {
 	RefineEveryPhase bool    `json:"refine_every_phase,omitempty"`
 }
 
+// OptionsOf mirrors a core.Options into its serialized form.
+func OptionsOf(opt core.Options) Options {
+	scorer := "modularity"
+	if opt.Scorer != nil {
+		scorer = opt.Scorer.Name()
+	}
+	return Options{
+		Threads:          opt.Threads,
+		Scorer:           scorer,
+		Matching:         opt.Matching.String(),
+		Contraction:      opt.Contraction.String(),
+		MinCoverage:      opt.MinCoverage,
+		MaxPhases:        opt.MaxPhases,
+		MinCommunities:   opt.MinCommunities,
+		MaxCommunitySize: opt.MaxCommunitySize,
+		RefineEveryPhase: opt.RefineEveryPhase,
+	}
+}
+
 // Phase mirrors core.PhaseStats with times in seconds.
 type Phase struct {
 	Phase        int     `json:"phase"`
@@ -132,10 +167,6 @@ type Summary struct {
 
 // FromResult assembles a Run from a finished detection.
 func FromResult(name string, g *graph.Graph, opt core.Options, res *core.Result) *Run {
-	scorer := "modularity"
-	if opt.Scorer != nil {
-		scorer = opt.Scorer.Name()
-	}
 	run := &Run{
 		Graph: GraphInfo{
 			Name:     name,
@@ -143,17 +174,7 @@ func FromResult(name string, g *graph.Graph, opt core.Options, res *core.Result)
 			Edges:    g.NumEdges(),
 			Weight:   g.TotalWeight(opt.Threads),
 		},
-		Options: Options{
-			Threads:          opt.Threads,
-			Scorer:           scorer,
-			Matching:         opt.Matching.String(),
-			Contraction:      opt.Contraction.String(),
-			MinCoverage:      opt.MinCoverage,
-			MaxPhases:        opt.MaxPhases,
-			MinCommunities:   opt.MinCommunities,
-			MaxCommunitySize: opt.MaxCommunitySize,
-			RefineEveryPhase: opt.RefineEveryPhase,
-		},
+		Options: OptionsOf(opt),
 	}
 	for _, st := range res.Stats {
 		run.Phases = append(run.Phases, Phase{
@@ -199,4 +220,89 @@ func ReadJSON(r io.Reader) (*Run, error) {
 		return nil, err
 	}
 	return &run, nil
+}
+
+// Manifest is one self-contained run record for the results/ archive: enough
+// environment (host, git revision via the stamped build info), configuration
+// (full engine options), and outcome (summary, per-level convergence rows,
+// kernel seconds) to reproduce and compare the run without any other file.
+// Manifests append as single JSON lines so one file accumulates a series and
+// stays greppable/jq-able.
+type Manifest struct {
+	// Kind is "run" for a completed detection or "partial" for a manifest
+	// flushed by a panic/interrupt handler before the run finished.
+	Kind     string              `json:"kind"`
+	Time     time.Time           `json:"time"`
+	Host     *Meta               `json:"host,omitempty"`
+	Graph    GraphInfo           `json:"graph"`
+	Options  Options             `json:"options"`
+	Summary  *Summary            `json:"summary,omitempty"`
+	Levels   []obs.LevelStats    `json:"levels,omitempty"`
+	Warnings []obs.Warning       `json:"warnings,omitempty"`
+	Kernels  []obs.KernelSeconds `json:"kernel_seconds,omitempty"`
+}
+
+// ManifestFromRun assembles a completed run's manifest.
+func ManifestFromRun(run *Run) *Manifest {
+	sum := run.Summary
+	return &Manifest{
+		Kind:     "run",
+		Time:     time.Now().UTC(),
+		Host:     run.Meta,
+		Graph:    run.Graph,
+		Options:  run.Options,
+		Summary:  &sum,
+		Levels:   run.Levels,
+		Warnings: run.Warnings,
+		Kernels:  kernelsOf(run.Obs),
+	}
+}
+
+func kernelsOf(p *obs.Profile) []obs.KernelSeconds {
+	if p == nil {
+		return nil
+	}
+	return p.Kernels
+}
+
+// AppendManifest writes m as one compact JSON line at the end of path,
+// creating the file (and its directory) if needed. The O_APPEND single-write
+// discipline keeps concurrent runs from interleaving within a line.
+func AppendManifest(path string, m *Manifest) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	line, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(line); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadManifests parses every manifest line in r, tolerating a trailing
+// unterminated line.
+func ReadManifests(r io.Reader) ([]*Manifest, error) {
+	dec := json.NewDecoder(r)
+	var out []*Manifest
+	for {
+		var m Manifest
+		if err := dec.Decode(&m); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, err
+		}
+		out = append(out, &m)
+	}
 }

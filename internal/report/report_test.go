@@ -2,7 +2,10 @@ package report
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -119,3 +122,84 @@ func TestFromResultCustomScorerName(t *testing.T) {
 type namedScorer struct{ scoring.Modularity }
 
 func (namedScorer) Name() string { return "custom" }
+
+func TestManifestAppendAndRead(t *testing.T) {
+	g, _, err := gen.LJSim(2, gen.DefaultLJSim(600, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.New()
+	led := obs.NewLedger()
+	opt := core.Options{Threads: 2, Recorder: rec, Ledger: led}
+	res, err := core.Detect(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := FromResult("lj-sim-600", g, opt, res)
+	run.Meta = CollectMeta()
+	run.Obs = rec.Export()
+	run.AttachLedger(led)
+	if len(run.Levels) == 0 || len(run.Levels) != led.NumLevels() {
+		t.Fatalf("run carries %d levels, ledger has %d", len(run.Levels), led.NumLevels())
+	}
+
+	path := filepath.Join(t.TempDir(), "results", "ledger.jsonl")
+	m := ManifestFromRun(run)
+	if m.Kind != "run" || m.Summary == nil || len(m.Levels) != len(run.Levels) {
+		t.Fatalf("manifest %+v", m)
+	}
+	if len(m.Kernels) == 0 {
+		t.Fatal("manifest missing kernel seconds")
+	}
+	// Two appends accumulate two parseable lines (and MkdirAll creates the
+	// results/ directory on first use).
+	if err := AppendManifest(path, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendManifest(path, m); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ms, err := ReadManifests(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("read %d manifests, want 2", len(ms))
+	}
+	for _, got := range ms {
+		if got.Graph.Vertices != 600 || got.Summary.Communities != res.NumCommunities {
+			t.Fatalf("manifest round trip changed the run: %+v", got)
+		}
+		if len(got.Levels) != len(run.Levels) {
+			t.Fatalf("manifest lost levels: %d vs %d", len(got.Levels), len(run.Levels))
+		}
+	}
+	// Each line is standalone JSON: jq/grep-ability is the point.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("file holds %d lines, want 2", len(lines))
+	}
+	for _, ln := range lines {
+		var one Manifest
+		if err := json.Unmarshal([]byte(ln), &one); err != nil {
+			t.Fatalf("line not standalone JSON: %v", err)
+		}
+	}
+}
+
+func TestAttachLedgerNil(t *testing.T) {
+	var run Run
+	run.AttachLedger(nil)
+	if run.Levels != nil || run.Warnings != nil {
+		t.Fatal("nil ledger attached data")
+	}
+}
