@@ -1,6 +1,6 @@
 GO      ?= go
 PKGS    ?= ./...
-BENCH   ?= Detect|ParFor
+BENCH   ?= Detect|ParFor|Engine
 DATE    := $(shell date +%Y-%m-%d)
 
 # The layers the obs recorder threads through; vet-obs lints them.
@@ -9,14 +9,15 @@ HOT_SRC := internal/core/core.go internal/matching/matching.go internal/contract
 # Every kernel layer that takes its execution state from exec.Ctx; vet-obs
 # rejects functions here that regrow a positional `p int` worker count.
 CTX_SRC := $(HOT_SRC) internal/contract/listchase.go internal/scoring/scoring.go \
-	internal/scoring/func.go internal/refine/refine.go internal/hierarchy/hierarchy.go
+	internal/scoring/func.go internal/refine/refine.go internal/hierarchy/hierarchy.go \
+	internal/plp/plp.go
 
 # Kernel packages where wall-clock reads must go through obs.NowNS (vet-obs
 # forbids raw time.Now there: ad-hoc clock reads dodge the recording gate and
 # drift from the trace timeline's epoch).
-KERNEL_SRC := internal/scoring/*.go internal/matching/*.go internal/contract/*.go internal/refine/*.go
+KERNEL_SRC := internal/scoring/*.go internal/matching/*.go internal/contract/*.go internal/refine/*.go internal/plp/*.go
 
-.PHONY: all build test race vet vet-obs bench bench-smoke bench-compare clean
+.PHONY: all build test race vet vet-obs bench bench-smoke bench-compare bench-engines bench-engines-smoke clean
 
 all: build vet vet-obs test
 
@@ -31,6 +32,12 @@ test:
 # before the full-tree race pass.
 race:
 	$(GO) test -race -count=2 ./internal/obs/...
+	# The PLP shared-label sweeps and the ensemble pipeline race at elevated
+	# count: the mark scatter is the kernel's one concurrently written
+	# surface (see the internal/plp package comment for the consistency
+	# argument) and the engine hands the PLP scratch across phases.
+	$(GO) test -race -count=2 ./internal/plp/...
+	$(GO) test -race -run 'Engine|Ensemble' ./internal/core/...
 	$(GO) test -race $(PKGS)
 
 vet:
@@ -93,6 +100,31 @@ bench-compare:
 	$(GO) run ./cmd/bench -meta | tee results/BENCH_head.json
 	$(GO) test -run=NONE -bench='$(BENCH)' -benchmem -count=6 -json . | tee -a results/BENCH_head.json
 	$(GO) run ./cmd/benchdiff -threshold 0.05 results/BENCH_baseline.json results/BENCH_head.json
+
+# The engine speed gate: run the BENCH_ENGINE-parameterized end-to-end
+# detection benchmark once per engine (matching as the baseline stream,
+# ensemble as the head stream, -count=6 samples each for the U test) and
+# require the ensemble to be Mann-Whitney-significantly >= 1.5x faster.
+# The modularity metric rides along in both streams, so the regular
+# regression gate also rejects a significant quality loss.
+bench-engines:
+	mkdir -p results
+	$(GO) run ./cmd/bench -meta | tee results/ENGINE_matching.json
+	BENCH_ENGINE=matching $(GO) test -run=NONE -bench='^BenchmarkEngineDetect$$' -count=6 -json . | tee -a results/ENGINE_matching.json
+	$(GO) run ./cmd/bench -meta | tee results/ENGINE_ensemble.json
+	BENCH_ENGINE=ensemble $(GO) test -run=NONE -bench='^BenchmarkEngineDetect$$' -count=6 -json . | tee -a results/ENGINE_ensemble.json
+	$(GO) run ./cmd/benchdiff -require-speedup 1.5 results/ENGINE_matching.json results/ENGINE_ensemble.json
+
+# One-iteration engine matrix for CI: exercises every engine's bench path and
+# renders the benchdiff table advisory-only (no gate; a single sample has no
+# statistical power).
+bench-engines-smoke:
+	mkdir -p results
+	$(GO) run ./cmd/bench -meta | tee results/ENGINE_matching_smoke.json
+	BENCH_ENGINE=matching $(GO) test -run=NONE -bench='^BenchmarkEngineDetect$$' -benchtime=1x -json . | tee -a results/ENGINE_matching_smoke.json
+	$(GO) run ./cmd/bench -meta | tee results/ENGINE_ensemble_smoke.json
+	BENCH_ENGINE=ensemble $(GO) test -run=NONE -bench='^BenchmarkEngineDetect$$' -benchtime=1x -json . | tee -a results/ENGINE_ensemble_smoke.json
+	-$(GO) run ./cmd/benchdiff results/ENGINE_matching_smoke.json results/ENGINE_ensemble_smoke.json
 
 clean:
 	$(GO) clean -testcache

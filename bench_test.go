@@ -17,6 +17,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"testing"
@@ -87,6 +88,50 @@ func detectOnce(b *testing.B, g *graph.Graph, opt core.Options) *core.Result {
 		b.Fatal(err)
 	}
 	return res
+}
+
+// --- engine matrix: PLP coarsening vs matching agglomeration --------------
+// The multi-engine acceptance gate: EngineEnsemble's end-to-end Detect must
+// beat EngineMatching by >= 1.5x on the R-MAT bench graph at 4 threads with
+// modularity in tolerance (see make bench-engines, which runs the
+// BENCH_ENGINE-parameterized probe below twice and feeds the two streams to
+// cmd/benchdiff -require-speedup).
+
+// benchEngineDetect times end-to-end detection under one engine at 4 threads
+// on the R-MAT bench graph, options otherwise identical across engines.
+func benchEngineDetect(b *testing.B, e core.Engine) {
+	b.Helper()
+	rmat, _, _ := loadBenchGraphs(b)
+	s := core.NewScratch()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		res, err := core.DetectWith(rmat, core.Options{Threads: 4, Engine: e}, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rmat.NumEdges())/time.Since(start).Seconds(), "edges/s")
+		b.ReportMetric(res.FinalModularity, "modularity")
+	}
+}
+
+func BenchmarkEngine_Matching(b *testing.B) { benchEngineDetect(b, core.EngineMatching) }
+func BenchmarkEngine_PLP(b *testing.B)      { benchEngineDetect(b, core.EnginePLP) }
+func BenchmarkEngine_Ensemble(b *testing.B) { benchEngineDetect(b, core.EngineEnsemble) }
+
+// BenchmarkEngineDetect is the benchdiff speed gate's probe: the BENCH_ENGINE
+// environment variable selects the engine (default matching), so two runs
+// produce same-named benchmark streams that benchstat-style comparison can
+// difference directly.
+func BenchmarkEngineDetect(b *testing.B) {
+	name := os.Getenv("BENCH_ENGINE")
+	if name == "" {
+		name = "matching"
+	}
+	e, err := core.ParseEngine(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchEngineDetect(b, e)
 }
 
 // --- scratch-arena allocation benchmarks ---------------------------------

@@ -60,7 +60,7 @@ type modes struct {
 	fig1, fig2, fig3          bool
 	ablation, phases, quality bool
 	extensions, memory        bool
-	imbalance                 bool
+	imbalance, engines        bool
 }
 
 func main() {
@@ -77,7 +77,9 @@ func main() {
 	flag.BoolVar(&m.extensions, "extensions", false, "paper-named extensions: per-phase refinement, size caps, algebraic contraction")
 	flag.BoolVar(&m.memory, "memory", false, "space accounting vs the paper's §IV formulas")
 	flag.BoolVar(&m.imbalance, "imbalance", false, "edge-balanced scheduler vs dynamic chunking (worker imbalance)")
+	flag.BoolVar(&m.engines, "engines", false, "speed-by-quality matrix across detection engines (matching/plp/ensemble)")
 	all := flag.Bool("all", false, "run every experiment")
+	engineArg := flag.String("engine", "matching", "engine used by the sweep modes: matching | plp | ensemble")
 	scale := flag.Int("scale", 16, "R-MAT scale (paper: 24)")
 	nLJ := flag.Int64("nlj", 200_000, "lj-sim vertices (paper: 4.8M)")
 	nWeb := flag.Int64("nweb", 400_000, "uk-sim vertices (paper: 105.9M)")
@@ -106,7 +108,7 @@ func main() {
 	}
 
 	if *all {
-		m = modes{true, true, true, true, true, true, true, true, true, true, true, true}
+		m = modes{true, true, true, true, true, true, true, true, true, true, true, true, true}
 	}
 	if *traceOut != "" || *convergence || *ledgerPath != "" {
 		m.phases = true // these sinks record the instrumented phases run
@@ -121,10 +123,13 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	engine, err := core.ParseEngine(*engineArg)
+	check(err)
 	b := &bencher{
 		ctx:   ctx,
 		scale: *scale, nLJ: *nLJ, nWeb: *nWeb,
 		trials: *trials, maxThreads: *maxThreads, seed: *seed, csvDir: *csvDir,
+		engine: engine,
 	}
 	if m.phases || *metricsAddr != "" {
 		b.rec = obs.New()
@@ -215,6 +220,9 @@ func main() {
 	if m.imbalance {
 		b.runImbalance()
 	}
+	if m.engines {
+		b.runEngines()
+	}
 	if flushOnExit != nil {
 		flushOnExit()
 		flushOnExit = nil
@@ -241,13 +249,14 @@ func writeTrace(rec *obs.Recorder, path string) {
 }
 
 type bencher struct {
-	ctx        context.Context
-	scale      int
-	nLJ, nWeb  int64
-	trials     int
-	maxThreads int
-	seed       uint64
-	csvDir     string
+	ctx         context.Context
+	scale       int
+	nLJ, nWeb   int64
+	trials      int
+	maxThreads  int
+	seed        uint64
+	csvDir      string
+	engine      core.Engine   // engine for the sweep modes (-engine flag)
 	rec         *obs.Recorder // nil unless -phases / -trace.out / -metrics.addr
 	led         *obs.Ledger   // convergence rows for the -phases run; same gating
 	convergence bool          // print the convergence table after -phases
@@ -298,7 +307,7 @@ func (b *bencher) config() harness.Config {
 	return harness.Config{
 		Threads: harness.ThreadSeries(b.maxThreads),
 		Trials:  b.trials,
-		Options: core.Options{MinCoverage: 0.5},
+		Options: core.Options{MinCoverage: 0.5, Engine: b.engine},
 	}
 }
 
@@ -562,6 +571,35 @@ func (b *bencher) runQuality() {
 			w.name, res.FinalModularity, ref.ModularityAfter, cnm.Modularity, lou.Modularity, lpaQ)
 		fmt.Printf("%-12s  detail: %s\n", "", metrics.Evaluate(b.maxThreads, w.g, res.CommunityOf, res.NumCommunities))
 	}
+}
+
+// runEngines prints the speed-by-quality matrix the multi-engine design is
+// judged on: per graph and engine, the best end-to-end Detect wall time, the
+// input-edge processing rate, and the modularity of the partition it buys.
+// The engine column is also in every harness CSV row, so benchdiff can gate
+// regressions per engine (see the bench-engines make target for the
+// Mann-Whitney speed gate).
+func (b *bencher) runEngines() {
+	section("Engines — speed-by-quality matrix (matching vs plp vs ensemble)")
+	engines := []core.Engine{core.EngineMatching, core.EnginePLP, core.EngineEnsemble}
+	var all []harness.Record
+	for _, w := range []struct {
+		name string
+		g    *graph.Graph
+	}{{b.rmatName(), b.rmat()}, {"lj-sim", b.lj()}} {
+		for _, e := range engines {
+			cfg := harness.Config{
+				Threads: []int{b.maxThreads},
+				Trials:  b.trials,
+				Options: core.Options{Engine: e},
+			}
+			recs, err := harness.SweepContext(b.ctx, w.g, w.name, cfg)
+			check(err)
+			all = append(all, recs...)
+		}
+	}
+	check(harness.RenderEngineTable(os.Stdout, all))
+	b.writeCSV("engines.csv", all)
 }
 
 // runMemory reports measured storage against the paper's §IV space

@@ -27,8 +27,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	threshold := fs.Float64("threshold", 0.05,
 		"relative change a significant difference must exceed to gate (0.05 = 5%)")
 	alpha := fs.Float64("alpha", 0.05, "significance level for the Mann–Whitney test")
+	requireSpeedup := fs.Float64("require-speedup", 0,
+		"exit 1 unless every common benchmark's ns/op shows NEW at least this many times faster than OLD, Mann–Whitney-significant (0 = off)")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: benchdiff [-threshold F] [-alpha F] OLD.json NEW.json")
+		fmt.Fprintln(stderr, "usage: benchdiff [-threshold F] [-alpha F] [-require-speedup R] OLD.json NEW.json")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -56,6 +58,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := benchcmp.RenderMarkdown(stdout, deltas); err != nil {
 		fmt.Fprintln(stderr, "benchdiff:", err)
 		return 2
+	}
+	if *requireSpeedup > 0 {
+		short := benchcmp.SpeedupShortfalls(deltas, *requireSpeedup)
+		for _, d := range short {
+			ratio := 0.0
+			if d.NewMedian > 0 {
+				ratio = d.OldMedian / d.NewMedian
+			}
+			why := "not statistically significant"
+			if d.Significant {
+				why = fmt.Sprintf("only %.2fx", ratio)
+			}
+			fmt.Fprintf(stderr, "benchdiff: %s: required %.2fx speedup not met (%s)\n",
+				d.Name, *requireSpeedup, why)
+		}
+		if len(short) > 0 {
+			return 1
+		}
+		fmt.Fprintf(stderr, "benchdiff: speedup gate passed (every ns/op row >= %.2fx faster, significant)\n",
+			*requireSpeedup)
 	}
 	if n := benchcmp.Regressions(deltas); n > 0 {
 		fmt.Fprintf(stderr, "benchdiff: %d significant regression(s) beyond %.0f%%\n",

@@ -44,6 +44,8 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "generator seed")
 
 		threads   = flag.Int("threads", 0, "worker count (0 = GOMAXPROCS)")
+		engineArg = flag.String("engine", "matching", "detection engine: matching | plp | ensemble")
+		plpSweeps = flag.Int("plp-sweeps", 0, "PLP sweep bound for plp/ensemble (0 = engine default)")
 		scorerArg = flag.String("scorer", "modularity", "edge scorer: modularity | conductance")
 		kernels   = flag.String("kernels", "worklist,bucket",
 			"matching,contraction kernels: worklist|edgesweep , bucket|bucket-noncontig|listchase")
@@ -83,6 +85,12 @@ func main() {
 		RefineEveryPhase: *refinePh,
 		Validate:         *validate,
 	}
+	eng, err := core.ParseEngine(*engineArg)
+	if err != nil {
+		fatal(err)
+	}
+	opt.Engine = eng
+	opt.PLPMaxSweeps = *plpSweeps
 	switch *scorerArg {
 	case "modularity":
 		opt.Scorer = scoring.Modularity{}

@@ -58,6 +58,11 @@ type PhaseStats = core.PhaseStats
 // Termination labels why a run stopped.
 type Termination = core.Termination
 
+// Engine selects the detection pipeline: the paper's matching
+// agglomeration, parallel label propagation, or the ensemble fast path
+// that prelabels with PLP before agglomerating. See DESIGN.md §12.
+type Engine = core.Engine
+
 // Kernel selectors; see the core package.
 const (
 	MatchWorklist  = core.MatchWorklist
@@ -67,12 +72,25 @@ const (
 	ContractBucketNonContiguous = core.ContractBucketNonContiguous
 	ContractListChase           = core.ContractListChase
 
+	EngineMatching = core.EngineMatching
+	EnginePLP      = core.EnginePLP
+	EngineEnsemble = core.EngineEnsemble
+
+	// DefaultEnsembleSweeps bounds EngineEnsemble's prelabel pass when
+	// Options.PLPMaxSweeps is zero; see Options.PLPMaxSweeps.
+	DefaultEnsembleSweeps = core.DefaultEnsembleSweeps
+
 	TermLocalMax       = core.TermLocalMax
 	TermCoverage       = core.TermCoverage
 	TermMaxPhases      = core.TermMaxPhases
 	TermMinCommunities = core.TermMinCommunities
 	TermCanceled       = core.TermCanceled
+	TermPLPConverged   = core.TermPLPConverged
 )
+
+// ParseEngine maps an engine name ("matching", "plp", "ensemble") to its
+// Engine value, as the CLIs' -engine flag does.
+func ParseEngine(name string) (Engine, error) { return core.ParseEngine(name) }
 
 // Scorer is the pluggable edge-scoring metric (§III).
 type Scorer = scoring.Scorer

@@ -241,3 +241,57 @@ func TestRenderMarkdown(t *testing.T) {
 		t.Fatalf("delta column missing:\n%s", out)
 	}
 }
+
+func TestSpeedupShortfalls(t *testing.T) {
+	// The required-speedup gate over ns/op rows: a significant 2x improvement
+	// passes a 1.5x requirement; a 1.2x improvement or an insignificant one
+	// fails it.
+	base := resultsOf("BenchmarkEngineDetect", []float64{200, 202, 198, 201, 199}, 4)
+	fast := resultsOf("BenchmarkEngineDetect", []float64{100, 101, 99, 100, 102}, 4)
+	deltas := Compare(base, fast, 0.05, 0.05)
+	if short := SpeedupShortfalls(deltas, 1.5); len(short) != 0 {
+		t.Fatalf("2x significant speedup failed a 1.5x gate: %+v", short)
+	}
+	if short := SpeedupShortfalls(deltas, 2.5); len(short) == 0 {
+		t.Fatal("2x speedup passed a 2.5x gate")
+	}
+	slow := resultsOf("BenchmarkEngineDetect", []float64{170, 168, 171, 169, 170}, 4)
+	deltas = Compare(base, slow, 0.05, 0.05)
+	if short := SpeedupShortfalls(deltas, 1.5); len(short) == 0 {
+		t.Fatal("1.2x speedup passed a 1.5x gate")
+	}
+	// Too few samples for significance: the gate must fail closed.
+	deltas = Compare(resultsOf("BenchmarkEngineDetect", []float64{200}, 4),
+		resultsOf("BenchmarkEngineDetect", []float64{100}, 4), 0.05, 0.05)
+	if short := SpeedupShortfalls(deltas, 1.5); len(short) == 0 {
+		t.Fatal("insignificant single-sample speedup passed the gate")
+	}
+}
+
+func TestModularityHigherIsBetter(t *testing.T) {
+	// A significant modularity increase must never gate as a regression.
+	mk := func(q float64) []Result {
+		var out []Result
+		for i := 0; i < 6; i++ {
+			out = append(out, Result{Name: "BenchmarkEngineDetect", Iters: 1,
+				Values: map[string]float64{"modularity": q + float64(i)*1e-6}})
+		}
+		return out
+	}
+	deltas := Compare(mk(0.20), mk(0.30), 0.05, 0.05)
+	for _, d := range deltas {
+		if d.Unit == "modularity" && d.Regression {
+			t.Fatalf("modularity gain flagged as regression: %+v", d)
+		}
+	}
+	deltas = Compare(mk(0.30), mk(0.20), 0.05, 0.05)
+	found := false
+	for _, d := range deltas {
+		if d.Unit == "modularity" && d.Regression {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("large modularity loss not flagged")
+	}
+}

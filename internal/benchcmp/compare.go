@@ -31,10 +31,11 @@ type Delta struct {
 }
 
 // higherIsBetter classifies a unit's good direction: throughput units
-// ("edges/s", "MB/s") improve upward, everything else — times, bytes,
-// allocations per op — improves downward.
+// ("edges/s", "MB/s") and the quality/scaling metrics the bench suite
+// attaches ("modularity", "speedup") improve upward, everything else —
+// times, bytes, allocations per op — improves downward.
 func higherIsBetter(unit string) bool {
-	return strings.HasSuffix(unit, "/s")
+	return strings.HasSuffix(unit, "/s") || unit == "modularity" || unit == "speedup"
 }
 
 // deterministicUnit marks units that are exact run to run, where a changed
@@ -96,6 +97,25 @@ func Compare(base, head []Result, threshold, alpha float64) []Delta {
 					d.Regression = true
 				}
 			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// SpeedupShortfalls judges a required-speedup gate over the wall-time rows:
+// every ns/op delta of a benchmark common to both streams must show NEW
+// faster than OLD by at least ratio (old/new median >= ratio) AND the
+// improvement must be statistically significant. Returned deltas are the
+// failures; an empty result means the gate passed. Non-time units are not
+// judged — a speedup gate is about wall time.
+func SpeedupShortfalls(deltas []Delta, ratio float64) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Unit != "ns/op" {
+			continue
+		}
+		if !d.Significant || d.NewMedian <= 0 || d.OldMedian/d.NewMedian < ratio {
 			out = append(out, d)
 		}
 	}

@@ -65,6 +65,7 @@ type Scratch struct {
 	counts      []int64 // per-new-vertex surviving-edge counts
 	cntStripes  []int64 // spans × k edge-count histogram / write cursors
 	selfStripes []int64 // spans × k self-loop weight partials
+	flags       []int64 // ByLabels's used-label flags / dense-id prefix sums
 	// part is the kernel's own edge-balanced partition workspace. The
 	// count/scatter sweeps use it only when the engine has not already
 	// installed a matching level partition on the Ctx; the dedup stage
@@ -201,6 +202,62 @@ func ByMapping(ec *exec.Ctx, g *graph.Graph, mapping []int64, k int64, layout La
 // high-degree communities the parity hash is meant to spread.
 func ByMappingWith(ec *exec.Ctx, g *graph.Graph, mapping []int64, k int64, layout Layout, scratch *Scratch, dst *graph.Graph) *graph.Graph {
 	return byMappingRun(ec, g, mapping, k, layout, scratch, dst)
+}
+
+// ByLabels contracts g by an arbitrary per-vertex label array: labels[v] is
+// any value in [0, n), groups of equal label collapse into one community,
+// and the labels need not be dense — ByLabels densifies them first. It
+// returns the contracted graph, the dense old→new mapping, and the new
+// vertex count k. This is the bridge from label-propagation prelabeling
+// (internal/plp) to the bucket-sort contraction kernel: PLP leaves labels
+// that are surviving vertex ids, and one densify pass turns them into the
+// mapping ByMapping already handles.
+func ByLabels(ec *exec.Ctx, g *graph.Graph, labels []int64, layout Layout) (*graph.Graph, []int64, int64) {
+	return ByLabelsWith(ec, g, labels, layout, nil, nil, nil)
+}
+
+// ByLabelsWith is ByLabels with arena support: s supplies reusable scratch
+// (including the densify flag array), dst the destination graph, and mapBuf
+// the storage for the returned mapping; any may be nil for fresh
+// allocations.
+func ByLabelsWith(ec *exec.Ctx, g *graph.Graph, labels []int64, layout Layout, scratch *Scratch, dst *graph.Graph, mapBuf []int64) (*graph.Graph, []int64, int64) {
+	rec := ec.Recorder()
+	s := scratch.orNew()
+	n := int(g.NumVertices())
+	sp := rec.Begin(obs.CatContract, "densify", -1)
+	// flags[l] = 1 for every used label, then its exclusive prefix sum: the
+	// dense id of label l. The parallel mark is a concurrent same-value
+	// store (several vertices share a label), so it goes through atomics for
+	// the race detector's benefit; the outcome is order-independent.
+	s.flags = buf.Grow(s.flags, n)
+	flags := s.flags
+	ec.ZeroInt64(flags)
+	mapping := buf.Grow(mapBuf, n)
+	if ec.Serial(n) {
+		for v := 0; v < n; v++ {
+			flags[labels[v]] = 1
+		}
+	} else {
+		ec.For(n, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				atomic.StoreInt64(&flags[labels[v]], 1)
+			}
+		})
+	}
+	k := ec.ExclusiveSumInt64(flags)
+	if ec.Serial(n) {
+		for v := 0; v < n; v++ {
+			mapping[v] = flags[labels[v]]
+		}
+	} else {
+		ec.For(n, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				mapping[v] = flags[labels[v]]
+			}
+		})
+	}
+	sp.EndArgs("old", int64(n), "new", k)
+	return byMappingRun(ec, g, mapping, k, layout, s, dst), mapping, k
 }
 
 func byMappingRun(ec *exec.Ctx, g *graph.Graph, mapping []int64, k int64, layout Layout, scratch *Scratch, dst *graph.Graph) *graph.Graph {

@@ -28,9 +28,61 @@ import (
 	"repro/internal/matching"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/plp"
 	"repro/internal/refine"
 	"repro/internal/scoring"
 )
+
+// Engine selects the detection pipeline. The matching agglomeration pays
+// its full per-level cost while the graph is still large; Staudt &
+// Meyerhenke's PLP prelabeling collapses most of it in a few near-linear
+// sweeps, and their EPP ensemble scheme runs the expensive algorithm only on
+// the coarsened remainder. EngineEnsemble is that scheme with the matching
+// agglomeration as the final algorithm.
+type Engine int
+
+const (
+	// EngineMatching is the paper's matching-based agglomeration (default).
+	EngineMatching Engine = iota
+	// EnginePLP is pure parallel label propagation: prelabel, contract once
+	// by label, done. The fastest engine and the weakest partition.
+	EnginePLP
+	// EngineEnsemble is the EPP pipeline: PLP prelabels, one label
+	// contraction coarsens, then the matching agglomeration runs on the
+	// contracted graph.
+	EngineEnsemble
+)
+
+// DefaultEnsembleSweeps is EngineEnsemble's prelabel sweep bound when
+// Options.PLPMaxSweeps is 0. See the PLPMaxSweeps comment: the ensemble wants
+// a fine prelabel, not the propagation fixpoint.
+const DefaultEnsembleSweeps = 4
+
+// String returns the engine's name for logs, flags, and benchmark labels.
+func (e Engine) String() string {
+	switch e {
+	case EngineMatching:
+		return "matching"
+	case EnginePLP:
+		return "plp"
+	case EngineEnsemble:
+		return "ensemble"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// ParseEngine maps an engine name (the String forms) back to its value.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "matching":
+		return EngineMatching, nil
+	case "plp":
+		return EnginePLP, nil
+	case "ensemble":
+		return EngineEnsemble, nil
+	}
+	return 0, fmt.Errorf("core: unknown engine %q (want matching, plp, or ensemble)", s)
+}
 
 // MatchKernel selects the matching implementation (§IV-B).
 type MatchKernel int
@@ -127,6 +179,22 @@ type Options struct {
 	// the zero value (SchedAuto) builds an edge-balanced schedule per
 	// hierarchy level, SchedDynamic keeps the dynamic-chunking baseline.
 	Scheduler Scheduler
+	// Engine selects the detection pipeline: the matching agglomeration
+	// (default), pure label propagation, or the PLP-coarsened ensemble.
+	Engine Engine
+	// PLPMaxSweeps bounds the label-propagation sweeps of EnginePLP and
+	// EngineEnsemble; 0 selects the engine default — plp.DefaultMaxSweeps
+	// (effectively the fixpoint) for EnginePLP, DefaultEnsembleSweeps for
+	// EngineEnsemble. The ensemble deliberately stops early: on graphs with
+	// weak community structure synchronous propagation floods into a few
+	// giant labels if left to converge, and a prelabel coarser than the
+	// community scale destroys the agglomeration's headroom (measured on the
+	// R-MAT bench graph: 4 sweeps keep modularity at or above the matching
+	// engine's, the fixpoint collapses it to ~0). PLPThreshold stops the
+	// sweeps once the active-vertex fraction drops to or below it; 0 runs to
+	// the sweep bound. Both are ignored by EngineMatching.
+	PLPMaxSweeps int
+	PLPThreshold float64
 	// MinCoverage stops the run once the fraction of input edge weight
 	// inside communities reaches this value; 0 disables. The paper's §V
 	// experiments use 0.5, "following the spirit of the 10th DIMACS
@@ -200,6 +268,9 @@ const (
 	// carries the partial hierarchy built so far, alongside a non-nil
 	// wrapped ctx.Err().
 	TermCanceled Termination = "canceled"
+	// TermPLPConverged: EnginePLP finished its label-propagation sweeps
+	// (fixpoint, active-fraction threshold, or sweep cap) and contracted.
+	TermPLPConverged Termination = "plp-converged"
 )
 
 // PhaseStats records one iteration of the inner loop. Vertices/Edges/
@@ -313,6 +384,15 @@ func validateOptions(g *graph.Graph, opt Options) error {
 	}
 	if opt.MaxCommunitySize < 0 {
 		return fmt.Errorf("core: negative MaxCommunitySize %d", opt.MaxCommunitySize)
+	}
+	if opt.Engine < EngineMatching || opt.Engine > EngineEnsemble {
+		return fmt.Errorf("core: unknown engine %d", int(opt.Engine))
+	}
+	if opt.PLPMaxSweeps < 0 {
+		return fmt.Errorf("core: negative PLPMaxSweeps %d", opt.PLPMaxSweeps)
+	}
+	if opt.PLPThreshold < 0 || opt.PLPThreshold >= 1 {
+		return fmt.Errorf("core: PLPThreshold %v outside [0,1)", opt.PLPThreshold)
 	}
 	if _, err := matchFunc(opt.Matching); err != nil {
 		return err
@@ -428,7 +508,154 @@ func detect(ec *exec.Ctx, g *graph.Graph, opt Options, s *Scratch) (*Result, err
 		return res, nil
 	}
 
-	for phase := 0; ; phase++ {
+	// Engine stage 0 (EnginePLP/EngineEnsemble): PLP prelabeling followed by
+	// one label contraction — the EPP coarsening that shrinks the graph
+	// before the per-level-expensive matching agglomeration below runs.
+	// The stage consumes phase 0; the matching loop then continues from
+	// phase 1 on the contracted graph.
+	phaseStart := 0
+	if opt.Engine != EngineMatching {
+		if err := ec.Err(); err != nil {
+			res, _ := finish(TermCanceled, nil, cg, sizes)
+			return res, fmt.Errorf("core: canceled before prelabeling: %w", err)
+		}
+		rec.SetKernel("plp")
+		pSpan := rec.Begin(obs.CatKernel, "plp", -1)
+		t0 := time.Now()
+		var ps *plp.Scratch
+		if s != nil {
+			ps = &s.plp
+		}
+		sweeps := opt.PLPMaxSweeps
+		if sweeps == 0 && opt.Engine == EngineEnsemble {
+			sweeps = DefaultEnsembleSweeps
+		}
+		pres := plp.PropagateWith(ec, g, plp.Options{MaxSweeps: sweeps, Threshold: opt.PLPThreshold}, ps)
+		plpTime := time.Since(t0)
+		pSpan.EndArgs("sweeps", int64(pres.Sweeps), "vertices", n)
+		// The entry partition (identity) for the stats row: its coverage is
+		// the input's self-loop fraction and its modularity needs the input
+		// degrees.
+		var deg0 []int64
+		if s != nil {
+			deg0 = g.WeightedDegreesInto(p, s.deg)
+			s.deg = deg0
+		} else {
+			deg0 = g.WeightedDegrees(p)
+		}
+		cov0 := coverage(ec, g, totW)
+		mod0 := modularityOf(ec, g, deg0, totW)
+		if opt.Ledger.Enabled() {
+			// One row per sweep: the active-vertex drain curve, sweep by
+			// sweep. Sweep rows carry no metric (evaluating modularity per
+			// sweep would cost another full pass each); the coarsen row
+			// below anchors the metric trajectory instead.
+			for i := 0; i < pres.Sweeps; i++ {
+				opt.Ledger.Record(obs.LevelStats{
+					Stage:       obs.StagePLP,
+					Level:       i,
+					Vertices:    n,
+					Edges:       g.NumEdges(),
+					OutVertices: n,
+					OutEdges:    g.NumEdges(),
+					Active:      pres.Active[i],
+					Changed:     pres.Changed[i],
+				})
+			}
+		}
+
+		rec.SetKernel("contract")
+		cSpan := rec.Begin(obs.CatKernel, "contract", -1)
+		t1 := time.Now()
+		layout := contract.Contiguous
+		if opt.Contraction == ContractBucketNonContiguous {
+			layout = contract.NonContiguous
+		}
+		var cs *contract.Scratch
+		var dst *graph.Graph
+		var mapBuf []int64
+		if s != nil {
+			cs = &s.contract
+			// Buffer 0: the matching loop ping-pongs on phase&1 and starts
+			// at phase 1 for the ensemble, so its first contraction reads
+			// this graph out of buffer 0 while writing buffer 1.
+			dst = s.graphBuf(0)
+			if opt.DiscardLevels {
+				mapBuf = s.mapping
+			}
+		}
+		ng, mapping, k := contract.ByLabelsWith(ec, g, pres.Labels, layout, cs, dst, mapBuf)
+		if s != nil && opt.DiscardLevels {
+			s.mapping = mapping
+		}
+		contractTime := time.Since(t1)
+		cSpan.EndArgs("vertices", k, "edges", ng.NumEdges())
+		if opt.Validate {
+			if err := ng.Validate(); err != nil {
+				return nil, fmt.Errorf("core: prelabel contraction: %w", err)
+			}
+			if ng.TotalWeight(p) != totW {
+				return nil, fmt.Errorf("core: prelabel contraction changed total weight %d -> %d",
+					totW, ng.TotalWeight(p))
+			}
+		}
+		// comm is still the identity here, so composition is a copy of the
+		// mapping; the general form keeps the parallel path uniform.
+		if ec.Serial(int(n)) {
+			for i := range comm {
+				comm[i] = mapping[comm[i]]
+			}
+		} else {
+			ec.For(int(n), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					comm[i] = mapping[comm[i]]
+				}
+			})
+		}
+		sizes, sizesIdx = rollupSizes(ec, s, sizes, sizesIdx, mapping, int(k))
+		res.Stats = append(res.Stats, PhaseStats{
+			Phase:        0,
+			Vertices:     n,
+			Edges:        g.NumEdges(),
+			Coverage:     cov0,
+			Modularity:   mod0,
+			MatchedPairs: n - k, // merged vertices: PLP merges groups, not pairs
+			MatchPasses:  pres.Sweeps,
+			MatchTime:    plpTime,
+			ContractTime: contractTime,
+			MaxBucketLen: g.MaxBucketLen(),
+		})
+		if opt.Ledger.Enabled() {
+			opt.Ledger.Record(obs.LevelStats{
+				Stage:       obs.StageCoarsen,
+				Level:       0,
+				Vertices:    n,
+				Edges:       g.NumEdges(),
+				OutVertices: k,
+				OutEdges:    ng.NumEdges(),
+				Metric:      mod0,
+				Coverage:    cov0,
+				MatchPasses: pres.Sweeps,
+				// The PLP active curve is the stage's drain; copy — it
+				// aliases scratch.
+				Drain:        append([]int64(nil), pres.Active...),
+				SizeHist:     obs.SizeHistogram(sizes),
+				MaxBucketLen: g.MaxBucketLen(),
+			})
+		}
+		if !opt.DiscardLevels {
+			// mapping is freshly allocated whenever levels are kept (mapBuf
+			// stayed nil), so the Result never aliases arena memory.
+			res.Levels = append(res.Levels, mapping)
+		}
+		cg = ng
+		if opt.Engine == EnginePLP {
+			return finish(TermPLPConverged, nil, cg, sizes)
+		}
+		phaseStart = 1
+	}
+
+	for phase := phaseStart; ; phase++ {
 		if err := ec.Err(); err != nil {
 			res, _ := finish(TermCanceled, nil, cg, sizes)
 			return res, fmt.Errorf("core: canceled at phase %d: %w", phase, err)
@@ -600,56 +827,9 @@ func detect(ec *exec.Ctx, g *graph.Graph, opt Options, s *Scratch) (*Result, err
 			})
 		}
 		// Track community sizes through the contraction (§III's
-		// "straight-forward" extension). With an arena the roll-up uses the
-		// same per-worker-stripe pattern as the contraction kernel — each
-		// worker accumulates into its own k-wide partial, merged by a
-		// parallel reduction — instead of one atomic add per old community,
-		// which serialized on heavily merged regions.
+		// "straight-forward" extension).
 		kNew := int(ng.NumVertices())
-		if s != nil && ec.Serial(len(sizes)) {
-			other := sizesIdx ^ 1
-			s.sizes[other] = buf.Grow(s.sizes[other], kNew)
-			newSizes := s.sizes[other][:kNew]
-			clear(newSizes)
-			for c := range sizes {
-				if sizes[c] != 0 {
-					newSizes[mapping[c]] += sizes[c]
-				}
-			}
-			sizes = newSizes
-			sizesIdx = other
-		} else if s != nil {
-			workers := ec.Workers(len(sizes))
-			s.sizeStripes = buf.Grow(s.sizeStripes, workers*kNew)
-			stripes := s.sizeStripes
-			ec.ZeroInt64(stripes[:workers*kNew])
-			oldSizes := sizes // single-assignment alias for closure capture
-			ec.ForWorker(len(oldSizes), func(w, lo, hi int) {
-				base := w * kNew
-				for c := lo; c < hi; c++ {
-					if oldSizes[c] != 0 {
-						stripes[base+int(mapping[c])] += oldSizes[c]
-					}
-				}
-			})
-			other := sizesIdx ^ 1
-			s.sizes[other] = buf.Grow(s.sizes[other], kNew)
-			newSizes := s.sizes[other][:kNew]
-			ec.MergeStripes(stripes, workers, kNew, newSizes)
-			sizes = newSizes
-			sizesIdx = other
-		} else {
-			newSizes := make([]int64, kNew)
-			oldSizes := sizes
-			ec.For(len(oldSizes), func(lo, hi int) {
-				for c := lo; c < hi; c++ {
-					if oldSizes[c] != 0 {
-						atomic.AddInt64(&newSizes[mapping[c]], oldSizes[c])
-					}
-				}
-			})
-			sizes = newSizes
-		}
+		sizes, sizesIdx = rollupSizes(ec, s, sizes, sizesIdx, mapping, kNew)
 
 		mod := modularityOf(ec, cg, deg, totW)
 		maxBucket := cg.MaxBucketLen()
@@ -669,6 +849,7 @@ func detect(ec *exec.Ctx, g *graph.Graph, opt Options, s *Scratch) (*Result, err
 		})
 		if opt.Ledger.Enabled() {
 			st := obs.LevelStats{
+				Stage:         obs.StageMatch,
 				Level:         phase,
 				Vertices:      cg.NumVertices(),
 				Edges:         cg.NumEdges(),
@@ -735,6 +916,58 @@ func detect(ec *exec.Ctx, g *graph.Graph, opt Options, s *Scratch) (*Result, err
 		}
 		phSpan.End()
 	}
+}
+
+// rollupSizes folds the per-community vertex counts through a contraction
+// mapping into k new counts. With an arena the roll-up ping-pongs between
+// the scratch's double-buffered size arrays and uses the same
+// per-worker-stripe pattern as the contraction kernel — each worker
+// accumulates into its own k-wide partial, merged by a parallel reduction —
+// instead of one atomic add per old community, which serialized on heavily
+// merged regions. It returns the new sizes slice and double-buffer index.
+func rollupSizes(ec *exec.Ctx, s *Scratch, sizes []int64, sizesIdx int, mapping []int64, kNew int) ([]int64, int) {
+	if s != nil && ec.Serial(len(sizes)) {
+		other := sizesIdx ^ 1
+		s.sizes[other] = buf.Grow(s.sizes[other], kNew)
+		newSizes := s.sizes[other][:kNew]
+		clear(newSizes)
+		for c := range sizes {
+			if sizes[c] != 0 {
+				newSizes[mapping[c]] += sizes[c]
+			}
+		}
+		return newSizes, other
+	}
+	if s != nil {
+		workers := ec.Workers(len(sizes))
+		s.sizeStripes = buf.Grow(s.sizeStripes, workers*kNew)
+		stripes := s.sizeStripes
+		ec.ZeroInt64(stripes[:workers*kNew])
+		oldSizes := sizes // single-assignment alias for closure capture
+		ec.ForWorker(len(oldSizes), func(w, lo, hi int) {
+			base := w * kNew
+			for c := lo; c < hi; c++ {
+				if oldSizes[c] != 0 {
+					stripes[base+int(mapping[c])] += oldSizes[c]
+				}
+			}
+		})
+		other := sizesIdx ^ 1
+		s.sizes[other] = buf.Grow(s.sizes[other], kNew)
+		newSizes := s.sizes[other][:kNew]
+		ec.MergeStripes(stripes, workers, kNew, newSizes)
+		return newSizes, other
+	}
+	newSizes := make([]int64, kNew)
+	oldSizes := sizes
+	ec.For(len(oldSizes), func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			if oldSizes[c] != 0 {
+				atomic.AddInt64(&newSizes[mapping[c]], oldSizes[c])
+			}
+		}
+	})
+	return newSizes, sizesIdx
 }
 
 // boolInt64 converts a flag to a span argument value.

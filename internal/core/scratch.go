@@ -14,6 +14,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/matching"
 	"repro/internal/par"
+	"repro/internal/plp"
 )
 
 // Scratch is the engine's reusable per-run arena. A zero Scratch (or
@@ -44,7 +45,10 @@ type Scratch struct {
 	part     par.Partition
 	match    matching.Scratch
 	contract contract.Scratch
-	cg       [2]*graph.Graph
+	// plp is the label-propagation engine's state (CSR view, label and
+	// worklist arrays, histogram stripes), used by EnginePLP/EngineEnsemble.
+	plp plp.Scratch
+	cg  [2]*graph.Graph
 }
 
 // NewScratch returns an empty arena; buffers are allocated on first use.

@@ -1,6 +1,9 @@
 package graph
 
-import "repro/internal/par"
+import (
+	"repro/internal/buf"
+	"repro/internal/par"
+)
 
 // CSR is a compressed sparse row adjacency view of a Graph in which every
 // stored edge appears in both endpoints' rows. Sequential baselines (CNM,
@@ -18,6 +21,9 @@ type CSR struct {
 	Wgt     []int64
 	// Self mirrors Graph.Self.
 	Self []int64
+	// cursor is the scatter pass's per-row write position, kept so
+	// ToCSRInto can rebuild the view without allocating.
+	cursor []int64
 }
 
 // NumVertices returns the number of vertices in the view.
@@ -35,8 +41,21 @@ func (c *CSR) Neighbors(x int64) (adj, wgt []int64) {
 // ToCSR symmetrizes g into a CSR view using p workers: a counting pass with
 // fetch-and-add, a prefix sum for row offsets, and a scatter pass.
 func ToCSR(p int, g *Graph) *CSR {
+	return ToCSRInto(p, g, &CSR{})
+}
+
+// ToCSRInto is ToCSR rebuilding the view inside c: every array is reused
+// when its capacity suffices and grown (without copying) otherwise, so a
+// scratch-held CSR costs nothing to refresh in the steady state. A nil c
+// behaves like ToCSR.
+func ToCSRInto(p int, g *Graph, c *CSR) *CSR {
+	if c == nil {
+		c = &CSR{}
+	}
 	n := int(g.NumVertices())
-	counts := make([]int64, n+1)
+	c.Offsets = buf.Grow(c.Offsets, n+1)
+	counts := c.Offsets
+	par.ZeroInt64(p, counts)
 	par.ForDynamic(p, n, 0, func(lo, hi int) {
 		for x := lo; x < hi; x++ {
 			for e := g.Start[x]; e < g.End[x]; e++ {
@@ -47,14 +66,15 @@ func ToCSR(p int, g *Graph) *CSR {
 	})
 	total := par.ExclusiveSumInt64(p, counts[:n])
 	counts[n] = total
-	c := &CSR{
-		Offsets: append([]int64(nil), counts...),
-		Adj:     make([]int64, total),
-		Wgt:     make([]int64, total),
-		Self:    append([]int64(nil), g.Self...),
-	}
-	// counts now holds the running write cursor per row.
-	cursor := counts
+	c.Adj = buf.Grow(c.Adj, int(total))
+	c.Wgt = buf.Grow(c.Wgt, int(total))
+	c.Self = buf.Grow(c.Self, n)
+	copy(c.Self, g.Self)
+	// The offsets double as each row's initial write position; the scatter
+	// advances a separate cursor copy so Offsets survives.
+	c.cursor = buf.Grow(c.cursor, n)
+	cursor := c.cursor
+	copy(cursor, c.Offsets[:n])
 	par.ForDynamic(p, n, 0, func(lo, hi int) {
 		for x := lo; x < hi; x++ {
 			for e := g.Start[x]; e < g.End[x]; e++ {

@@ -25,10 +25,13 @@ import (
 
 // Record captures one detection run.
 type Record struct {
-	Graph       string
-	Vertices    int64
-	Edges       int64
-	Threads     int
+	Graph    string
+	Vertices int64
+	Edges    int64
+	Threads  int
+	// Engine names the detection pipeline that produced the run
+	// (matching/plp/ensemble) — the speed-by-quality matrix axis.
+	Engine      string
 	Trial       int
 	Seconds     float64
 	EdgesPerSec float64
@@ -135,6 +138,7 @@ func SweepContext(ctx context.Context, g *graph.Graph, name string, cfg Config) 
 				Vertices:    g.NumVertices(),
 				Edges:       g.NumEdges(),
 				Threads:     th,
+				Engine:      opt.Engine.String(),
 				Trial:       trial,
 				Seconds:     secs,
 				EdgesPerSec: float64(g.NumEdges()) / secs,
@@ -300,15 +304,59 @@ func RenderRateTable(w io.Writer, records []Record) error {
 	return tw.Flush()
 }
 
+// RenderEngineTable prints the speed-by-quality matrix across detection
+// engines: for each (graph, engine) group the fastest trial's wall time and
+// rate, that run's modularity and community count, and the wall-time speedup
+// over the matching engine on the same graph (the ensemble's acceptance
+// metric). Records missing an engine label (pre-engine CSVs) group under
+// "matching".
+func RenderEngineTable(w io.Writer, records []Record) error {
+	type key struct{ graph, engine string }
+	best := map[key]Record{}
+	var engines []string
+	seenEng := map[string]bool{}
+	for _, r := range records {
+		if r.Engine == "" {
+			r.Engine = "matching"
+		}
+		k := key{r.Graph, r.Engine}
+		if b, ok := best[k]; !ok || r.Seconds < b.Seconds {
+			best[k] = r
+		}
+		if !seenEng[r.Engine] {
+			seenEng[r.Engine] = true
+			engines = append(engines, r.Engine)
+		}
+	}
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "graph\tengine\tbest (s)\tedges/sec\tmodularity\tcommunities\tvs matching")
+	for _, g := range graphsOf(records) {
+		base, haveBase := best[key{g, "matching"}]
+		for _, e := range engines {
+			r, ok := best[key{g, e}]
+			if !ok {
+				continue
+			}
+			speedup := "-"
+			if haveBase && r.Seconds > 0 {
+				speedup = fmt.Sprintf("%.2fx", base.Seconds/r.Seconds)
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%.4f\t%.3g\t%.4f\t%d\t%s\n",
+				g, e, r.Seconds, r.EdgesPerSec, r.Modularity, r.Communities, speedup)
+		}
+	}
+	return tw.Flush()
+}
+
 // WriteCSV emits every record as CSV with a header, for external plotting.
 func WriteCSV(w io.Writer, records []Record) error {
 	if _, err := fmt.Fprintln(w,
-		"graph,vertices,edges,threads,trial,seconds,edges_per_sec,phases,communities,coverage,modularity,termination,score_sec,match_sec,contract_sec"); err != nil {
+		"graph,vertices,edges,threads,engine,trial,seconds,edges_per_sec,phases,communities,coverage,modularity,termination,score_sec,match_sec,contract_sec"); err != nil {
 		return err
 	}
 	for _, r := range records {
-		if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%.6f,%.1f,%d,%d,%.6f,%.6f,%s,%.6f,%.6f,%.6f\n",
-			r.Graph, r.Vertices, r.Edges, r.Threads, r.Trial, r.Seconds, r.EdgesPerSec,
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%s,%d,%.6f,%.1f,%d,%d,%.6f,%.6f,%s,%.6f,%.6f,%.6f\n",
+			r.Graph, r.Vertices, r.Edges, r.Threads, r.Engine, r.Trial, r.Seconds, r.EdgesPerSec,
 			r.Phases, r.Communities, r.Coverage, r.Modularity, r.Termination,
 			r.ScoreSec, r.MatchSec, r.ContractSec); err != nil {
 			return err
@@ -386,21 +434,30 @@ func RenderPhaseTable(w io.Writer, stats []core.PhaseStats) error {
 // the table so an anomalous run is visible without reading every row.
 func RenderConvergenceTable(w io.Writer, levels []obs.LevelStats, warnings []obs.Warning) error {
 	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "level\t|V|\t|E|\tpos edges\tpairs\tmerged\tmerge%\tmetric\tΔmetric\tpasses\thub%\timbalance\tbound")
+	fmt.Fprintln(tw, "stage\tlevel\t|V|\t|E|\tpos edges\tpairs\tmerged\tmerge%\tmetric\tΔmetric\tpasses\tchg/active\thub%\timbalance\tbound")
 	var merged int64
 	for _, st := range levels {
+		stage := obs.StageOf(st)
+		if stage == obs.StagePLP {
+			// A PLP sweep merges nothing and carries no metric: it moves
+			// labels. Render the sweep counters and leave the agglomeration
+			// columns blank instead of misreporting it as a contraction.
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t-\t-\t-\t-\t-\t-\t-\t%d/%d\t-\t-\t-\n",
+				stage, st.Level, st.Vertices, st.Edges, st.Changed, st.Active)
+			continue
+		}
 		imb, bound := "-", "-"
 		if st.SchedImbalance > 0 {
 			imb = fmt.Sprintf("%.2f", st.SchedImbalance)
 			bound = fmt.Sprintf("%.2f", st.SchedBound)
 		}
-		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\t%.1f\t%.4f\t%+.4f\t%d\t%.1f\t%s\t%s\n",
-			st.Level, st.Vertices, st.Edges, st.PositiveEdges, st.MatchedPairs,
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%.1f\t%.4f\t%+.4f\t%d\t-\t%.1f\t%s\t%s\n",
+			stage, st.Level, st.Vertices, st.Edges, st.PositiveEdges, st.MatchedPairs,
 			st.MergedVertices, 100*st.MergeFraction, st.Metric, st.MetricDelta,
 			st.MatchPasses, 100*st.HubShare, imb, bound)
 		merged += st.MergedVertices
 	}
-	fmt.Fprintf(tw, "total\t\t\t\t\t%d\t\t\t\t\t\t\t\n", merged)
+	fmt.Fprintf(tw, "total\t\t\t\t\t\t%d\t\t\t\t\t\t\t\t\n", merged)
 	if err := tw.Flush(); err != nil {
 		return err
 	}

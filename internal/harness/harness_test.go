@@ -145,9 +145,15 @@ func TestWriteCSV(t *testing.T) {
 	if !strings.HasPrefix(lines[0], "graph,vertices,edges,threads") {
 		t.Fatalf("header: %q", lines[0])
 	}
+	if !strings.Contains(lines[0], ",engine,") {
+		t.Fatalf("header missing engine column: %q", lines[0])
+	}
 	for _, l := range lines[1:] {
-		if strings.Count(l, ",") != 14 {
+		if strings.Count(l, ",") != 15 {
 			t.Fatalf("bad CSV row: %q", l)
+		}
+		if !strings.Contains(l, ",matching,") {
+			t.Fatalf("row missing engine value: %q", l)
 		}
 	}
 }
@@ -282,5 +288,71 @@ func TestRenderConvergenceTable(t *testing.T) {
 	}
 	if !strings.Contains(lines[4], "matching-stall") {
 		t.Fatalf("warning line missing: %q", lines[4])
+	}
+}
+
+func TestRenderConvergenceTableStages(t *testing.T) {
+	// Ensemble-run ledger rows: PLP sweeps render under the stage column with
+	// their changed/active counters and dashes for the agglomeration columns,
+	// instead of being misreported as contraction levels.
+	levels := []obs.LevelStats{
+		{Stage: obs.StagePLP, Level: 0, Vertices: 100, Edges: 400, Active: 100, Changed: 70},
+		{Stage: obs.StagePLP, Level: 1, Vertices: 100, Edges: 400, Active: 85, Changed: 20},
+		{Stage: obs.StageCoarsen, Level: 0, Vertices: 100, Edges: 400,
+			OutVertices: 30, OutEdges: 150, MergedVertices: 70, MergeFraction: 0.7,
+			Metric: 0, MatchPasses: 2, Drain: []int64{100, 85}},
+		{Level: 1, Vertices: 30, Edges: 150, PositiveEdges: 120, MatchedPairs: 10,
+			MergedVertices: 10, MergeFraction: 0.33, Metric: 0.2, MatchPasses: 2},
+	}
+	var buf bytes.Buffer
+	if err := RenderConvergenceTable(&buf, levels, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // header + 4 rows + total
+		t.Fatalf("rendered %d lines, want 6:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "stage") || !strings.Contains(lines[0], "chg/active") {
+		t.Fatalf("header missing stage/active columns: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "plp") || !strings.Contains(lines[1], "70/100") {
+		t.Fatalf("plp sweep row: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[3], "coarsen") {
+		t.Fatalf("coarsen row: %q", lines[3])
+	}
+	// The legacy empty stage renders as match, and the total counts only
+	// agglomeration merges plus the coarsen collapse.
+	if !strings.HasPrefix(lines[4], "match") {
+		t.Fatalf("match row: %q", lines[4])
+	}
+	if !strings.Contains(lines[5], "80") {
+		t.Fatalf("total row should sum coarsen+match merges: %q", lines[5])
+	}
+}
+
+func TestRenderEngineTable(t *testing.T) {
+	recs := []Record{
+		{Graph: "rmat", Engine: "matching", Trial: 0, Seconds: 0.30, EdgesPerSec: 1e6, Modularity: 0.20, Communities: 16},
+		{Graph: "rmat", Engine: "matching", Trial: 1, Seconds: 0.36, EdgesPerSec: 0.9e6, Modularity: 0.20, Communities: 16},
+		{Graph: "rmat", Engine: "ensemble", Trial: 0, Seconds: 0.10, EdgesPerSec: 3e6, Modularity: 0.22, Communities: 10},
+		{Graph: "lj", Engine: "matching", Trial: 0, Seconds: 0.50, EdgesPerSec: 2e6, Modularity: 0.52, Communities: 19},
+	}
+	var buf bytes.Buffer
+	if err := RenderEngineTable(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "vs matching") || !strings.Contains(out, "ensemble") {
+		t.Fatalf("engine table:\n%s", out)
+	}
+	// Ensemble best 0.10s vs matching best 0.30s on rmat: 3.00x.
+	if !strings.Contains(out, "3.00x") {
+		t.Fatalf("missing speedup column:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + rmat x2 + lj x1
+		t.Fatalf("engine table has %d lines, want 4:\n%s", len(lines), out)
 	}
 }

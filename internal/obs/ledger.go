@@ -41,6 +41,11 @@ func NowNS() int64 { return int64(time.Since(epoch)) }
 // contracted graph it produced. The engine fills the raw fields;
 // Ledger.Record derives MergeFraction, HubShare, and MetricDelta.
 type LevelStats struct {
+	// Stage labels which engine stage produced the row: StagePLP for one
+	// label-propagation sweep, StageCoarsen for the label contraction that
+	// follows PLP, StageMatch (or empty, the pre-engine-aware encoding) for
+	// one matching-agglomeration level. Level indexes within the stage.
+	Stage string `json:"stage,omitempty"`
 	// Level is the contraction level (phase) index, 0-based.
 	Level int `json:"level"`
 	// Vertices and Edges describe the community graph entering the level.
@@ -81,6 +86,12 @@ type LevelStats struct {
 	// HubShare is its share of the edge array (derived).
 	MaxBucketLen int64   `json:"max_bucket_len"`
 	HubShare     float64 `json:"hub_share"`
+	// Active and Changed are PLP sweep counters: the worklist length at the
+	// start of the sweep and the number of vertices that adopted a new
+	// label. Zero on matching rows; the coarsen row instead carries the
+	// whole active-vertex drain curve in Drain.
+	Active  int64 `json:"active,omitempty"`
+	Changed int64 `json:"changed,omitempty"`
 	// SchedImbalance is the built per-level schedule's item-aligned
 	// imbalance (max worker share over even share, 1 = perfect); 0 when the
 	// level ran serial or dynamic. SchedBound is the analytic aligned lower
@@ -89,6 +100,23 @@ type LevelStats struct {
 	// bug rather than graph skew.
 	SchedImbalance float64 `json:"sched_imbalance,omitempty"`
 	SchedBound     float64 `json:"sched_bound,omitempty"`
+}
+
+// Stage labels for LevelStats.Stage. The empty string is equivalent to
+// StageMatch: matching-only runs predate the stage column and their rows
+// stay byte-identical in JSON (omitempty).
+const (
+	StageMatch   = "match"
+	StagePLP     = "plp"
+	StageCoarsen = "coarsen"
+)
+
+// StageOf normalizes a row's stage: empty means StageMatch.
+func StageOf(st LevelStats) string {
+	if st.Stage == "" {
+		return StageMatch
+	}
+	return st.Stage
 }
 
 // Warning codes.
@@ -165,24 +193,31 @@ func (l *Ledger) Record(st LevelStats) {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if n := len(l.levels); n > 0 {
+	// The anomaly checks are stage-guarded. PLP sweep rows carry no metric,
+	// so they neither produce nor anchor a metric delta; the coarsen row's
+	// Drain is the PLP active-vertex curve, which legitimately plateaus
+	// (a wave of label changes re-activates whole neighborhoods), so the
+	// geometric-drain expectation applies only to matching rows.
+	if n := len(l.levels); n > 0 && StageOf(st) != StagePLP && StageOf(l.levels[n-1]) != StagePLP {
 		st.MetricDelta = st.Metric - l.levels[n-1].Metric
 		if st.MetricDelta < -1e-12 {
 			l.warn(st.Level, WarnMetricDecrease,
 				fmt.Sprintf("metric fell %.6f -> %.6f", l.levels[n-1].Metric, st.Metric))
 		}
 	}
-	for i := 0; i+1 < len(st.Drain); i++ {
-		if st.Drain[i+1] >= st.Drain[i] {
-			l.warn(st.Level, WarnMatchingStall,
-				fmt.Sprintf("pass %d made no progress: worklist %d -> %d",
-					i, st.Drain[i], st.Drain[i+1]))
-			break
+	if StageOf(st) == StageMatch {
+		for i := 0; i+1 < len(st.Drain); i++ {
+			if st.Drain[i+1] >= st.Drain[i] {
+				l.warn(st.Level, WarnMatchingStall,
+					fmt.Sprintf("pass %d made no progress: worklist %d -> %d",
+						i, st.Drain[i], st.Drain[i+1]))
+				break
+			}
 		}
-	}
-	if st.MatchPasses > stallPassCap {
-		l.warn(st.Level, WarnMatchingStall,
-			fmt.Sprintf("%d matching passes (expected geometric drain)", st.MatchPasses))
+		if st.MatchPasses > stallPassCap {
+			l.warn(st.Level, WarnMatchingStall,
+				fmt.Sprintf("%d matching passes (expected geometric drain)", st.MatchPasses))
+		}
 	}
 	if st.SchedBound > 0 && st.SchedImbalance > st.SchedBound*imbalanceSlack {
 		l.warn(st.Level, WarnImbalance,

@@ -106,10 +106,15 @@ func CollectMeta() *Meta {
 
 // Options mirrors the engine configuration that produced the run.
 type Options struct {
-	Threads          int     `json:"threads"`
-	Scorer           string  `json:"scorer"`
-	Matching         string  `json:"matching"`
-	Contraction      string  `json:"contraction"`
+	Threads     int    `json:"threads"`
+	Scorer      string `json:"scorer"`
+	Matching    string `json:"matching"`
+	Contraction string `json:"contraction"`
+	// Engine names the detection pipeline (matching/plp/ensemble); the PLP
+	// knobs are recorded only when an engine that reads them is selected.
+	Engine           string  `json:"engine"`
+	PLPMaxSweeps     int     `json:"plp_max_sweeps,omitempty"`
+	PLPThreshold     float64 `json:"plp_threshold,omitempty"`
 	MinCoverage      float64 `json:"min_coverage,omitempty"`
 	MaxPhases        int     `json:"max_phases,omitempty"`
 	MinCommunities   int64   `json:"min_communities,omitempty"`
@@ -123,17 +128,23 @@ func OptionsOf(opt core.Options) Options {
 	if opt.Scorer != nil {
 		scorer = opt.Scorer.Name()
 	}
-	return Options{
+	o := Options{
 		Threads:          opt.Threads,
 		Scorer:           scorer,
 		Matching:         opt.Matching.String(),
 		Contraction:      opt.Contraction.String(),
+		Engine:           opt.Engine.String(),
 		MinCoverage:      opt.MinCoverage,
 		MaxPhases:        opt.MaxPhases,
 		MinCommunities:   opt.MinCommunities,
 		MaxCommunitySize: opt.MaxCommunitySize,
 		RefineEveryPhase: opt.RefineEveryPhase,
 	}
+	if opt.Engine != core.EngineMatching {
+		o.PLPMaxSweeps = opt.PLPMaxSweeps
+		o.PLPThreshold = opt.PLPThreshold
+	}
+	return o
 }
 
 // Phase mirrors core.PhaseStats with times in seconds.
