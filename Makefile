@@ -17,7 +17,12 @@ CTX_SRC := $(HOT_SRC) internal/contract/listchase.go internal/scoring/scoring.go
 # drift from the trace timeline's epoch).
 KERNEL_SRC := internal/scoring/*.go internal/matching/*.go internal/contract/*.go internal/refine/*.go internal/plp/*.go
 
-.PHONY: all build test race vet vet-obs bench bench-smoke bench-compare bench-engines bench-engines-smoke clean
+# Layers whose stderr diagnostics must flow through log/slog (obs.NewLogger)
+# so they honor -log.level/-log.format and mirror into the flight recorder;
+# vet-obs forbids raw fmt.Fprint*(os.Stderr, ...) here.
+LOG_SRC := cmd/*/*.go internal/harness/*.go
+
+.PHONY: all build test race vet vet-obs telemetry-smoke bench bench-smoke bench-compare bench-engines bench-engines-smoke clean
 
 all: build vet vet-obs test
 
@@ -71,6 +76,17 @@ vet-obs:
 		echo "vet-obs: kernel package reads the wall clock directly (use obs.NowNS):"; \
 		echo "$$bad"; exit 1; \
 	fi
+	@bad=$$(grep -nE 'fmt\.Fprint[a-z]*\(os\.Stderr' $(LOG_SRC) /dev/null | grep -v '_test.go'); \
+	if [ -n "$$bad" ]; then \
+		echo "vet-obs: raw stderr diagnostic (route through log/slog via obs.NewLogger):"; \
+		echo "$$bad"; exit 1; \
+	fi
+
+# End-to-end telemetry check, also a CI step: a real detection serves
+# /metrics/prom and the scrape comes back non-empty with the counter, gauge,
+# and histogram families the serving dashboards depend on.
+telemetry-smoke:
+	$(GO) test -run 'TestLivePrometheusScrape|TestWritePrometheus' -count=1 ./internal/obs/
 
 # Runs the arena-vs-fresh detection benchmarks (and anything else matching
 # $(BENCH)) with allocation stats, archiving the raw `go test -json` event

@@ -32,6 +32,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -92,7 +93,18 @@ func main() {
 	convergence := flag.Bool("convergence", false, "print the -phases run's per-level convergence table (implies -phases)")
 	ledgerPath := flag.String("ledger", "", "append the -phases run's JSON manifest to this file (implies -phases)")
 	metricsAddr := flag.String("metrics.addr", "", "serve live detection metrics over HTTP on this address (e.g. localhost:6070)")
+	logLevel := flag.String("log.level", "info", "diagnostic log level: debug | info | warn | error")
+	logFormat := flag.String("log.format", "text", "diagnostic log format: text | json")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(*logLevel, *logFormat, os.Stderr)
+	check(err)
+	slog.SetDefault(logger)
+
+	// SIGQUIT dumps the flight-recorder black box under results/ before the
+	// default goroutine-dump crash proceeds.
+	stopQuit := obs.FlightOnSIGQUIT("results")
+	defer stopQuit()
 
 	if *metaOnly {
 		// One JSON line describing the host and build, for prepending to an
@@ -133,7 +145,9 @@ func main() {
 	}
 	if m.phases || *metricsAddr != "" {
 		b.rec = obs.New()
+		b.rec.SetFlight(obs.Flight())
 		b.led = obs.NewLedger()
+		b.led.SetLogger(logger)
 		b.convergence = *convergence
 		b.ledgerPath = *ledgerPath
 	}
@@ -145,20 +159,23 @@ func main() {
 		srv, err := obs.Serve(*metricsAddr, b.rec, b.led)
 		check(err)
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (convergence at /convergence, expvar at /debug/vars)\n", srv.Addr())
+		logger.Info("serving live metrics",
+			"url", fmt.Sprintf("http://%s/metrics", srv.Addr()),
+			"prometheus", "/metrics/prom", "convergence", "/convergence", "flight", "/debug/flight")
 	}
-	// A panic below must not lose the trace/ledger gathered so far: flush the
-	// partial artifacts, then re-panic with the original value so the crash
+	// A panic below must not lose the telemetry gathered so far: write the
+	// flight-recorder black box and the partial trace/manifest through the
+	// shared crash helper, then re-panic with the original value so the crash
 	// itself is unchanged.
+	tracePath := *traceOut
 	defer func() {
 		if r := recover(); r != nil {
-			if flushOnExit != nil {
-				flushOnExit()
-				flushOnExit = nil
-			}
-			if b.led.NumLevels() > 0 {
-				b.flushLedger("partial")
-			}
+			flushOnExit = nil // FlushCrash owns the trace now
+			harness.FlushCrash("partial", harness.CrashArtifacts{
+				Rec: b.rec, Led: b.led,
+				TraceOut: tracePath, LedgerPath: b.ledgerPath,
+				Graph: b.ledgerGraph, Options: b.ledgerOpt, Log: logger,
+			})
 			panic(r)
 		}
 	}()
@@ -236,16 +253,16 @@ var flushOnExit func()
 func writeTrace(rec *obs.Recorder, path string) {
 	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
+		slog.Error("trace write failed", "error", err)
 		return
 	}
 	if err := rec.WriteTrace(f); err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
+		slog.Error("trace write failed", "error", err)
 	}
 	if err := f.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
+		slog.Error("trace write failed", "error", err)
 	}
-	fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s (load in chrome://tracing or ui.perfetto.dev)\n", path)
+	slog.Info("wrote Chrome trace (load in chrome://tracing or ui.perfetto.dev)", "path", path)
 }
 
 type bencher struct {
@@ -275,7 +292,7 @@ func (b *bencher) rmatName() string { return fmt.Sprintf("rmat-%d-16", b.scale) 
 
 func (b *bencher) rmat() *graph.Graph {
 	if b.rmatG == nil {
-		fmt.Fprintf(os.Stderr, "generating %s...\n", b.rmatName())
+		slog.Info("generating workload", "graph", b.rmatName())
 		g, _, err := gen.ConnectedRMAT(0, gen.DefaultRMAT(b.scale, b.seed))
 		check(err)
 		b.rmatG = g
@@ -285,7 +302,7 @@ func (b *bencher) rmat() *graph.Graph {
 
 func (b *bencher) lj() *graph.Graph {
 	if b.ljG == nil {
-		fmt.Fprintln(os.Stderr, "generating lj-sim...")
+		slog.Info("generating workload", "graph", "lj-sim")
 		g, _, err := gen.LJSim(0, gen.DefaultLJSim(b.nLJ, b.seed+1))
 		check(err)
 		b.ljG = g
@@ -295,7 +312,7 @@ func (b *bencher) lj() *graph.Graph {
 
 func (b *bencher) web() *graph.Graph {
 	if b.webG == nil {
-		fmt.Fprintln(os.Stderr, "generating uk-sim...")
+		slog.Info("generating workload", "graph", "uk-sim")
 		g, _, err := gen.WebCrawl(0, gen.DefaultWebCrawl(b.nWeb, b.seed+2))
 		check(err)
 		b.webG = g
@@ -428,10 +445,10 @@ func (b *bencher) flushLedger(kind string) {
 		m.Levels, m.Warnings = p.Levels, p.Warnings
 	}
 	if err := report.AppendManifest(b.ledgerPath, m); err != nil {
-		fmt.Fprintln(os.Stderr, "bench: manifest:", err)
+		slog.Error("manifest append failed", "error", err)
 		return
 	}
-	fmt.Fprintf(os.Stderr, "appended run manifest to %s\n", b.ledgerPath)
+	slog.Info("appended run manifest", "path", b.ledgerPath)
 }
 
 // printProfile renders the recorder's kernel-level view of the phases run:
@@ -477,6 +494,10 @@ func (b *bencher) printProfile(res *core.Result) {
 		for _, hb := range prof.BucketHist {
 			fmt.Printf("  <=%-8d %d\n", hb.MaxLen, hb.Buckets)
 		}
+	}
+	if len(prof.Latencies) > 0 {
+		fmt.Println("latency quantiles (log-linear histogram, <=1/16 relative error):")
+		check(harness.RenderLatencyTable(os.Stdout, prof.Latencies))
 	}
 }
 
@@ -694,9 +715,9 @@ func section(title string) {
 func check(err error) {
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
-			fmt.Fprintln(os.Stderr, "bench: interrupted:", err)
+			slog.Warn("interrupted", "error", err)
 		} else {
-			fmt.Fprintln(os.Stderr, "bench:", err)
+			slog.Error(err.Error())
 		}
 		if flushOnExit != nil {
 			flushOnExit()

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -66,8 +67,21 @@ func main() {
 		ledgerPath  = flag.String("ledger", "", "append a self-contained JSON run manifest to this file (e.g. results/ledger.jsonl)")
 		traceOut    = flag.String("trace.out", "", "write a Chrome trace_event timeline of the run to this file")
 		metricsAddr = flag.String("metrics.addr", "", "serve live detection metrics over HTTP on this address (e.g. localhost:6070)")
+		logLevel    = flag.String("log.level", "info", "diagnostic log level: debug | info | warn | error")
+		logFormat   = flag.String("log.format", "text", "diagnostic log format: text | json")
 	)
 	flag.Parse()
+
+	logger, err := obs.NewLogger(*logLevel, *logFormat, os.Stderr)
+	if err != nil {
+		fatal(err) // slog default still points at a usable text handler
+	}
+	slog.SetDefault(logger)
+
+	// SIGQUIT dumps the flight-recorder black box under results/ before the
+	// default goroutine-dump crash proceeds.
+	stopQuit := obs.FlightOnSIGQUIT("results")
+	defer stopQuit()
 
 	g, err := loadGraph(*inPath, *format, *genName, *scale, *n, *seed, *threads)
 	if err != nil {
@@ -106,13 +120,15 @@ func main() {
 	// Any observability sink turns on the recorder (and ledger); nil sinks
 	// keep the engine on its zero-overhead path.
 	var rec *obs.Recorder
-	if *traceOut != "" || *metricsAddr != "" || *jsonPath != "" {
+	if *traceOut != "" || *metricsAddr != "" || *jsonPath != "" || *ledgerPath != "" || *stats {
 		rec = obs.New()
+		rec.SetFlight(obs.Flight())
 		opt.Recorder = rec
 	}
 	var led *obs.Ledger
 	if *convergence || *ledgerPath != "" || *metricsAddr != "" || *jsonPath != "" {
 		led = obs.NewLedger()
+		led.SetLogger(logger)
 		opt.Ledger = led
 	}
 	if *metricsAddr != "" {
@@ -121,16 +137,23 @@ func main() {
 			fatal(err)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (convergence at /convergence, expvar at /debug/vars)\n", srv.Addr())
+		logger.Info("serving live metrics",
+			"url", fmt.Sprintf("http://%s/metrics", srv.Addr()),
+			"prometheus", "/metrics/prom", "convergence", "/convergence", "flight", "/debug/flight")
 	}
 
 	// A panic mid-detection must not lose the observability already gathered:
-	// flush the partial trace, convergence table, and a "partial" manifest,
-	// then re-panic so the crash (stack, exit code) is unchanged.
+	// flush the flight-recorder black box, the partial trace, the convergence
+	// table, and a "partial" manifest, then re-panic so the crash (stack,
+	// exit code) is unchanged.
 	graphInfo := report.Info(runName(*inPath, *genName), g)
 	defer func() {
 		if r := recover(); r != nil {
-			flushPartial(rec, led, *traceOut, *convergence, *ledgerPath, graphInfo, opt)
+			harness.FlushCrash("partial", harness.CrashArtifacts{
+				Rec: rec, Led: led,
+				TraceOut: *traceOut, Convergence: *convergence, LedgerPath: *ledgerPath,
+				Graph: graphInfo, Options: opt, Log: logger,
+			})
 			panic(r)
 		}
 	}()
@@ -150,13 +173,17 @@ func main() {
 	elapsed := time.Since(start)
 	if canceled {
 		stop() // a second SIGINT kills the process the default way
-		fmt.Fprintf(os.Stderr, "communities: interrupted after %d phases; reporting partial result\n",
-			len(res.Stats))
+		slog.Warn("interrupted; reporting partial result", "phases", len(res.Stats))
 	}
 
 	if *stats {
 		if err := harness.RenderPhaseTable(os.Stderr, res.Stats); err != nil {
 			fatal(err)
+		}
+		if lats := rec.Latencies(); len(lats) > 0 {
+			if err := harness.RenderLatencyTable(os.Stderr, lats); err != nil {
+				fatal(err)
+			}
 		}
 	}
 	if *convergence {
@@ -324,47 +351,9 @@ func runName(inPath, genName string) string {
 	return "gen:" + genName
 }
 
-// flushPartial salvages the observability a panicking run has already
-// gathered: the span timeline recorded so far (valid Chrome trace), the
-// convergence rows for completed levels, and a manifest marked "partial" so
-// the archive distinguishes it from finished runs. Errors here only warn —
-// the panic in flight is the story, not a second failure on its way out.
-func flushPartial(rec *obs.Recorder, led *obs.Ledger, traceOut string, convergence bool, ledgerPath string, gi report.GraphInfo, opt core.Options) {
-	fmt.Fprintln(os.Stderr, "communities: panic: flushing partial observability artifacts")
-	if traceOut != "" && rec != nil {
-		if f, err := os.Create(traceOut); err == nil {
-			if err := rec.WriteTrace(f); err != nil {
-				fmt.Fprintln(os.Stderr, "communities: partial trace:", err)
-			}
-			f.Close()
-		} else {
-			fmt.Fprintln(os.Stderr, "communities: partial trace:", err)
-		}
-	}
-	if convergence && led.NumLevels() > 0 {
-		harness.RenderConvergenceTable(os.Stderr, led.Levels(), led.Warnings())
-	}
-	if ledgerPath != "" {
-		m := &report.Manifest{
-			Kind:    "partial",
-			Time:    time.Now().UTC(),
-			Host:    report.CollectMeta(),
-			Graph:   gi,
-			Options: report.OptionsOf(opt),
-			Kernels: rec.KernelSeconds(),
-		}
-		if p := led.Export(); p != nil {
-			m.Levels, m.Warnings = p.Levels, p.Warnings
-		}
-		if err := report.AppendManifest(ledgerPath, m); err != nil {
-			fmt.Fprintln(os.Stderr, "communities: partial manifest:", err)
-		}
-	}
-}
-
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "communities:", err)
+	slog.Error(err.Error())
 	os.Exit(1)
 }

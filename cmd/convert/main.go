@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 
 	"repro/internal/graph"
@@ -47,8 +48,8 @@ func main() {
 	if *compact {
 		graph.Compact(*threads, g)
 	}
-	fmt.Fprintf(os.Stderr, "convert: |V|=%d |E|=%d weight=%d\n",
-		g.NumVertices(), g.NumEdges(), g.TotalWeight(*threads))
+	slog.Info("converted graph", "vertices", g.NumVertices(), "edges", g.NumEdges(),
+		"weight", g.TotalWeight(*threads))
 
 	var out io.Writer = os.Stdout
 	if *outPath != "" {
@@ -93,6 +94,6 @@ func write(w io.Writer, format string, g *graph.Graph) error {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "convert:", err)
+	slog.Error(err.Error())
 	os.Exit(1)
 }

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -71,7 +72,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "%s: |V|=%d |E|=%d\n", *kind, g.NumVertices(), g.NumEdges())
+	slog.Info("generated graph", "kind", *kind, "vertices", g.NumVertices(), "edges", g.NumEdges())
 
 	w := os.Stdout
 	if *out != "" {
@@ -134,6 +135,6 @@ func parseBlocks(s string) ([]int64, error) {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gengraph:", err)
+	slog.Error(err.Error())
 	os.Exit(1)
 }

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"repro/internal/gen"
@@ -46,7 +47,8 @@ func main() {
 	if *connected {
 		g, _ = graph.LargestComponent(*threads, g)
 	}
-	fmt.Fprintf(os.Stderr, "rmat-%d-%d: |V|=%d |E|=%d\n", *scale, *edgeFactor, g.NumVertices(), g.NumEdges())
+	slog.Info("generated graph", "name", fmt.Sprintf("rmat-%d-%d", *scale, *edgeFactor),
+		"vertices", g.NumVertices(), "edges", g.NumEdges())
 
 	w := os.Stdout
 	if *out != "" {
@@ -73,6 +75,6 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "genrmat:", err)
+	slog.Error(err.Error())
 	os.Exit(1)
 }

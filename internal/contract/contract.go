@@ -402,6 +402,10 @@ func byMappingRun(ec *exec.Ctx, g *graph.Graph, mapping []int64, k int64, layout
 	// scratch partition over the surviving counts (the count/scatter
 	// schedule is spent by now) for a statically balanced sweep instead.
 	spDedup := rec.Begin(obs.CatContract, "dedup", -1)
+	var dedupT0 int64
+	if rec.Enabled() {
+		dedupT0 = obs.NowNS()
+	}
 	hot := rec.Hot()
 	var live int64
 	if ec.Serial(kk) {
@@ -437,6 +441,9 @@ func byMappingRun(ec *exec.Ctx, g *graph.Graph, mapping []int64, k int64, layout
 		live = acc
 	}
 	ng.SetCounts(k, live)
+	if rec.Enabled() {
+		rec.ObserveLatency(obs.LatContractDedup, obs.NowNS()-dedupT0)
+	}
 	spDedup.EndArgs("in", total, "out", live)
 	rec.Add(obs.CtrContractEdgesOut, live)
 	rec.FoldHot()

@@ -505,6 +505,7 @@ func detect(ec *exec.Ctx, g *graph.Graph, opt Options, s *Scratch) (*Result, err
 		}
 		res.FinalModularity = modularityOf(ec, cg, deg, totW)
 		res.Total = time.Since(start)
+		rec.ObserveLatency(obs.LatDetect, res.Total.Nanoseconds())
 		return res, nil
 	}
 
@@ -589,6 +590,7 @@ func detect(ec *exec.Ctx, g *graph.Graph, opt Options, s *Scratch) (*Result, err
 			s.mapping = mapping
 		}
 		contractTime := time.Since(t1)
+		rec.ObserveLatency(obs.LatContract, contractTime.Nanoseconds())
 		cSpan.EndArgs("vertices", k, "edges", ng.NumEdges())
 		if opt.Validate {
 			if err := ng.Validate(); err != nil {
@@ -669,6 +671,7 @@ func detect(ec *exec.Ctx, g *graph.Graph, opt Options, s *Scratch) (*Result, err
 		}
 
 		phSpan := rec.BeginPhase(phase, cg.NumVertices(), cg.NumEdges())
+		levelStart := time.Now()
 
 		// Primitive 0: the level schedule. One prefix sum over the bucket
 		// lengths yields the edge-balanced partition that every kernel sweep
@@ -734,6 +737,7 @@ func detect(ec *exec.Ctx, g *graph.Graph, opt Options, s *Scratch) (*Result, err
 			positive = scoring.HasPositive(ec, cg, scores)
 		}
 		scoreTime := time.Since(t0)
+		rec.ObserveLatency(obs.LatScore, scoreTime.Nanoseconds())
 		rec.FoldHot()
 		scSpan.EndArgs("edges", cg.NumEdges(), "positive", boolInt64(positive))
 		if !positive {
@@ -763,6 +767,7 @@ func detect(ec *exec.Ctx, g *graph.Graph, opt Options, s *Scratch) (*Result, err
 		}
 		mres := matchFn(ec, cg, scores, ms)
 		matchTime := time.Since(t1)
+		rec.ObserveLatency(obs.LatMatch, matchTime.Nanoseconds())
 		mSpan.EndArgs("pairs", mres.Pairs, "passes", int64(mres.Passes))
 		if opt.Validate {
 			if err := matching.Verify(cg, scores, mres.Match); err != nil {
@@ -805,6 +810,7 @@ func detect(ec *exec.Ctx, g *graph.Graph, opt Options, s *Scratch) (*Result, err
 			s.mapping = mapping
 		}
 		contractTime := time.Since(t2)
+		rec.ObserveLatency(obs.LatContract, contractTime.Nanoseconds())
 		cSpan.EndArgs("vertices", ng.NumVertices(), "edges", ng.NumEdges())
 		if opt.Validate {
 			if err := ng.Validate(); err != nil {
@@ -914,6 +920,7 @@ func detect(ec *exec.Ctx, g *graph.Graph, opt Options, s *Scratch) (*Result, err
 			}
 			rSpan.EndArgs("moves", rres.Moves, "communities", cg.NumVertices())
 		}
+		rec.ObserveLatency(obs.LatLevel, time.Since(levelStart).Nanoseconds())
 		phSpan.End()
 	}
 }

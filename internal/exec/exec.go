@@ -22,10 +22,36 @@ package exec
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 	"repro/internal/par"
 )
+
+// Context-pool telemetry: how often detections acquire/release pooled
+// contexts and how many fresh worker teams were actually spawned — the
+// free-list works when acquires dwarf spawns. Exposed on /metrics/prom
+// through the obs registry (obs cannot import exec back, so exec pushes
+// accessors in).
+var (
+	ctxAcquires  atomic.Int64
+	ctxReleases  atomic.Int64
+	teamsSpawned atomic.Int64
+)
+
+func init() {
+	obs.RegisterPromCounter("community_exec_ctx_acquires_total",
+		"Pooled execution contexts handed out by exec.Acquire.", ctxAcquires.Load)
+	obs.RegisterPromCounter("community_exec_ctx_releases_total",
+		"Execution contexts returned by exec.Release.", ctxReleases.Load)
+	obs.RegisterPromCounter("community_exec_teams_spawned_total",
+		"Fresh persistent worker teams spawned (free-list misses and explicit News).", teamsSpawned.Load)
+}
+
+// PoolStats reports the context-pool counters (tests and diagnostics).
+func PoolStats() (acquires, releases, spawned int64) {
+	return ctxAcquires.Load(), ctxReleases.Load(), teamsSpawned.Load()
+}
 
 // Ctx is the execution context for one detection (or any kernel invocation):
 // worker count, worker team, recorder, and cancellation. The zero value is not
@@ -87,6 +113,7 @@ func New(ctx context.Context, p int, rec *obs.Recorder) *Ctx {
 	c := &Ctx{ctx: ctx, rec: rec, threads: p}
 	if p > 1 {
 		c.pool = par.NewPool(p)
+		teamsSpawned.Add(1)
 	}
 	return c
 }
@@ -105,6 +132,7 @@ const maxFree = 4
 // released one when available (growing its team if p asks for more workers
 // than it has). Pair with Release. Semantics of ctx, p, and rec match New.
 func Acquire(ctx context.Context, p int, rec *obs.Recorder) *Ctx {
+	ctxAcquires.Add(1)
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -135,6 +163,7 @@ func Acquire(ctx context.Context, p int, rec *obs.Recorder) *Ctx {
 		c.ctx, c.rec, c.threads = ctx, rec, p
 		if c.pool == nil {
 			c.pool = par.NewPool(p)
+			teamsSpawned.Add(1)
 		} else {
 			c.pool.Grow(p)
 		}
@@ -151,6 +180,7 @@ func (c *Ctx) Release() {
 	if c == nil {
 		return
 	}
+	ctxReleases.Add(1)
 	c.ctx = nil
 	c.rec = nil
 	c.part = nil
@@ -190,6 +220,7 @@ func (c *Ctx) WithThreads(t int) *Ctx {
 		d.pool.Grow(t)
 	} else if t > 1 {
 		d.pool = par.NewPool(t)
+		teamsSpawned.Add(1)
 	}
 	return &d
 }

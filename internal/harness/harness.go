@@ -469,6 +469,24 @@ func RenderConvergenceTable(w io.Writer, levels []obs.LevelStats, warnings []obs
 	return nil
 }
 
+// RenderLatencyTable prints the recorder's latency-histogram snapshot: one
+// row per non-empty class with its count, mean, p50/p90/p99 estimates, and
+// max. Quantiles come from the log-linear buckets (see obs.LatencyHist), so
+// they overshoot the true sample quantile by at most one sub-bucket width.
+func RenderLatencyTable(w io.Writer, lats []obs.LatencyProfile) error {
+	tw := tabwriter.NewWriter(w, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "latency class\tcount\tmean (ms)\tp50 (ms)\tp90 (ms)\tp99 (ms)\tmax (ms)")
+	for _, lp := range lats {
+		mean := 0.0
+		if lp.Count > 0 {
+			mean = lp.SumSec / float64(lp.Count)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\n",
+			lp.Class, lp.Count, 1e3*mean, 1e3*lp.P50Sec, 1e3*lp.P90Sec, 1e3*lp.P99Sec, 1e3*lp.MaxSec)
+	}
+	return tw.Flush()
+}
+
 // PlatformTable prints the Table I stand-in: the characteristics of the
 // present host in place of the paper's five platforms.
 func PlatformTable(w io.Writer) error {

@@ -241,6 +241,10 @@ func WorklistWith(ec *exec.Ctx, g *graph.Graph, scores []float64, scratch *Scrat
 		pass := int64(passes)
 		lst := list // single-assignment alias for closure capture
 		sp := rec.Begin(obs.CatMatch, "pass", -1)
+		var passT0 int64
+		if rec.Enabled() {
+			passT0 = obs.NowNS()
+		}
 		// Phase A: active vertices scan their buckets and push proposals to
 		// both endpoints of every available positive edge. The pass bodies
 		// live in plain functions so the serial path evaluates no closure
@@ -283,6 +287,9 @@ func WorklistWith(ec *exec.Ctx, g *graph.Graph, scores []float64, scratch *Scrat
 		buf = lst[:0]
 		list = packed
 		passes++
+		if rec.Enabled() {
+			rec.ObserveLatency(obs.LatMatchPass, obs.NowNS()-passT0)
+		}
 		sp.EndArgs("active", int64(len(lst)), "requeued", int64(len(packed)))
 		rec.Add(obs.CtrMatchActive, int64(len(lst)))
 		rec.Add(obs.CtrMatchRequeued, int64(len(packed)))
@@ -408,6 +415,10 @@ func EdgeSweepWith(ec *exec.Ctx, g *graph.Graph, scores []float64, scratch *Scra
 		pass := int64(passes)
 		eligible := false
 		sp := rec.Begin(obs.CatMatch, "pass", -1)
+		var passT0 int64
+		if rec.Enabled() {
+			passT0 = obs.NowNS()
+		}
 		// Sweep 1: per-endpoint best via locks (the hot spot). As in the
 		// worklist kernel, the sweep bodies are plain functions so the
 		// serial path evaluates no escaping closure literal.
@@ -435,6 +446,9 @@ func EdgeSweepWith(ec *exec.Ctx, g *graph.Graph, scores []float64, scratch *Scra
 			})
 		}
 		passes++
+		if rec.Enabled() {
+			rec.ObserveLatency(obs.LatMatchPass, obs.NowNS()-passT0)
+		}
 		s.drain = append(s.drain, int64(n))
 		sp.EndArgs("active", int64(n), "pass", pass)
 		rec.Add(obs.CtrMatchActive, int64(n))

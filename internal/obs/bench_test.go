@@ -18,6 +18,11 @@ func TestDisabledRecorderAllocs(t *testing.T) {
 		s.End()
 		ph.EndArgs("a", 1, "b", 2)
 		r.SetKernel("score")
+		r.ObserveLatency(LatDetect, 12345)
+		var fl *FlightRecorder
+		fl.Record(FlightSpan, "kernel", "score", "", 1)
+		var lh *LatencyHist
+		lh.Observe(99)
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled recorder allocates %v allocs/op, want 0", allocs)

@@ -65,18 +65,25 @@ func writeSnapshot[T any](w http.ResponseWriter, v *T) {
 }
 
 // Handler returns the metrics endpoint's mux: /metrics (live Profile JSON),
-// /convergence (live LedgerProfile JSON), /debug/vars (standard expvar,
-// including the "detection" and "convergence" vars), and /healthz. Exposed
-// separately from Serve so tests can drive it without a listener.
+// /metrics/prom (Prometheus text exposition), /convergence (live
+// LedgerProfile JSON), /debug/vars (standard expvar, including the
+// "detection" and "convergence" vars), /debug/flight (the flight-recorder
+// black box as JSON, on demand), and /healthz. Exposed separately from Serve
+// so tests can drive it without a listener.
 func Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		writeSnapshot(w, liveRec.Load().Export())
 	})
+	mux.HandleFunc("/metrics/prom", promHandler)
 	mux.HandleFunc("/convergence", func(w http.ResponseWriter, _ *http.Request) {
 		writeSnapshot(w, liveLedger.Load().Export())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		Flight().WriteDump(w, "http")
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
@@ -89,11 +96,12 @@ func Handler() http.Handler {
 // fix for the old API, which returned the bare listener and leaked the
 // http.Server (its keep-alive connections outlived every "shutdown").
 type MetricsServer struct {
-	ln    net.Listener
-	srv   *http.Server
-	close sync.Once
-	done  chan struct{}
-	err   error
+	ln      net.Listener
+	srv     *http.Server
+	close   sync.Once
+	done    chan struct{}
+	err     error
+	sampler *RuntimeSampler
 }
 
 // Addr returns the bound address, usable with an OS-assigned ":0" port.
@@ -107,6 +115,7 @@ func (m *MetricsServer) Close() error {
 		defer cancel()
 		m.err = m.srv.Shutdown(ctx)
 		<-m.done
+		m.sampler.Stop()
 	})
 	return m.err
 }
@@ -114,7 +123,9 @@ func (m *MetricsServer) Close() error {
 // Serve registers r as the live recorder and l as the live ledger (either
 // may be nil), then starts the metrics endpoint on addr (e.g.
 // "localhost:8123", or "127.0.0.1:0" for an OS-assigned test port) in a
-// background goroutine. The CLIs treat a bind failure as fatal flag misuse.
+// background goroutine, along with the runtime sampler that feeds the
+// Prometheus community_go_* series. The CLIs treat a bind failure as fatal
+// flag misuse. Close stops both the server and the sampler.
 func Serve(addr string, r *Recorder, l *Ledger) (*MetricsServer, error) {
 	SetLive(r)
 	SetLiveLedger(l)
@@ -123,9 +134,10 @@ func Serve(addr string, r *Recorder, l *Ledger) (*MetricsServer, error) {
 		return nil, err
 	}
 	m := &MetricsServer{
-		ln:   ln,
-		srv:  &http.Server{Handler: Handler()},
-		done: make(chan struct{}),
+		ln:      ln,
+		srv:     &http.Server{Handler: Handler()},
+		done:    make(chan struct{}),
+		sampler: StartRuntimeSampler(DefaultRuntimeSamplePeriod),
 	}
 	go func() {
 		defer close(m.done)

@@ -1,0 +1,280 @@
+package obs
+
+// The flight recorder is the engine's black box: a bounded ring of the most
+// recent spans, ledger warnings, and structured log events, cheap enough to
+// leave on for the life of a serving process and dumped as one
+// self-contained JSON artifact when something goes wrong (panic, SIGQUIT) or
+// when an operator asks (/debug/flight). Unlike the Recorder — which buffers
+// a whole run for post-hoc export — the ring forgets: it answers "what were
+// the last ~1000 things the engine did before the crash", not "what did the
+// whole run look like".
+//
+// Writers contend only on their own slot: a reservation counter hands out
+// slot indices and each slot is guarded by a non-blocking TryLock. A writer
+// that loses the slot race drops its event (counted) instead of blocking —
+// the recorder must never add a stall to the paths it observes. A nil
+// *FlightRecorder no-ops everywhere, same discipline as Recorder and Ledger.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// flightSlots is the ring capacity. 1024 events at the engine's span
+// granularity covers several contraction levels of history — enough context
+// to see what led into a crash without unbounded memory.
+const flightSlots = 1024
+
+// FlightEvent kinds.
+const (
+	FlightSpan    = "span"
+	FlightWarning = "warning"
+	FlightLog     = "log"
+	FlightMark    = "event"
+)
+
+// FlightEvent is one ring entry. Cat and Name are kept as separate fields so
+// recording a span never concatenates strings (the enabled-span path must
+// stay allocation-free); Detail carries free-form context for warnings and
+// log records.
+type FlightEvent struct {
+	Seq    int64  `json:"seq"`
+	TimeNS int64  `json:"time_ns"`
+	Kind   string `json:"kind"`
+	Cat    string `json:"cat,omitempty"`
+	Name   string `json:"name,omitempty"`
+	Detail string `json:"detail,omitempty"`
+	DurNS  int64  `json:"dur_ns,omitempty"`
+}
+
+// flightSlot is one ring cell. The mutex is per-slot and only ever TryLocked
+// by writers, so a reader snapshotting the ring (which does block on Lock)
+// waits at most one in-flight write per slot.
+type flightSlot struct {
+	mu sync.Mutex
+	ev FlightEvent
+}
+
+// FlightRecorder is the bounded event ring. The zero value is ready; a nil
+// pointer is the disabled recorder.
+type FlightRecorder struct {
+	cursor  atomic.Int64 // next sequence number to hand out
+	dropped atomic.Int64 // events lost to slot contention
+	slots   [flightSlots]flightSlot
+}
+
+// defaultFlight is the process-wide ring the CLIs attach to recorders,
+// ledgers mirror warnings into, and the HTTP endpoint dumps.
+var defaultFlight FlightRecorder
+
+// Flight returns the process-wide flight recorder.
+func Flight() *FlightRecorder { return &defaultFlight }
+
+// Record appends one event to the ring, dropping it if the target slot is
+// mid-write by another goroutine. Nil-safe; never blocks.
+func (f *FlightRecorder) Record(kind, cat, name, detail string, durNS int64) {
+	if f == nil {
+		return
+	}
+	seq := f.cursor.Add(1) - 1
+	s := &f.slots[seq%flightSlots]
+	if !s.mu.TryLock() {
+		f.dropped.Add(1)
+		return
+	}
+	s.ev = FlightEvent{
+		Seq:    seq,
+		TimeNS: NowNS(),
+		Kind:   kind,
+		Cat:    cat,
+		Name:   name,
+		Detail: detail,
+		DurNS:  durNS,
+	}
+	s.mu.Unlock()
+}
+
+// Len reports how many events the ring currently holds (capped at capacity).
+func (f *FlightRecorder) Len() int {
+	if f == nil {
+		return 0
+	}
+	n := f.cursor.Load()
+	if n > flightSlots {
+		return flightSlots
+	}
+	return int(n)
+}
+
+// Total reports how many events were ever recorded (including overwritten
+// and dropped ones).
+func (f *FlightRecorder) Total() int64 {
+	if f == nil {
+		return 0
+	}
+	return f.cursor.Load()
+}
+
+// Dropped reports events lost to slot contention.
+func (f *FlightRecorder) Dropped() int64 {
+	if f == nil {
+		return 0
+	}
+	return f.dropped.Load()
+}
+
+// Events snapshots the ring in sequence order, oldest first. Concurrent
+// writers may overwrite slots mid-snapshot; stale reads are filtered by
+// re-checking each event's Seq against the window, so the result is
+// monotone in Seq but may have gaps under heavy write pressure.
+func (f *FlightRecorder) Events() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	hi := f.cursor.Load()
+	lo := hi - flightSlots
+	if lo < 0 {
+		lo = 0
+	}
+	out := make([]FlightEvent, 0, hi-lo)
+	for seq := lo; seq < hi; seq++ {
+		s := &f.slots[seq%flightSlots]
+		s.mu.Lock()
+		ev := s.ev
+		s.mu.Unlock()
+		if ev.Seq == seq && ev.Kind != "" {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Reset clears the ring (tests; production rings run forever).
+func (f *FlightRecorder) Reset() {
+	if f == nil {
+		return
+	}
+	for i := range f.slots {
+		f.slots[i].mu.Lock()
+		f.slots[i].ev = FlightEvent{}
+		f.slots[i].mu.Unlock()
+	}
+	f.cursor.Store(0)
+	f.dropped.Store(0)
+}
+
+// FlightDump is the self-contained black-box artifact: the event window plus
+// enough process context (runtime stats, live convergence state, live
+// recorder counters) to read it without the rest of the run's outputs.
+type FlightDump struct {
+	Reason    string           `json:"reason"`
+	Time      string           `json:"time"`
+	PID       int              `json:"pid"`
+	GoVersion string           `json:"go_version"`
+	Dropped   int64            `json:"dropped_events,omitempty"`
+	Runtime   *RuntimeStats    `json:"runtime,omitempty"`
+	Counters  map[string]int64 `json:"counters,omitempty"`
+	Latencies []LatencyProfile `json:"latencies,omitempty"`
+	Converge  *LedgerProfile   `json:"convergence,omitempty"`
+	Events    []FlightEvent    `json:"events"`
+}
+
+// Dump assembles the artifact from the ring plus whatever recorder/ledger
+// are currently live on the metrics endpoint.
+func (f *FlightRecorder) Dump(reason string) *FlightDump {
+	d := &FlightDump{
+		Reason:    reason,
+		Time:      time.Now().UTC().Format(time.RFC3339Nano),
+		PID:       os.Getpid(),
+		GoVersion: runtime.Version(),
+		Dropped:   f.Dropped(),
+		Runtime:   SampleRuntime(),
+		Events:    f.Events(),
+	}
+	if r := liveRec.Load(); r != nil {
+		d.Counters = make(map[string]int64, NumCounters)
+		for c := Counter(0); c < NumCounters; c++ {
+			if v := r.Counter(c); v != 0 {
+				d.Counters[c.String()] = v
+			}
+		}
+		d.Latencies = r.Latencies()
+	}
+	if l := liveLedger.Load(); l != nil {
+		d.Converge = l.Export()
+	}
+	if d.Events == nil {
+		d.Events = []FlightEvent{}
+	}
+	return d
+}
+
+// WriteDump writes the artifact as indented JSON.
+func (f *FlightRecorder) WriteDump(w io.Writer, reason string) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f.Dump(reason))
+}
+
+// WriteFlightArtifact dumps the process flight recorder to
+// dir/flight_<pid>_<unixnano>.json and returns the path. The directory is
+// created if missing. Used by the panic and SIGQUIT paths, so it must not
+// itself panic: all errors return.
+func WriteFlightArtifact(dir, reason string) (string, error) {
+	if dir == "" {
+		dir = "results"
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("flight_%d_%d.json", os.Getpid(), time.Now().UnixNano()))
+	fh, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	werr := Flight().WriteDump(fh, reason)
+	cerr := fh.Close()
+	if werr != nil {
+		return path, werr
+	}
+	return path, cerr
+}
+
+// FlightOnSIGQUIT installs a SIGQUIT handler that writes the black-box
+// artifact under dir, then restores Go's default SIGQUIT behavior and
+// re-raises the signal so the usual full-goroutine stack dump (and process
+// exit) still happens — the artifact augments the crash, it does not swallow
+// it. The returned stop function uninstalls the handler.
+func FlightOnSIGQUIT(dir string) (stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, ok := <-ch; !ok {
+			return
+		}
+		if path, err := WriteFlightArtifact(dir, "sigquit"); err == nil {
+			fmt.Fprintf(os.Stderr, "flight recorder: wrote %s\n", path)
+		}
+		signal.Reset(syscall.SIGQUIT)
+		syscall.Kill(syscall.Getpid(), syscall.SIGQUIT)
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(ch)
+			<-done
+		})
+	}
+}

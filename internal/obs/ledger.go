@@ -20,6 +20,7 @@ package obs
 
 import (
 	"fmt"
+	"log/slog"
 	"math/bits"
 	"sync"
 	"time"
@@ -157,6 +158,22 @@ type Ledger struct {
 	mu       sync.Mutex
 	levels   []LevelStats
 	warnings []Warning
+	// logger, when set, receives every warning as it is flagged — the
+	// real-time mirror of the post-hoc Warnings list. Warnings also land in
+	// the process flight recorder unconditionally (the ring is free).
+	logger *slog.Logger
+}
+
+// SetLogger mirrors future warnings into log as they are recorded (a stalled
+// matching or a metric decrease becomes visible mid-run instead of in the
+// final report). Pass nil to stop mirroring.
+func (l *Ledger) SetLogger(log *slog.Logger) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.logger = log
+	l.mu.Unlock()
 }
 
 // NewLedger returns an enabled empty ledger.
@@ -227,9 +244,14 @@ func (l *Ledger) Record(st LevelStats) {
 	l.levels = append(l.levels, st)
 }
 
-// warn appends a warning; callers hold l.mu.
+// warn appends a warning, mirrors it into the flight ring, and — when a
+// logger is attached — emits it as a real-time log record. Callers hold l.mu.
 func (l *Ledger) warn(level int, code, detail string) {
 	l.warnings = append(l.warnings, Warning{Level: level, Code: code, Detail: detail})
+	Flight().Record(FlightWarning, "ledger", code, detail, 0)
+	if l.logger != nil {
+		l.logger.Warn("convergence anomaly", "code", code, "level", level, "detail", detail)
+	}
 }
 
 // Levels returns a copy of the recorded rows, in level order.

@@ -1,0 +1,70 @@
+package obs
+
+// Structured-logging setup shared by the CLIs: one place that parses the
+// -log.level/-log.format flags into a slog handler and tees every record
+// into the process flight recorder, so the black-box dump carries the last
+// log lines next to the last spans. slog (not raw stderr writes) is the
+// sanctioned diagnostic path for cmd/ and the harness — the vet-obs lint
+// enforces it.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds a logger writing to w. level is one of
+// debug|info|warn|error (case-insensitive); format is text|json.
+func NewLogger(level, format string, w io.Writer) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "", "info":
+		lv = slog.LevelInfo
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text|json)", format)
+	}
+	return slog.New(&flightHandler{next: h, flight: Flight()}), nil
+}
+
+// flightHandler tees log records into the flight ring before delegating.
+// Only the message and level are mirrored (attrs would need rendering, and
+// the ring is for event sequence, not full payloads).
+type flightHandler struct {
+	next   slog.Handler
+	flight *FlightRecorder
+}
+
+func (h *flightHandler) Enabled(ctx context.Context, lv slog.Level) bool {
+	return h.next.Enabled(ctx, lv)
+}
+
+func (h *flightHandler) Handle(ctx context.Context, rec slog.Record) error {
+	h.flight.Record(FlightLog, strings.ToLower(rec.Level.String()), rec.Message, "", 0)
+	return h.next.Handle(ctx, rec)
+}
+
+func (h *flightHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &flightHandler{next: h.next.WithAttrs(attrs), flight: h.flight}
+}
+
+func (h *flightHandler) WithGroup(name string) slog.Handler {
+	return &flightHandler{next: h.next.WithGroup(name), flight: h.flight}
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestNewLoggerParsesFlags: accepted level/format spellings build, bad ones
+// error before any logging starts.
+func TestNewLoggerParsesFlags(t *testing.T) {
+	var buf bytes.Buffer
+	for _, ok := range []struct{ level, format string }{
+		{"debug", "text"}, {"info", "json"}, {"WARN", "TEXT"},
+		{"warning", "json"}, {"error", "text"}, {"", ""},
+	} {
+		if _, err := NewLogger(ok.level, ok.format, &buf); err != nil {
+			t.Errorf("NewLogger(%q, %q) = %v, want ok", ok.level, ok.format, err)
+		}
+	}
+	for _, bad := range []struct{ level, format string }{
+		{"verbose", "text"}, {"info", "xml"},
+	} {
+		if _, err := NewLogger(bad.level, bad.format, &buf); err == nil {
+			t.Errorf("NewLogger(%q, %q) accepted bad flag", bad.level, bad.format)
+		}
+	}
+}
+
+// TestLoggerLevelsAndJSON: the level gate filters, and json format emits
+// parseable records.
+func TestLoggerLevelsAndJSON(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger("warn", "json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hidden")
+	log.Warn("visible", "k", 1)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("got %d records, want the warn only:\n%s", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("json record unparseable: %v", err)
+	}
+	if rec["msg"] != "visible" || rec["k"] != float64(1) {
+		t.Fatalf("record = %v", rec)
+	}
+}
+
+// TestLoggerTeesIntoFlight: every emitted record mirrors into the flight
+// ring (message + level only), including through WithAttrs/WithGroup
+// derivatives.
+func TestLoggerTeesIntoFlight(t *testing.T) {
+	Flight().Reset()
+	defer Flight().Reset()
+	var buf bytes.Buffer
+	log, err := NewLogger("info", "text", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("plain message")
+	log.With("job", "x").WithGroup("g").Error("derived message")
+	log.Debug("below the gate") // filtered: must not reach the ring
+	evs := Flight().Events()
+	if len(evs) != 2 {
+		t.Fatalf("flight holds %d events, want 2: %+v", len(evs), evs)
+	}
+	if evs[0].Kind != FlightLog || evs[0].Cat != "info" || evs[0].Name != "plain message" {
+		t.Fatalf("first event = %+v", evs[0])
+	}
+	if evs[1].Cat != "error" || evs[1].Name != "derived message" {
+		t.Fatalf("second event = %+v", evs[1])
+	}
+}

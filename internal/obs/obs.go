@@ -152,6 +152,13 @@ type Recorder struct {
 	hot Hot
 	// times is the worker-time scratch reused across regions.
 	times []int64
+	// lat holds the per-class latency histograms (atomic buckets, not under
+	// mu — ObserveLatency must stay lock-free).
+	lat LatencySet
+	// flight, when set, receives a copy of every closed span — the black-box
+	// ring the crash paths dump. Set once before the run starts (SetFlight);
+	// read without synchronization on the span-close path.
+	flight *FlightRecorder
 }
 
 // histBins: bin b holds buckets whose length has bit-length b (bin 0 = empty
@@ -191,9 +198,56 @@ func (r *Recorder) Reset() {
 	}
 	r.t0 = time.Now()
 	r.mu.Unlock()
+	r.lat.Reset()
 }
 
 func (r *Recorder) since() int64 { return time.Since(r.t0).Nanoseconds() }
+
+// Phases reports the number of phases started so far.
+func (r *Recorder) Phases() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return int(r.phases)
+}
+
+// SetFlight attaches a flight recorder: every span closed from now on is
+// mirrored into the ring. Set before the run starts (the pointer is read
+// unsynchronized on the span-close path); pass nil to detach.
+func (r *Recorder) SetFlight(f *FlightRecorder) {
+	if r == nil {
+		return
+	}
+	r.flight = f
+}
+
+// ObserveLatency records one duration (ns) under latency class c. Lock-free
+// (one atomic add per call) and nil-safe, so kernels may call it per pass.
+func (r *Recorder) ObserveLatency(c Lat, ns int64) {
+	if r == nil {
+		return
+	}
+	r.lat.Observe(c, ns)
+}
+
+// LatencyHist returns class c's histogram for direct Observe/ObserveSince
+// use; nil when disabled.
+func (r *Recorder) LatencyHist(c Lat) *LatencyHist {
+	if r == nil {
+		return nil
+	}
+	return r.lat.Hist(c)
+}
+
+// Latencies snapshots the non-empty latency classes.
+func (r *Recorder) Latencies() []LatencyProfile {
+	if r == nil {
+		return nil
+	}
+	return r.lat.Export()
+}
 
 // Span is a handle to an open timeline interval. The zero Span (returned by
 // the nil recorder) no-ops on End.
@@ -249,7 +303,9 @@ func (s Span) End() {
 	s.r.mu.Lock()
 	sp := &s.r.spans[s.idx]
 	sp.dur = s.r.since() - sp.start
+	cat, name, dur := sp.cat, sp.name, sp.dur
 	s.r.mu.Unlock()
+	s.r.flight.Record(FlightSpan, cat, name, "", dur)
 }
 
 // EndArgs closes the span and attaches two named numeric arguments (shown in
@@ -262,7 +318,9 @@ func (s Span) EndArgs(k1 string, v1 int64, k2 string, v2 int64) {
 	sp := &s.r.spans[s.idx]
 	sp.dur = s.r.since() - sp.start
 	sp.k1, sp.v1, sp.k2, sp.v2 = k1, v1, k2, v2
+	cat, name, dur := sp.cat, sp.name, sp.dur
 	s.r.mu.Unlock()
+	s.r.flight.Record(FlightSpan, cat, name, "", dur)
 }
 
 // Span categories. CatKernel names are the engine's primitives; the
@@ -440,6 +498,7 @@ type Profile struct {
 	Counters    map[string]int64 `json:"counters,omitempty"`
 	BucketHist  []HistBin        `json:"bucket_hist,omitempty"`
 	Regions     []RegionProfile  `json:"regions,omitempty"`
+	Latencies   []LatencyProfile `json:"latencies,omitempty"`
 	Spans       []SpanProfile    `json:"spans,omitempty"`
 }
 
@@ -581,6 +640,7 @@ func (r *Recorder) Export() *Profile {
 		}
 		p.Regions = append(p.Regions, rp)
 	}
+	p.Latencies = r.lat.Export()
 	for i := range r.spans {
 		sp := &r.spans[i]
 		p.Spans = append(p.Spans, SpanProfile{

@@ -251,21 +251,25 @@ type Manifest struct {
 	Levels   []obs.LevelStats    `json:"levels,omitempty"`
 	Warnings []obs.Warning       `json:"warnings,omitempty"`
 	Kernels  []obs.KernelSeconds `json:"kernel_seconds,omitempty"`
+	// Latencies carries the run's per-class latency-histogram snapshots
+	// (quantiles + cumulative buckets), same shape as the Prometheus export.
+	Latencies []obs.LatencyProfile `json:"latencies,omitempty"`
 }
 
 // ManifestFromRun assembles a completed run's manifest.
 func ManifestFromRun(run *Run) *Manifest {
 	sum := run.Summary
 	return &Manifest{
-		Kind:     "run",
-		Time:     time.Now().UTC(),
-		Host:     run.Meta,
-		Graph:    run.Graph,
-		Options:  run.Options,
-		Summary:  &sum,
-		Levels:   run.Levels,
-		Warnings: run.Warnings,
-		Kernels:  kernelsOf(run.Obs),
+		Kind:      "run",
+		Time:      time.Now().UTC(),
+		Host:      run.Meta,
+		Graph:     run.Graph,
+		Options:   run.Options,
+		Summary:   &sum,
+		Levels:    run.Levels,
+		Warnings:  run.Warnings,
+		Kernels:   kernelsOf(run.Obs),
+		Latencies: latenciesOf(run.Obs),
 	}
 }
 
@@ -274,6 +278,13 @@ func kernelsOf(p *obs.Profile) []obs.KernelSeconds {
 		return nil
 	}
 	return p.Kernels
+}
+
+func latenciesOf(p *obs.Profile) []obs.LatencyProfile {
+	if p == nil {
+		return nil
+	}
+	return p.Latencies
 }
 
 // AppendManifest writes m as one compact JSON line at the end of path,
