@@ -1,6 +1,6 @@
 GO      ?= go
 PKGS    ?= ./...
-BENCH   ?= Detect|ParFor|Engine
+BENCH   ?= Detect|ParFor|Engine|Delta
 DATE    := $(shell date +%Y-%m-%d)
 
 # The layers the obs recorder threads through; vet-obs lints them.
@@ -22,7 +22,7 @@ KERNEL_SRC := internal/scoring/*.go internal/matching/*.go internal/contract/*.g
 # vet-obs forbids raw fmt.Fprint*(os.Stderr, ...) here.
 LOG_SRC := cmd/*/*.go internal/harness/*.go
 
-.PHONY: all build test race vet vet-obs telemetry-smoke bench bench-smoke bench-compare bench-engines bench-engines-smoke clean
+.PHONY: all build test race vet vet-obs telemetry-smoke bench bench-smoke bench-compare bench-engines bench-engines-smoke bench-incremental bench-incremental-smoke clean
 
 all: build vet vet-obs test
 
@@ -43,6 +43,11 @@ race:
 	# argument) and the engine hands the PLP scratch across phases.
 	$(GO) test -race -count=2 ./internal/plp/...
 	$(GO) test -race -run 'Engine|Ensemble' ./internal/core/...
+	# The dynamic store's shared mutable surface: overlay readers racing a
+	# concurrent mutator (plus the lazy CSR-mirror rebuild they can trigger),
+	# and the incremental serving loop, at elevated count.
+	$(GO) test -race -count=2 -run 'Overlay|Delta|BuildInto' ./internal/graph/...
+	$(GO) test -race -run 'Incremental' ./internal/core/...
 	$(GO) test -race $(PKGS)
 
 vet:
@@ -81,6 +86,11 @@ vet-obs:
 		echo "vet-obs: raw stderr diagnostic (route through log/slog via obs.NewLogger):"; \
 		echo "$$bad"; exit 1; \
 	fi
+	@bad=$$(grep -rnE '\.(Offsets|Adj|Wgt)\[' --include='*.go' cmd internal | grep -v '^internal/graph/' | grep -v '_test.go'); \
+	if [ -n "$$bad" ]; then \
+		echo "vet-obs: direct CSR field access outside internal/graph (use Degree/Neighbors/RowBounds or the AdjacencyView contract):"; \
+		echo "$$bad"; exit 1; \
+	fi
 
 # End-to-end telemetry check, also a CI step: a real detection serves
 # /metrics/prom and the scrape comes back non-empty with the counter, gauge,
@@ -116,6 +126,32 @@ bench-compare:
 	$(GO) run ./cmd/bench -meta | tee results/BENCH_head.json
 	$(GO) test -run=NONE -bench='$(BENCH)' -benchmem -count=6 -json . | tee -a results/BENCH_head.json
 	$(GO) run ./cmd/benchdiff -threshold 0.05 results/BENCH_baseline.json results/BENCH_head.json
+	$(MAKE) bench-incremental
+
+# The incremental speed gate: run the BENCH_DELTA_MODE-parameterized probe
+# once per recomputation mode (from-scratch Detect after each fold as the
+# baseline stream, seeded DetectIncremental as the head stream, -count=6
+# samples each for the U test) and require incremental re-detection of a 1%
+# hot-set churn batch on the scale-14 R-MAT graph to be Mann-Whitney-
+# significantly >= 3x faster. Modularity rides along in both streams, so the
+# regular regression gate also rejects a significant quality loss.
+bench-incremental:
+	mkdir -p results
+	$(GO) run ./cmd/bench -meta | tee results/DELTA_scratch.json
+	BENCH_DELTA_MODE=scratch $(GO) test -run=NONE -bench='^BenchmarkDeltaDetect$$' -count=6 -json . | tee -a results/DELTA_scratch.json
+	$(GO) run ./cmd/bench -meta | tee results/DELTA_incremental.json
+	BENCH_DELTA_MODE=incremental $(GO) test -run=NONE -bench='^BenchmarkDeltaDetect$$' -count=6 -json . | tee -a results/DELTA_incremental.json
+	$(GO) run ./cmd/benchdiff -require-speedup 3 results/DELTA_scratch.json results/DELTA_incremental.json
+
+# One-iteration delta matrix for CI: exercises both recomputation modes'
+# bench paths and renders the benchdiff table advisory-only.
+bench-incremental-smoke:
+	mkdir -p results
+	$(GO) run ./cmd/bench -meta | tee results/DELTA_scratch_smoke.json
+	BENCH_DELTA_MODE=scratch $(GO) test -run=NONE -bench='^BenchmarkDeltaDetect$$' -benchtime=1x -json . | tee -a results/DELTA_scratch_smoke.json
+	$(GO) run ./cmd/bench -meta | tee results/DELTA_incremental_smoke.json
+	BENCH_DELTA_MODE=incremental $(GO) test -run=NONE -bench='^BenchmarkDeltaDetect$$' -benchtime=1x -json . | tee -a results/DELTA_incremental_smoke.json
+	-$(GO) run ./cmd/benchdiff results/DELTA_scratch_smoke.json results/DELTA_incremental_smoke.json
 
 # The engine speed gate: run the BENCH_ENGINE-parameterized end-to-end
 # detection benchmark once per engine (matching as the baseline stream,

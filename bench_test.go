@@ -30,6 +30,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/graphio"
+	"repro/internal/hierarchy"
 	"repro/internal/matching"
 	"repro/internal/metrics"
 	"repro/internal/par"
@@ -176,6 +177,142 @@ func BenchmarkDetect_Fresh(b *testing.B) {
 	opt.DiscardLevels = true
 	opt.NoScratch = true
 	benchDetectAllocs(b, nil, opt)
+}
+
+// --- dynamic-graph store: delta application and incremental re-detection --
+// The serving-loop benchmarks: a reproducible 1% edge-churn stream replayed
+// against the R-MAT bench graph's overlay, timing (a) raw overlay ingestion,
+// (b) incremental re-detection seeded from the previous dendrogram, and (c)
+// the same churn followed by a from-scratch Detect. `make bench-incremental`
+// runs the BENCH_DELTA_MODE-parameterized probe in both modes and requires
+// incremental to be Mann–Whitney-significantly >= 3x faster via benchdiff.
+
+// benchDeltaBatches pre-generates a deterministic churn stream sized to
+// frac of the graph's edges per batch, confined to a hot set of hubs
+// vertices (0 = uniform). The re-detection benchmarks use the localized
+// stream: that is the bursty regime social graphs serve and the one where
+// dissolving only the dirty communities pays off.
+func benchDeltaBatches(b *testing.B, g *graph.Graph, frac float64, hubs, count int) []*graph.Delta {
+	b.Helper()
+	size := int(float64(g.NumEdges()) * frac)
+	if size < 1 {
+		size = 1
+	}
+	batches, err := gen.Deltas(g, gen.DeltaConfig{
+		Batches: count, BatchSize: size, DeleteFrac: 0.5, MaxWeight: 3, Hubs: hubs, Seed: benchSeed,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return batches
+}
+
+func BenchmarkApplyDelta(b *testing.B) {
+	rmat, _, _ := loadBenchGraphs(b)
+	batches := benchDeltaBatches(b, rmat, 0.01, 0, 64)
+	ov := graph.NewOverlay(4, rmat)
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	var updates int64
+	for i := 0; i < b.N; i++ {
+		batch := batches[i%len(batches)]
+		if err := ov.ApplyDelta(batch); err != nil {
+			b.Fatal(err)
+		}
+		updates += int64(batch.Len())
+		if ov.ShouldCompact() {
+			if _, err := ov.Compact(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if el := time.Since(start).Seconds(); el > 0 {
+		b.ReportMetric(float64(updates)/el, "updates/s")
+	}
+}
+
+// benchIncrementalState bootstraps the chain: a from-scratch detection on
+// the bench graph, wrapped as overlay + dendrogram.
+func benchIncrementalState(b *testing.B, opt core.Options) (*graph.Overlay, *hierarchy.Dendrogram) {
+	b.Helper()
+	rmat, _, _ := loadBenchGraphs(b)
+	res, err := core.Detect(rmat, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dend, err := hierarchy.FromFinal(rmat.NumVertices(), res.CommunityOf, res.NumCommunities)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return graph.NewOverlay(4, rmat), dend
+}
+
+func benchDeltaOptions() core.Options {
+	return core.Options{Threads: 4, DiscardLevels: true}
+}
+
+func BenchmarkDetectIncremental(b *testing.B) {
+	opt := benchDeltaOptions()
+	ov, dend := benchIncrementalState(b, opt)
+	batches := benchDeltaBatches(b, ov.Base(), 0.01, 64, 64)
+	s := core.NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		ir, err := core.DetectIncrementalWith(ov, dend, batches[i%len(batches)], opt, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dend = ir.Dendrogram
+		b.ReportMetric(float64(ir.Graph.NumEdges())/time.Since(start).Seconds(), "edges/s")
+		b.ReportMetric(ir.FinalModularity, "modularity")
+	}
+}
+
+// BenchmarkDeltaDetect is the incremental speed gate's probe: the same 1%
+// churn stream per iteration, with BENCH_DELTA_MODE selecting how the
+// partition is recomputed — "incremental" chains DetectIncrementalWith,
+// "scratch" (the default baseline) folds the batch and re-runs the full
+// Detect on the compacted graph.
+func BenchmarkDeltaDetect(b *testing.B) {
+	mode := os.Getenv("BENCH_DELTA_MODE")
+	if mode == "" {
+		mode = "scratch"
+	}
+	opt := benchDeltaOptions()
+	ov, dend := benchIncrementalState(b, opt)
+	batches := benchDeltaBatches(b, ov.Base(), 0.01, 64, 64)
+	s := core.NewScratch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch := batches[i%len(batches)]
+		switch mode {
+		case "incremental":
+			ir, err := core.DetectIncrementalWith(ov, dend, batch, opt, s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dend = ir.Dendrogram
+			b.ReportMetric(ir.FinalModularity, "modularity")
+		case "scratch":
+			if err := ov.ApplyDelta(batch); err != nil {
+				b.Fatal(err)
+			}
+			g, err := ov.Compact()
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := core.DetectWith(g, opt, s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.FinalModularity, "modularity")
+		default:
+			b.Fatalf("unknown BENCH_DELTA_MODE %q", mode)
+		}
+	}
 }
 
 // --- Table II: graph generation pipelines -------------------------------

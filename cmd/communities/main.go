@@ -9,6 +9,7 @@
 //	communities -gen lj -n 100000 -coverage 0.5 -refine
 //	communities -in soc-LiveJournal1.txt -format edgelist -out comm.txt
 //	communities -gen web -n 200000 -scorer conductance -kernels edgesweep,listchase
+//	communities -gen rmat -scale 14 -updates churn.cdgu
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"os"
 	"os/signal"
@@ -28,6 +30,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/graphio"
 	"repro/internal/harness"
+	"repro/internal/hierarchy"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/refine"
@@ -57,6 +60,8 @@ func main() {
 		refinePh = flag.Bool("refine-phases", false, "refine after every contraction phase (slower, better quality)")
 		maxSize  = flag.Int64("max-size", 0, "forbid communities larger than this many vertices (0 = none)")
 		compare  = flag.Bool("compare", false, "also run the sequential CNM and Louvain baselines")
+		updates  = flag.String("updates", "",
+			"after the initial detection, replay this cdgu edge-update stream (see genrmat -deltas) with incremental re-detection per batch")
 		outPath  = flag.String("out", "", "write vertex→community assignment to this file")
 		jsonPath = flag.String("json", "", "write a machine-readable JSON run report to this file")
 		verbose  = flag.Bool("v", false, "print per-phase statistics")
@@ -204,6 +209,17 @@ func main() {
 	fmt.Printf("rate: %.3g input edges/second\n", float64(g.NumEdges())/elapsed.Seconds())
 	fmt.Println("quality:", metrics.Evaluate(*threads, g, res.CommunityOf, res.NumCommunities))
 
+	if *updates != "" && !canceled {
+		ng, nres, err := streamUpdates(ctx, *updates, g, res, opt, *threads)
+		if err != nil {
+			fatal(err)
+		}
+		if nres != res {
+			g, res = ng, nres
+			fmt.Println("final quality:", metrics.Evaluate(*threads, g, res.CommunityOf, res.NumCommunities))
+		}
+	}
+
 	comm, k := res.CommunityOf, res.NumCommunities
 	if *doRefine && !canceled {
 		rres, err := refine.Refine(g, comm, k, refine.Options{Threads: *threads})
@@ -279,6 +295,69 @@ func main() {
 		}
 		fmt.Printf("wrote Chrome trace to %s (load in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
 	}
+}
+
+// streamUpdates replays a cdgu edge-update stream against the detected
+// partition: each batch folds into a two-tier overlay over g and re-detects
+// incrementally, chaining the dendrogram so only batch-incident communities
+// are re-agglomerated. It returns the final base graph and detection result
+// so downstream reporting (-refine, -out, -json) describes the post-stream
+// state; with zero batches the inputs come back unchanged.
+func streamUpdates(ctx context.Context, path string, g *graph.Graph, res *core.Result, opt core.Options, threads int) (*graph.Graph, *core.Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	sc, err := graphio.NewDeltaScanner(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	if sc.NumVertices() != g.NumVertices() {
+		return nil, nil, fmt.Errorf("update stream %s is for %d vertices, graph has %d",
+			path, sc.NumVertices(), g.NumVertices())
+	}
+	dend, err := hierarchy.FromFinal(g.NumVertices(), res.CommunityOf, res.NumCommunities)
+	if err != nil {
+		return nil, nil, err
+	}
+	ov := graph.NewOverlay(threads, g)
+	scratch := core.NewScratch()
+	cur, curRes := g, res
+	batches := 0
+	start := time.Now()
+	for {
+		d, err := sc.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		t0 := time.Now()
+		ir, err := core.DetectIncrementalWithContext(ctx, ov, dend, d, opt, scratch)
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				slog.Warn("interrupted mid-stream; reporting last completed batch", "batches", batches)
+				break
+			}
+			return nil, nil, err
+		}
+		dend = ir.Dendrogram
+		cur, curRes = ir.Graph, ir.Result
+		batches++
+		fmt.Printf("batch %4d: %6d updates  dissolved %d/%d communities (%d vertices)  -> %d communities  modularity %.4f  %v\n",
+			d.Version, d.Len(), ir.DirtyCommunities, ir.PrevCommunities, ir.DissolvedVertices,
+			ir.NumCommunities, ir.FinalModularity, time.Since(t0).Round(time.Microsecond))
+	}
+	if batches == 0 {
+		return g, res, nil
+	}
+	fmt.Printf("stream: %d batches in %v, base now |V|=%d |E|=%d\n",
+		batches, time.Since(start).Round(time.Millisecond), cur.NumVertices(), cur.NumEdges())
+	// The final base is overlay-owned (recycled two compactions out); clone it
+	// so the caller's reporting outlives the overlay.
+	return cur.Clone(), curRes, nil
 }
 
 func loadGraph(inPath, format, genName string, scale int, n int64, seed uint64, threads int) (*graph.Graph, error) {

@@ -35,6 +35,13 @@ func main() {
 		out     = flag.String("o", "", "output file (default stdout)")
 		format  = flag.String("format", "edgelist", "output format: edgelist | binary | metis")
 		truthF  = flag.String("truth", "", "write ground-truth labels to this file (lj, web, sbm)")
+
+		deltas    = flag.Int("deltas", 0, "also emit this many versioned edge-update batches (see -deltas-out)")
+		deltasOut = flag.String("deltas-out", "", "update-stream output file (required with -deltas)")
+		deltaSize = flag.Int("delta-size", 0, "updates per batch (default 1% of the graph's edges)")
+		deltaDel  = flag.Float64("delta-del", 0.5, "fraction of updates that delete a live edge")
+		deltaHubs = flag.Int("delta-hubs", 0, "confine the churn to a fixed hot set of this many vertices (0 = uniform)")
+		deltaMaxW = flag.Int64("delta-maxw", 3, "maximum insert weight")
 	)
 	flag.Parse()
 
@@ -111,6 +118,61 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *deltas > 0 {
+		if err := writeDeltaStream(g, deltaStreamConfig{
+			Path: *deltasOut, Batches: *deltas, BatchSize: *deltaSize,
+			DeleteFrac: *deltaDel, Hubs: *deltaHubs, MaxWeight: *deltaMaxW, Seed: *seed,
+		}); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// deltaStreamConfig carries the -delta* flags into the stream writer.
+type deltaStreamConfig struct {
+	Path       string
+	Batches    int
+	BatchSize  int
+	DeleteFrac float64
+	Hubs       int
+	MaxWeight  int64
+	Seed       uint64
+}
+
+// writeDeltaStream generates a reproducible churn stream against g and
+// writes it in the cdgu update format, so incremental benchmarks replay the
+// exact same batches.
+func writeDeltaStream(g *graph.Graph, cfg deltaStreamConfig) error {
+	if cfg.Path == "" {
+		return fmt.Errorf("-deltas requires -deltas-out FILE")
+	}
+	size := cfg.BatchSize
+	if size <= 0 {
+		size = int(g.NumEdges() / 100)
+		if size < 1 {
+			size = 1
+		}
+	}
+	batches, err := gen.Deltas(g, gen.DeltaConfig{
+		Batches: cfg.Batches, BatchSize: size, DeleteFrac: cfg.DeleteFrac,
+		MaxWeight: cfg.MaxWeight, Hubs: cfg.Hubs, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(cfg.Path)
+	if err != nil {
+		return err
+	}
+	if err := graphio.WriteDeltas(f, g.NumVertices(), batches); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	slog.Info("wrote update stream", "file", cfg.Path, "batches", cfg.Batches, "batch_size", size)
+	return nil
 }
 
 // parseBlocks parses "COUNTxSIZE" into a block-size slice.

@@ -217,6 +217,64 @@ func WriteCommunities(w io.Writer, comm []int64) error {
 	return graphio.WriteCommunities(w, comm)
 }
 
+// Dynamic graph store (DESIGN.md §14): an immutable base graph plus a
+// mutable delta overlay, with incremental re-detection seeded from the
+// previous run's hierarchy.
+type (
+	// Delta is one versioned batch of edge updates.
+	Delta = graph.Delta
+	// Update is a single insert or delete inside a Delta.
+	Update = graph.Update
+	// Overlay is the mutable tier over an immutable base Graph.
+	Overlay = graph.Overlay
+	// OverlayStats counts the update traffic an overlay has absorbed.
+	OverlayStats = graph.OverlayStats
+	// IncrementalResult is one incremental re-detection's output: a
+	// Result plus the dendrogram and base graph chaining into the next
+	// batch, and the dissolution counters.
+	IncrementalResult = core.IncrementalResult
+	// DeltaConfig parameterizes the churn-stream generator.
+	DeltaConfig = gen.DeltaConfig
+	// DeltaScanner streams cdgu update batches from a reader.
+	DeltaScanner = graphio.DeltaScanner
+)
+
+// NewOverlay wraps base in a mutable overlay using p workers (0 = all).
+// The overlay never mutates base.
+func NewOverlay(p int, base *Graph) *Overlay { return graph.NewOverlay(p, base) }
+
+// DetectIncremental applies batch to the overlay, compacts it, and
+// re-detects from prev's final partition with only the batch-incident
+// communities dissolved. Requires EngineMatching. DetectIncrementalWith
+// reuses a Scratch arena across batches (steady state allocates nothing);
+// DetectIncrementalWithContext adds cancellation.
+func DetectIncremental(ov *Overlay, prev *Dendrogram, batch *Delta, opt Options) (*IncrementalResult, error) {
+	return core.DetectIncremental(ov, prev, batch, opt)
+}
+
+// DetectIncrementalWith is DetectIncremental reusing s's buffers.
+func DetectIncrementalWith(ov *Overlay, prev *Dendrogram, batch *Delta, opt Options, s *Scratch) (*IncrementalResult, error) {
+	return core.DetectIncrementalWith(ov, prev, batch, opt, s)
+}
+
+// DetectIncrementalWithContext combines arena reuse with cancellation.
+func DetectIncrementalWithContext(ctx context.Context, ov *Overlay, prev *Dendrogram, batch *Delta, opt Options, s *Scratch) (*IncrementalResult, error) {
+	return core.DetectIncrementalWithContext(ctx, ov, prev, batch, opt, s)
+}
+
+// GenDeltas samples a reproducible churn stream against a live graph; see
+// DeltaConfig (Hubs confines the churn to a fixed hot set).
+func GenDeltas(g *Graph, cfg DeltaConfig) ([]*Delta, error) { return gen.Deltas(g, cfg) }
+
+// Update-stream I/O in the cdgu text format.
+func WriteDeltas(w io.Writer, numVertices int64, batches []*Delta) error {
+	return graphio.WriteDeltas(w, numVertices, batches)
+}
+func ReadDeltas(r io.Reader) (int64, []*Delta, error) { return graphio.ReadDeltas(r) }
+func NewDeltaScanner(r io.Reader) (*DeltaScanner, error) {
+	return graphio.NewDeltaScanner(r)
+}
+
 // Quality metrics.
 type QualitySummary = metrics.Summary
 

@@ -355,7 +355,7 @@ func DetectWithContext(ctx context.Context, g *graph.Graph, opt Options, s *Scra
 	}
 	ec := exec.Acquire(ctx, opt.Threads, opt.Recorder)
 	defer ec.Release()
-	return detect(ec, g, opt, s)
+	return detect(ec, g, opt, s, nil)
 }
 
 // DetectExec is the lowest-level entry point: the caller owns ec (its
@@ -366,7 +366,7 @@ func DetectExec(ec *exec.Ctx, g *graph.Graph, opt Options, s *Scratch) (*Result,
 	if err := validateOptions(g, opt); err != nil {
 		return nil, err
 	}
-	return detect(ec, g, opt, s)
+	return detect(ec, g, opt, s, nil)
 }
 
 func validateOptions(g *graph.Graph, opt Options) error {
@@ -403,7 +403,12 @@ func validateOptions(g *graph.Graph, opt Options) error {
 	return nil
 }
 
-func detect(ec *exec.Ctx, g *graph.Graph, opt Options, s *Scratch) (*Result, error) {
+// detect is the single inner engine. A non-nil seed (incremental
+// re-detection) replaces the identity starting partition: the run opens by
+// contracting g under the seed mapping and the matching loop continues from
+// the resulting community graph. Seeded runs use the matching engine only
+// (enforced by DetectIncremental).
+func detect(ec *exec.Ctx, g *graph.Graph, opt Options, s *Scratch, seed *seedPartition) (*Result, error) {
 	if opt.NoScratch {
 		s = nil
 	}
@@ -443,7 +448,17 @@ func detect(ec *exec.Ctx, g *graph.Graph, opt Options, s *Scratch) (*Result, err
 	start := time.Now()
 	n := g.NumVertices()
 	comm := make([]int64, n)
-	if ec.Serial(int(n)) {
+	if seed != nil {
+		// The starting partition is the seed assignment, not singletons.
+		sc := seed.comm
+		if ec.Serial(int(n)) {
+			copy(comm, sc)
+		} else {
+			ec.For(int(n), func(lo, hi int) {
+				copy(comm[lo:hi], sc[lo:hi])
+			})
+		}
+	} else if ec.Serial(int(n)) {
 		for i := range comm {
 			comm[i] = int64(i)
 		}
@@ -654,6 +669,92 @@ func detect(ec *exec.Ctx, g *graph.Graph, opt Options, s *Scratch) (*Result, err
 		if opt.Engine == EnginePLP {
 			return finish(TermPLPConverged, nil, cg, sizes)
 		}
+		phaseStart = 1
+	}
+
+	// Seed stage (incremental re-detection, mutually exclusive with the
+	// engine stage above): contract the input by the seed partition — the
+	// previous run's communities with the batch-dirty ones dissolved to
+	// singletons — so the matching loop re-agglomerates only the dissolved
+	// region against the frozen remainder. The stage consumes phase 0; the
+	// loop continues from phase 1 so the ping-pong buffer parity works out.
+	if seed != nil {
+		if err := ec.Err(); err != nil {
+			res, _ := finish(TermCanceled, nil, cg, sizes)
+			return res, fmt.Errorf("core: canceled before seed contraction: %w", err)
+		}
+		rec.SetKernel("contract")
+		cSpan := rec.Begin(obs.CatKernel, "contract", -1)
+		t0 := time.Now()
+		layout := contract.Contiguous
+		if opt.Contraction == ContractBucketNonContiguous {
+			layout = contract.NonContiguous
+		}
+		var cs *contract.Scratch
+		var dst *graph.Graph
+		if s != nil {
+			cs = &s.contract
+			// Buffer 0: the loop starts at phase 1 and its first contraction
+			// writes s.graphBuf(1), so reading buffer 0 is safe.
+			dst = s.graphBuf(0)
+		}
+		ng := contract.ByMappingWith(ec, g, seed.comm, seed.k, layout, cs, dst)
+		contractTime := time.Since(t0)
+		rec.ObserveLatency(obs.LatContract, contractTime.Nanoseconds())
+		cSpan.EndArgs("vertices", seed.k, "edges", ng.NumEdges())
+		if opt.Validate {
+			if err := ng.Validate(); err != nil {
+				return nil, fmt.Errorf("core: seed contraction: %w", err)
+			}
+			if ng.TotalWeight(p) != totW {
+				return nil, fmt.Errorf("core: seed contraction changed total weight %d -> %d",
+					totW, ng.TotalWeight(p))
+			}
+		}
+		sizes, sizesIdx = rollupSizes(ec, s, sizes, sizesIdx, seed.comm, int(seed.k))
+		// The seed partition's quality, evaluated on its community graph,
+		// anchors the metric trajectory of the incremental levels.
+		var deg0 []int64
+		if s != nil {
+			deg0 = ng.WeightedDegreesInto(p, s.deg)
+			s.deg = deg0
+		} else {
+			deg0 = ng.WeightedDegrees(p)
+		}
+		cov0 := coverage(ec, ng, totW)
+		mod0 := modularityOf(ec, ng, deg0, totW)
+		maxBucket := g.MaxBucketLen()
+		res.Stats = append(res.Stats, PhaseStats{
+			Phase:        0,
+			Vertices:     n,
+			Edges:        g.NumEdges(),
+			Coverage:     cov0,
+			Modularity:   mod0,
+			MatchedPairs: n - seed.k, // merged vertices: the kept communities
+			ContractTime: contractTime,
+			MaxBucketLen: maxBucket,
+		})
+		if opt.Ledger.Enabled() {
+			opt.Ledger.Record(obs.LevelStats{
+				Stage:           obs.StageIncremental,
+				Level:           0,
+				Vertices:        n,
+				Edges:           g.NumEdges(),
+				OutVertices:     seed.k,
+				OutEdges:        ng.NumEdges(),
+				Metric:          mod0,
+				Coverage:        cov0,
+				SizeHist:        obs.SizeHistogram(sizes),
+				MaxBucketLen:    maxBucket,
+				Dissolved:       seed.dissolved,
+				PrevCommunities: seed.prevK,
+			})
+		}
+		if !opt.DiscardLevels {
+			// A copy: seed.comm aliases the caller's (or the arena's) buffer.
+			res.Levels = append(res.Levels, append([]int64(nil), seed.comm...))
+		}
+		cg = ng
 		phaseStart = 1
 	}
 

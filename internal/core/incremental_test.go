@@ -1,0 +1,291 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/hierarchy"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/seq"
+)
+
+// bootstrapIncremental runs a from-scratch detection on g and wraps the
+// state (overlay + dendrogram) an incremental chain starts from.
+func bootstrapIncremental(t *testing.T, g *graph.Graph, opt Options) (*graph.Overlay, *hierarchy.Dendrogram) {
+	t.Helper()
+	res, err := Detect(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := hierarchy.FromFinal(g.NumVertices(), res.CommunityOf, res.NumCommunities)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return graph.NewOverlay(opt.Threads, g), d
+}
+
+// randomBatch fills d with churn updates: inserts between random vertices
+// and deletes sampled from the live edges of ref.
+func randomBatch(r *par.RNG, ref *graph.Graph, size int, version uint64) *graph.Delta {
+	n := ref.NumVertices()
+	edges := ref.Edges()
+	d := &graph.Delta{Version: version}
+	for i := 0; i < size; i++ {
+		if r.Intn(2) == 0 && len(edges) > 0 {
+			e := edges[r.Intn(len(edges))]
+			d.Delete(e.U, e.V)
+		} else {
+			d.Insert(r.Int63n(n), r.Int63n(n), r.Int63n(3)+1)
+		}
+	}
+	return d
+}
+
+func TestDetectIncrementalMatchesScratchDetection(t *testing.T) {
+	g := gen.CliqueChain(24, 8)
+	opt := Options{Threads: 2}
+	ov, dend := bootstrapIncremental(t, g, opt)
+	r := par.NewRNG(42)
+	for round := 0; round < 8; round++ {
+		batch := randomBatch(r, ov.Base(), 12, uint64(round+1))
+		ir, err := DetectIncremental(ov, dend, batch, opt)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		dend = ir.Dendrogram
+
+		// From-scratch on the same compacted graph must agree within the
+		// engine tolerance. The incremental run may be on either side of the
+		// scratch run (both are greedy heuristics), so compare magnitudes.
+		scratch, err := Detect(ir.Graph, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := scratch.FinalModularity - ir.FinalModularity; diff > engineTolerance {
+			t.Fatalf("round %d: incremental modularity %.4f vs scratch %.4f (diff %.4f > %v)",
+				round, ir.FinalModularity, scratch.FinalModularity, diff, engineTolerance)
+		}
+		if ir.NumCommunities <= 0 || ir.NumCommunities > ir.Graph.NumVertices() {
+			t.Fatalf("round %d: %d communities of %d vertices", round, ir.NumCommunities, ir.Graph.NumVertices())
+		}
+		// The chained dendrogram must reproduce the result's partition.
+		comm, k := dend.Final()
+		if k != ir.NumCommunities {
+			t.Fatalf("round %d: dendrogram k=%d, result %d", round, k, ir.NumCommunities)
+		}
+		for v := range comm {
+			if comm[v] != ir.CommunityOf[v] {
+				t.Fatalf("round %d: dendrogram and result disagree at vertex %d", round, v)
+			}
+		}
+	}
+}
+
+func TestDetectIncrementalAgainstSeqOracle(t *testing.T) {
+	g := gen.CliqueChain(20, 6)
+	opt := Options{Threads: 2}
+	ov, dend := bootstrapIncremental(t, g, opt)
+	r := par.NewRNG(7)
+	for round := 0; round < 5; round++ {
+		batch := randomBatch(r, ov.Base(), 10, uint64(round+1))
+		ir, err := DetectIncremental(ov, dend, batch, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dend = ir.Dendrogram
+		oracle := seq.Detect(ir.Graph, seq.Options{})
+		if ir.FinalModularity < oracle.Modularity-engineTolerance {
+			t.Fatalf("round %d: incremental modularity %.4f below seq oracle %.4f - %v",
+				round, ir.FinalModularity, oracle.Modularity, engineTolerance)
+		}
+	}
+}
+
+func TestDetectIncrementalValidatedRun(t *testing.T) {
+	// Full invariant checking through the seed contraction and every phase.
+	g := gen.CliqueChain(16, 6)
+	opt := Options{Threads: 2, Validate: true}
+	ov, dend := bootstrapIncremental(t, g, opt)
+	batch := &graph.Delta{Version: 1}
+	batch.Insert(0, g.NumVertices()-1, 2)
+	batch.Delete(0, 1)
+	batch.Insert(3, 3, 1)
+	if _, err := DetectIncremental(ov, dend, batch, opt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectIncrementalRejectsBadInputs(t *testing.T) {
+	g := gen.CliqueChain(8, 4)
+	opt := Options{Threads: 1}
+	ov, dend := bootstrapIncremental(t, g, opt)
+	batch := &graph.Delta{Version: 1}
+	batch.Insert(0, 1, 1)
+	if _, err := DetectIncremental(nil, dend, batch, opt); err == nil {
+		t.Fatal("nil overlay accepted")
+	}
+	if _, err := DetectIncremental(ov, nil, batch, opt); err == nil {
+		t.Fatal("nil dendrogram accepted")
+	}
+	if _, err := DetectIncremental(ov, dend, nil, opt); err == nil {
+		t.Fatal("nil batch accepted")
+	}
+	plpOpt := opt
+	plpOpt.Engine = EnginePLP
+	if _, err := DetectIncremental(ov, dend, batch, plpOpt); err == nil {
+		t.Fatal("PLP engine accepted for incremental re-detection")
+	}
+}
+
+func TestDetectIncrementalLedgerStageAndStorm(t *testing.T) {
+	g := gen.CliqueChain(12, 6)
+	opt := Options{Threads: 1, Ledger: obs.NewLedger()}
+	ov, dend := bootstrapIncremental(t, g, opt)
+
+	// A one-edge batch dirties at most two communities — no storm.
+	small := &graph.Delta{Version: 1}
+	small.Insert(0, g.NumVertices()-1, 1)
+	ir, err := DetectIncremental(ov, dend, small, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := opt.Ledger.Levels()
+	if len(rows) == 0 || obs.StageOf(rows[0]) != obs.StageIncremental {
+		t.Fatalf("first ledger row stage = %q, want %q", rows[0].Stage, obs.StageIncremental)
+	}
+	if rows[0].PrevCommunities == 0 || rows[0].Dissolved == 0 {
+		t.Fatalf("incremental row missing seed counters: %+v", rows[0])
+	}
+	for _, w := range opt.Ledger.Warnings() {
+		if w.Code == obs.WarnDissolveStorm {
+			t.Fatalf("small batch flagged a dissolve storm: %+v", w)
+		}
+	}
+
+	// A batch touching every vertex dissolves every community — storm.
+	dend = ir.Dendrogram
+	n := ov.NumVertices()
+	storm := &graph.Delta{Version: 2}
+	for v := int64(0); v+1 < n; v += 2 {
+		storm.Insert(v, v+1, 1)
+	}
+	if _, err := DetectIncremental(ov, dend, storm, opt); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, w := range opt.Ledger.Warnings() {
+		if w.Code == obs.WarnDissolveStorm {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("full-churn batch did not flag %s; warnings: %+v",
+			obs.WarnDissolveStorm, opt.Ledger.Warnings())
+	}
+}
+
+// TestIncrementalSoak runs a 50-batch churn stream through two fully
+// independent dynamic implementations — the overlay + seeded parallel engine
+// on one side, seq.ApplyDelta + from-scratch sequential detection on the
+// other — and asserts after every batch that (a) the two graph states are
+// identical edge-for-edge and (b) the incremental modularity stays within
+// engineTolerance of the oracle's.
+func TestIncrementalSoak(t *testing.T) {
+	g := gen.CliqueChain(24, 8)
+	batches, err := gen.Deltas(g, gen.DeltaConfig{
+		Batches: 50, BatchSize: 10, DeleteFrac: 0.45, MaxWeight: 3, Seed: 1234,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Threads: 2}
+	ov, dend := bootstrapIncremental(t, g, opt)
+	oracleG := g
+	s := NewScratch()
+	for i, batch := range batches {
+		ir, err := DetectIncrementalWith(ov, dend, batch, opt, s)
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		dend = ir.Dendrogram
+		var oracle *seq.Result
+		oracleG, oracle, err = seq.Redetect(oracleG, batch, seq.Options{})
+		if err != nil {
+			t.Fatalf("batch %d oracle: %v", i, err)
+		}
+		assertSameGraph(t, i, ir.Graph, oracleG)
+		if ir.FinalModularity < oracle.Modularity-engineTolerance {
+			t.Fatalf("batch %d: incremental modularity %.4f below oracle %.4f - %v",
+				i, ir.FinalModularity, oracle.Modularity, engineTolerance)
+		}
+	}
+}
+
+// assertSameGraph compares two graphs as weighted edge multisets plus
+// self-loop arrays, independent of storage order.
+func assertSameGraph(t *testing.T, round int, a, b *graph.Graph) {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("round %d: shape (%d,%d) vs (%d,%d)", round,
+			a.NumVertices(), a.NumEdges(), b.NumVertices(), b.NumEdges())
+	}
+	collect := func(g *graph.Graph) map[[2]int64]int64 {
+		m := map[[2]int64]int64{}
+		g.ForEachEdge(func(_ int64, u, v, w int64) {
+			first, second := graph.StoredOrder(u, v)
+			m[[2]int64{first, second}] += w
+		})
+		return m
+	}
+	am, bm := collect(a), collect(b)
+	if len(am) != len(bm) {
+		t.Fatalf("round %d: %d distinct edges vs %d", round, len(am), len(bm))
+	}
+	for k, w := range am {
+		if bm[k] != w {
+			t.Fatalf("round %d: edge {%d,%d} weight %d vs %d", round, k[0], k[1], w, bm[k])
+		}
+	}
+	for x := int64(0); x < a.NumVertices(); x++ {
+		if a.Self[x] != b.Self[x] {
+			t.Fatalf("round %d: self-loop at %d: %d vs %d", round, x, a.Self[x], b.Self[x])
+		}
+	}
+}
+
+// TestIncrementalSteadyStateAllocs pins the zero-alloc invariant for the
+// serving loop: batch after batch through one warm arena, the whole
+// ApplyDelta → Compact → seeded-detect chain must stay at a small constant
+// allocation count (the Result envelope, the chaining dendrogram, and the
+// overlay's map traffic), not O(n) or O(phases).
+func TestIncrementalSteadyStateAllocs(t *testing.T) {
+	g := gen.CliqueChain(32, 8)
+	opt := Options{Threads: 1, DiscardLevels: true}
+	ov, dend := bootstrapIncremental(t, g, opt)
+	s := NewScratch()
+	r := par.NewRNG(3)
+	version := uint64(0)
+	run := func() {
+		version++
+		n := ov.NumVertices()
+		batch := &graph.Delta{Version: version}
+		for i := 0; i < 8; i++ {
+			batch.Insert(r.Int63n(n), r.Int63n(n), 1)
+			batch.Delete(r.Int63n(n), r.Int63n(n))
+		}
+		ir, err := DetectIncrementalWith(ov, dend, batch, opt, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dend = ir.Dendrogram
+	}
+	for i := 0; i < 10; i++ {
+		run() // warm the arena, the overlay freelists, and the spare graphs
+	}
+	allocs := testing.AllocsPerRun(10, run)
+	if allocs > 48 {
+		t.Fatalf("steady-state incremental run allocates %.1f times, want a small constant", allocs)
+	}
+}

@@ -49,6 +49,12 @@ type Scratch struct {
 	// worklist arrays, histogram stripes), used by EnginePLP/EngineEnsemble.
 	plp plp.Scratch
 	cg  [2]*graph.Graph
+	// Incremental re-detection working set (DetectIncrementalWith): the
+	// per-previous-community dirty flags and id remap, and the dense seed
+	// partition handed to the engine's seed stage.
+	dirty    []bool
+	remap    []int64
+	seedComm []int64
 }
 
 // NewScratch returns an empty arena; buffers are allocated on first use.

@@ -1,0 +1,153 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// DeltaConfig configures a random edge-update stream for incremental
+// benchmarks. The stream is deterministic in Seed, so a written file (see
+// graphio.WriteDeltas) reproduces exactly.
+type DeltaConfig struct {
+	// Batches is the number of delta batches to generate.
+	Batches int
+	// BatchSize is the number of updates per batch.
+	BatchSize int
+	// DeleteFrac is the fraction of updates that delete an existing edge;
+	// the rest insert. Deletes sample the live edge set as it evolves, so
+	// every delete hits a real edge (the interesting case for the overlay).
+	DeleteFrac float64
+	// MaxWeight bounds insert weights, drawn uniformly from [1, MaxWeight];
+	// 0 means 1.
+	MaxWeight int64
+	// Hubs, when positive, confines the churn to a fixed hot set of that
+	// many vertices sampled from the graph: inserts connect two hot
+	// vertices, deletes remove live edges between hot vertices. This models
+	// the bursty, localized update streams social graphs see — the regime
+	// where incremental re-detection wins — while 0 spreads the churn
+	// uniformly over the whole graph.
+	Hubs int
+	// Seed drives the stream's RNG.
+	Seed uint64
+}
+
+// Deltas generates cfg.Batches coherent update batches against g: inserts
+// connect uniformly random endpoints (occasionally a self-loop), deletes
+// remove edges that are live at that point in the stream — the original
+// graph's edges and earlier inserts both qualify, so replaying the stream
+// against an overlay of g exercises base-edge tombstones, patch-edge
+// removal, and resurrection. Versions are the 1-based batch indexes.
+func Deltas(g *graph.Graph, cfg DeltaConfig) ([]*graph.Delta, error) {
+	n := g.NumVertices()
+	if n < 1 {
+		return nil, fmt.Errorf("gen: delta stream needs at least 1 vertex")
+	}
+	if cfg.Batches < 0 || cfg.BatchSize <= 0 {
+		return nil, fmt.Errorf("gen: bad delta stream shape: %d batches of %d", cfg.Batches, cfg.BatchSize)
+	}
+	if cfg.DeleteFrac < 0 || cfg.DeleteFrac > 1 {
+		return nil, fmt.Errorf("gen: DeleteFrac %v outside [0,1]", cfg.DeleteFrac)
+	}
+	if cfg.Hubs < 0 || int64(cfg.Hubs) > n {
+		return nil, fmt.Errorf("gen: hot set of %d vertices out of %d", cfg.Hubs, n)
+	}
+	maxW := cfg.MaxWeight
+	if maxW <= 0 {
+		maxW = 1
+	}
+	r := par.NewRNG(cfg.Seed)
+
+	// The live edge set, maintained as updates apply: a slice for uniform
+	// sampling plus an index map for swap-removal and membership checks.
+	type ekey [2]int64
+	key := func(u, v int64) ekey {
+		if u > v {
+			u, v = v, u
+		}
+		return ekey{u, v}
+	}
+	live := g.Edges()
+	idx := make(map[ekey]int, len(live))
+	for i, e := range live {
+		idx[key(e.U, e.V)] = i
+	}
+	remove := func(i int) {
+		e := live[i]
+		delete(idx, key(e.U, e.V))
+		last := len(live) - 1
+		if i != last {
+			live[i] = live[last]
+			idx[key(live[i].U, live[i].V)] = i
+		}
+		live = live[:last]
+	}
+
+	// The fixed hot set, when locality is on: a uniform sample without
+	// replacement. Endpoints draw from it instead of the whole graph.
+	var hot []int64
+	if cfg.Hubs > 0 {
+		seen := make(map[int64]bool, cfg.Hubs)
+		for len(hot) < cfg.Hubs {
+			v := r.Int63n(n)
+			if !seen[v] {
+				seen[v] = true
+				hot = append(hot, v)
+			}
+		}
+	}
+	pick := func() int64 {
+		if hot != nil {
+			return hot[r.Intn(len(hot))]
+		}
+		return r.Int63n(n)
+	}
+
+	batches := make([]*graph.Delta, 0, cfg.Batches)
+	for b := 0; b < cfg.Batches; b++ {
+		d := &graph.Delta{Version: uint64(b + 1)}
+		for i := 0; i < cfg.BatchSize; i++ {
+			if r.Float64() < cfg.DeleteFrac {
+				if hot == nil && len(live) > 0 {
+					j := r.Intn(len(live))
+					e := live[j]
+					d.Delete(e.U, e.V)
+					remove(j)
+					continue
+				}
+				if hot != nil {
+					// Probe for a live hot-pair edge; inserts below keep the
+					// pool stocked, so a handful of probes nearly always hits.
+					deleted := false
+					for probe := 0; probe < 8; probe++ {
+						u, v := pick(), pick()
+						if u == v {
+							continue
+						}
+						if j, ok := idx[key(u, v)]; ok {
+							d.Delete(u, v)
+							remove(j)
+							deleted = true
+							break
+						}
+					}
+					if deleted {
+						continue
+					}
+				}
+			}
+			u, v := pick(), pick()
+			w := r.Int63n(maxW) + 1
+			d.Insert(u, v, w)
+			if u != v {
+				if _, ok := idx[key(u, v)]; !ok {
+					idx[key(u, v)] = len(live)
+					live = append(live, graph.Edge{U: u, V: v, W: w})
+				}
+			}
+		}
+		batches = append(batches, d)
+	}
+	return batches, nil
+}

@@ -1,0 +1,96 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestDeltasValidates(t *testing.T) {
+	g := CliqueChain(4, 4)
+	if _, err := Deltas(g, DeltaConfig{Batches: 1, BatchSize: 0}); err == nil {
+		t.Fatal("zero batch size accepted")
+	}
+	if _, err := Deltas(g, DeltaConfig{Batches: -1, BatchSize: 4}); err == nil {
+		t.Fatal("negative batch count accepted")
+	}
+	if _, err := Deltas(g, DeltaConfig{Batches: 1, BatchSize: 4, DeleteFrac: 1.5}); err == nil {
+		t.Fatal("DeleteFrac above 1 accepted")
+	}
+}
+
+func TestDeltasDeterministicAndWellFormed(t *testing.T) {
+	g := CliqueChain(8, 6)
+	cfg := DeltaConfig{Batches: 6, BatchSize: 15, DeleteFrac: 0.5, MaxWeight: 4, Seed: 99}
+	a, err := Deltas(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Deltas(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != cfg.Batches {
+		t.Fatalf("%d batches, want %d", len(a), cfg.Batches)
+	}
+	for i := range a {
+		if a[i].Version != uint64(i+1) {
+			t.Fatalf("batch %d version %d, want %d", i, a[i].Version, i+1)
+		}
+		if a[i].Len() != cfg.BatchSize {
+			t.Fatalf("batch %d has %d updates, want %d", i, a[i].Len(), cfg.BatchSize)
+		}
+		if err := a[i].Validate(g.NumVertices()); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		if len(a[i].Updates) != len(b[i].Updates) {
+			t.Fatalf("batch %d not deterministic in length", i)
+		}
+		for j := range a[i].Updates {
+			if a[i].Updates[j] != b[i].Updates[j] {
+				t.Fatalf("batch %d update %d differs across runs", i, j)
+			}
+		}
+	}
+}
+
+// TestDeltasDeletesHitLiveEdges replays the stream against a reference edge
+// multiset and checks every delete names an edge that is live at that point
+// — the generator's coherence contract.
+func TestDeltasDeletesHitLiveEdges(t *testing.T) {
+	g := CliqueChain(6, 5)
+	batches, err := Deltas(g, DeltaConfig{Batches: 8, BatchSize: 12, DeleteFrac: 0.6, MaxWeight: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func(u, v int64) [2]int64 {
+		if u > v {
+			u, v = v, u
+		}
+		return [2]int64{u, v}
+	}
+	live := map[[2]int64]bool{}
+	for _, e := range g.Edges() {
+		live[key(e.U, e.V)] = true
+	}
+	deletes := 0
+	for _, d := range batches {
+		for _, up := range d.Updates {
+			switch up.Op {
+			case graph.OpInsert:
+				if up.U != up.V {
+					live[key(up.U, up.V)] = true
+				}
+			case graph.OpDelete:
+				if !live[key(up.U, up.V)] {
+					t.Fatalf("delete of edge {%d,%d} that is not live", up.U, up.V)
+				}
+				delete(live, key(up.U, up.V))
+				deletes++
+			}
+		}
+	}
+	if deletes == 0 {
+		t.Fatal("stream with DeleteFrac 0.6 produced no deletes")
+	}
+}

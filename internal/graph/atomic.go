@@ -8,6 +8,12 @@ func atomicAdd(addr *int64, delta int64) int64 {
 	return atomic.AddInt64(addr, delta)
 }
 
+// atomicLoad is the matching acquire read for flags shared across par.For
+// chunks (the builder's presort check).
+func atomicLoad(addr *int64) int64 {
+	return atomic.LoadInt64(addr)
+}
+
 // atomicMin lowers *addr to val if val is smaller and reports whether it
 // changed anything. Used by the label-propagation components kernel.
 func atomicMin(addr *int64, val int64) bool {

@@ -1,0 +1,79 @@
+package graph
+
+import "fmt"
+
+// DeltaOp is the kind of one edge update in a Delta batch.
+type DeltaOp uint8
+
+const (
+	// OpInsert adds weight to an edge, creating it if absent.
+	OpInsert DeltaOp = iota
+	// OpDelete removes an edge entirely. Deleting an absent edge is a no-op.
+	OpDelete
+)
+
+func (op DeltaOp) String() string {
+	switch op {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("DeltaOp(%d)", uint8(op))
+	}
+}
+
+// Update is one edge mutation. Endpoints may arrive in either orientation;
+// U == V addresses the vertex's self-loop. W is the weight added by an
+// insert and is ignored by deletes.
+type Update struct {
+	Op   DeltaOp
+	U, V int64
+	W    int64
+}
+
+// Delta is one versioned batch of edge updates, applied atomically to an
+// Overlay. Versions are assigned by the producer (generator, update stream
+// file) and are strictly increasing within a stream; the overlay records the
+// last version applied so replays can resume mid-stream.
+type Delta struct {
+	Version uint64
+	Updates []Update
+}
+
+// Insert appends an insert of edge {u, v} with weight w to the batch.
+func (d *Delta) Insert(u, v, w int64) {
+	d.Updates = append(d.Updates, Update{Op: OpInsert, U: u, V: v, W: w})
+}
+
+// Delete appends a delete of edge {u, v} to the batch.
+func (d *Delta) Delete(u, v int64) {
+	d.Updates = append(d.Updates, Update{Op: OpDelete, U: u, V: v})
+}
+
+// Len returns the number of updates in the batch.
+func (d *Delta) Len() int { return len(d.Updates) }
+
+// Reset empties the batch for reuse, keeping the backing array.
+func (d *Delta) Reset() {
+	d.Version = 0
+	d.Updates = d.Updates[:0]
+}
+
+// Validate checks every update against an n-vertex graph: endpoints must lie
+// in [0, n) and insert weights must be positive.
+func (d *Delta) Validate(n int64) error {
+	for i, u := range d.Updates {
+		if u.U < 0 || u.U >= n || u.V < 0 || u.V >= n {
+			return fmt.Errorf("graph: delta update %d endpoint (%d,%d) outside [0,%d): %w",
+				i, u.U, u.V, n, ErrVertexRange)
+		}
+		if u.Op == OpInsert && u.W <= 0 {
+			return fmt.Errorf("graph: delta update %d inserts non-positive weight %d", i, u.W)
+		}
+		if u.Op != OpInsert && u.Op != OpDelete {
+			return fmt.Errorf("graph: delta update %d has unknown op %d", i, u.Op)
+		}
+	}
+	return nil
+}

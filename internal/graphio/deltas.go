@@ -1,0 +1,212 @@
+package graphio
+
+// The versioned edge-update stream format backing reproducible incremental
+// benchmarks: a text file of delta batches replayed against a graph's
+// overlay. Line oriented, '#' comments allowed anywhere:
+//
+//	cdgu 1                 header: format name + version
+//	n <vertices>           the vertex universe every update must stay in
+//	batch <version>        opens one batch; versions strictly increase
+//	+ <u> <v> <w>          insert edge {u, v} with weight w
+//	- <u> <v>              delete edge {u, v}
+//	end                    closes the batch
+//
+// Self-loops use u == v, matching graph.Delta semantics.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/graph"
+)
+
+// deltaHeader identifies the update-stream format, version 1.
+const deltaHeader = "cdgu 1"
+
+// WriteDeltas writes n and the batches in the cdgu update-stream format.
+// The output round-trips through ReadDeltas.
+func WriteDeltas(w io.Writer, n int64, batches []*graph.Delta) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%s\nn %d\n", deltaHeader, n); err != nil {
+		return err
+	}
+	for _, d := range batches {
+		if _, err := fmt.Fprintf(bw, "batch %d\n", d.Version); err != nil {
+			return err
+		}
+		for _, up := range d.Updates {
+			var err error
+			switch up.Op {
+			case graph.OpInsert:
+				_, err = fmt.Fprintf(bw, "+ %d %d %d\n", up.U, up.V, up.W)
+			case graph.OpDelete:
+				_, err = fmt.Fprintf(bw, "- %d %d\n", up.U, up.V)
+			default:
+				err = fmt.Errorf("graphio: unknown delta op %d", up.Op)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, "end"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DeltaScanner streams batches out of a cdgu update file one at a time, so
+// a serving loop can interleave reading, applying, and re-detecting without
+// holding the whole stream.
+type DeltaScanner struct {
+	sc          *bufio.Scanner
+	n           int64
+	lineNo      int
+	lastVersion uint64
+}
+
+// NewDeltaScanner reads the stream header and positions the scanner before
+// the first batch.
+func NewDeltaScanner(r io.Reader) (*DeltaScanner, error) {
+	s := &DeltaScanner{sc: bufio.NewScanner(r)}
+	s.sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line, err := s.contentLine()
+	if err != nil {
+		return nil, fmt.Errorf("graphio: delta stream missing header: %w", err)
+	}
+	if line != deltaHeader {
+		return nil, fmt.Errorf("graphio: line %d: bad delta header %q (want %q)", s.lineNo, line, deltaHeader)
+	}
+	line, err = s.contentLine()
+	if err != nil {
+		return nil, fmt.Errorf("graphio: delta stream missing vertex count: %w", err)
+	}
+	fields := splitFields([]byte(line))
+	if len(fields) != 2 || fields[0] != "n" {
+		return nil, fmt.Errorf("graphio: line %d: want \"n <vertices>\", got %q", s.lineNo, line)
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil || n < 0 || n > MaxVertices {
+		return nil, fmt.Errorf("graphio: line %d: bad vertex count %q", s.lineNo, fields[1])
+	}
+	s.n = n
+	return s, nil
+}
+
+// NumVertices returns the stream's declared vertex universe.
+func (s *DeltaScanner) NumVertices() int64 { return s.n }
+
+// Next returns the next batch, or io.EOF after the last one. Batches are
+// validated on the way in: endpoints inside [0, n), positive insert
+// weights, strictly increasing versions, and a closing "end" line.
+func (s *DeltaScanner) Next() (*graph.Delta, error) {
+	line, err := s.contentLine()
+	if err != nil {
+		return nil, err // io.EOF: clean end of stream
+	}
+	fields := splitFields([]byte(line))
+	if len(fields) != 2 || fields[0] != "batch" {
+		return nil, fmt.Errorf("graphio: line %d: want \"batch <version>\", got %q", s.lineNo, line)
+	}
+	version, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("graphio: line %d: bad batch version %q: %v", s.lineNo, fields[1], err)
+	}
+	if version <= s.lastVersion {
+		return nil, fmt.Errorf("graphio: line %d: batch version %d not above previous %d",
+			s.lineNo, version, s.lastVersion)
+	}
+	s.lastVersion = version
+	d := &graph.Delta{Version: version}
+	for {
+		line, err := s.contentLine()
+		if err != nil {
+			return nil, fmt.Errorf("graphio: batch %d not closed by \"end\": %w", version, err)
+		}
+		if line == "end" {
+			return d, nil
+		}
+		fields := splitFields([]byte(line))
+		switch {
+		case len(fields) == 4 && fields[0] == "+":
+			u, v, w, err := s.parseUpdate(fields[1], fields[2], fields[3])
+			if err != nil {
+				return nil, err
+			}
+			if w <= 0 {
+				return nil, fmt.Errorf("graphio: line %d: non-positive insert weight %d", s.lineNo, w)
+			}
+			d.Insert(u, v, w)
+		case len(fields) == 3 && fields[0] == "-":
+			u, v, _, err := s.parseUpdate(fields[1], fields[2], "1")
+			if err != nil {
+				return nil, err
+			}
+			d.Delete(u, v)
+		default:
+			return nil, fmt.Errorf("graphio: line %d: bad update line %q", s.lineNo, line)
+		}
+	}
+}
+
+func (s *DeltaScanner) parseUpdate(us, vs, ws string) (u, v, w int64, err error) {
+	if u, err = strconv.ParseInt(us, 10, 64); err != nil {
+		return 0, 0, 0, fmt.Errorf("graphio: line %d: bad source %q: %v", s.lineNo, us, err)
+	}
+	if v, err = strconv.ParseInt(vs, 10, 64); err != nil {
+		return 0, 0, 0, fmt.Errorf("graphio: line %d: bad target %q: %v", s.lineNo, vs, err)
+	}
+	if w, err = strconv.ParseInt(ws, 10, 64); err != nil {
+		return 0, 0, 0, fmt.Errorf("graphio: line %d: bad weight %q: %v", s.lineNo, ws, err)
+	}
+	if u < 0 || u >= s.n || v < 0 || v >= s.n {
+		return 0, 0, 0, fmt.Errorf("graphio: line %d: endpoint (%d,%d) outside [0,%d)", s.lineNo, u, v, s.n)
+	}
+	return u, v, w, nil
+}
+
+// contentLine returns the next non-blank non-comment line, trimmed, or an
+// error (io.EOF at end of stream).
+func (s *DeltaScanner) contentLine() (string, error) {
+	for s.sc.Scan() {
+		s.lineNo++
+		line := s.sc.Bytes()
+		i := 0
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r') {
+			i++
+		}
+		j := len(line)
+		for j > i && (line[j-1] == ' ' || line[j-1] == '\t' || line[j-1] == '\r') {
+			j--
+		}
+		if i == j || line[i] == '#' {
+			continue
+		}
+		return string(line[i:j]), nil
+	}
+	if err := s.sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.EOF
+}
+
+// ReadDeltas reads a whole cdgu update stream: the vertex universe and
+// every batch, in order.
+func ReadDeltas(r io.Reader) (n int64, batches []*graph.Delta, err error) {
+	s, err := NewDeltaScanner(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	for {
+		d, err := s.Next()
+		if err == io.EOF {
+			return s.n, batches, nil
+		}
+		if err != nil {
+			return 0, nil, err
+		}
+		batches = append(batches, d)
+	}
+}

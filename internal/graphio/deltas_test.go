@@ -1,0 +1,114 @@
+package graphio
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestDeltasRoundTrip(t *testing.T) {
+	g := gen.CliqueChain(6, 5)
+	batches, err := gen.Deltas(g, gen.DeltaConfig{
+		Batches: 4, BatchSize: 9, DeleteFrac: 0.4, MaxWeight: 5, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDeltas(&buf, g.NumVertices(), batches); err != nil {
+		t.Fatal(err)
+	}
+	n, got, err := ReadDeltas(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("reading written stream: %v", err)
+	}
+	if n != g.NumVertices() {
+		t.Fatalf("round-trip n = %d, want %d", n, g.NumVertices())
+	}
+	if len(got) != len(batches) {
+		t.Fatalf("round-trip batches = %d, want %d", len(got), len(batches))
+	}
+	for i, d := range got {
+		want := batches[i]
+		if d.Version != want.Version {
+			t.Fatalf("batch %d version %d, want %d", i, d.Version, want.Version)
+		}
+		if len(d.Updates) != len(want.Updates) {
+			t.Fatalf("batch %d has %d updates, want %d", i, len(d.Updates), len(want.Updates))
+		}
+		for j, up := range d.Updates {
+			if up != want.Updates[j] {
+				t.Fatalf("batch %d update %d = %+v, want %+v", i, j, up, want.Updates[j])
+			}
+		}
+	}
+}
+
+func TestDeltaScannerStreams(t *testing.T) {
+	in := `cdgu 1
+# vertex universe
+n 5
+batch 2
++ 0 1 3
+- 3 4
+end
+
+batch 7
++ 2 2 1
+end
+`
+	s, err := NewDeltaScanner(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVertices() != 5 {
+		t.Fatalf("n = %d, want 5", s.NumVertices())
+	}
+	d1, err := s.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Version != 2 || d1.Len() != 2 {
+		t.Fatalf("first batch version %d len %d, want 2/2", d1.Version, d1.Len())
+	}
+	if d1.Updates[0] != (graph.Update{Op: graph.OpInsert, U: 0, V: 1, W: 3}) {
+		t.Fatalf("first update %+v", d1.Updates[0])
+	}
+	if d1.Updates[1] != (graph.Update{Op: graph.OpDelete, U: 3, V: 4, W: 0}) {
+		t.Fatalf("second update %+v", d1.Updates[1])
+	}
+	d2, err := s.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Version != 7 || d2.Len() != 1 {
+		t.Fatalf("second batch version %d len %d, want 7/1", d2.Version, d2.Len())
+	}
+	if _, err := s.Next(); err != io.EOF {
+		t.Fatalf("after last batch: %v, want io.EOF", err)
+	}
+}
+
+func TestDeltaScannerRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad header":      "cdgu 9\nn 4\n",
+		"missing n":       "cdgu 1\nbatch 1\nend\n",
+		"negative n":      "cdgu 1\nn -3\n",
+		"bad version":     "cdgu 1\nn 4\nbatch x\nend\n",
+		"repeat version":  "cdgu 1\nn 4\nbatch 1\nend\nbatch 1\nend\n",
+		"out of range":    "cdgu 1\nn 4\nbatch 1\n+ 0 4 1\nend\n",
+		"zero weight":     "cdgu 1\nn 4\nbatch 1\n+ 0 1 0\nend\n",
+		"unclosed batch":  "cdgu 1\nn 4\nbatch 1\n+ 0 1 2\n",
+		"stray field":     "cdgu 1\nn 4\nbatch 1\n- 0 1 2\nend\n",
+		"unknown op line": "cdgu 1\nn 4\nbatch 1\n* 0 1\nend\n",
+	}
+	for name, in := range cases {
+		if _, _, err := ReadDeltas(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}

@@ -54,6 +54,34 @@ func FuzzReadMETIS(f *testing.F) {
 	})
 }
 
+func FuzzReadDeltas(f *testing.F) {
+	limitVertices(f)
+	f.Add("cdgu 1\nn 4\nbatch 1\n+ 0 1 2\n- 2 3\nend\n")
+	f.Add("cdgu 1\nn 2\n# comment\nbatch 3\n+ 1 1 5\nend\nbatch 4\nend\n")
+	f.Add("cdgu 1\nn 4\nbatch 1\n+ 0 9 1\nend\n")
+	f.Add("cdgu 2\nn 4\n")
+	f.Add("cdgu 1\nn 4\nbatch 2\nend\nbatch 1\nend\n")
+	f.Add("cdgu 1\nn 4\nbatch 1\n+ 0 1 2\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		n, batches, err := ReadDeltas(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Accepted streams must contain only in-universe, well-formed
+		// updates with strictly increasing versions.
+		var last uint64
+		for _, d := range batches {
+			if d.Version <= last && last != 0 {
+				t.Fatalf("accepted stream has non-increasing versions\ninput: %q", in)
+			}
+			last = d.Version
+			if err := d.Validate(n); err != nil {
+				t.Fatalf("accepted stream produced invalid batch: %v\ninput: %q", err, in)
+			}
+		}
+	})
+}
+
 func FuzzReadBinary(f *testing.F) {
 	limitVertices(f)
 	var buf bytes.Buffer

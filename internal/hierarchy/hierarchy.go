@@ -88,6 +88,25 @@ func NewExec(ec *exec.Ctx, n int64, levels [][]int64) (*Dendrogram, error) {
 	return d, nil
 }
 
+// FromFinal bootstraps a one-level dendrogram from a flat vertex→community
+// partition with k communities. Incremental re-detection uses this to keep
+// chaining when the engine ran with DiscardLevels (no per-phase maps to
+// rebuild the full hierarchy from): the next DetectIncremental only needs
+// Final(), which this dendrogram serves exactly.
+func FromFinal(n int64, comm []int64, k int64) (*Dendrogram, error) {
+	if int64(len(comm)) != n {
+		return nil, fmt.Errorf("hierarchy: partition maps %d vertices, want %d", len(comm), n)
+	}
+	d, err := New(n, [][]int64{append([]int64(nil), comm...)})
+	if err != nil {
+		return nil, err
+	}
+	if got := d.counts[1]; got != k {
+		return nil, fmt.Errorf("hierarchy: partition has %d communities, caller claims %d", got, k)
+	}
+	return d, nil
+}
+
 // NumLevels returns the number of merge levels (0 means no contraction ran).
 func (d *Dendrogram) NumLevels() int { return len(d.levels) }
 

@@ -1,8 +1,9 @@
-package hierarchy
+package hierarchy_test
 
 import (
 	"testing"
 
+	"repro/internal/hierarchy"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/metrics"
@@ -10,7 +11,7 @@ import (
 
 func TestNewValidatesLevels(t *testing.T) {
 	// 4 vertices → 2 communities → 1 community.
-	d, err := New(4, [][]int64{{0, 0, 1, 1}, {0, 0}})
+	d, err := hierarchy.New(4, [][]int64{{0, 0, 1, 1}, {0, 0}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,14 +31,14 @@ func TestNewValidatesLevels(t *testing.T) {
 		{{0, 0, 1, 1}, {0}}, // level 1 wrong length
 	}
 	for i, levels := range bad {
-		if _, err := New(4, levels); err == nil {
+		if _, err := hierarchy.New(4, levels); err == nil {
 			t.Errorf("bad levels %d accepted", i)
 		}
 	}
 }
 
 func TestAtLevelAndFinal(t *testing.T) {
-	d, err := New(4, [][]int64{{0, 0, 1, 1}, {0, 0}})
+	d, err := hierarchy.New(4, [][]int64{{0, 0, 1, 1}, {0, 0}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestAtLevelAndFinal(t *testing.T) {
 }
 
 func TestCutAtCount(t *testing.T) {
-	d, err := New(8, [][]int64{
+	d, err := hierarchy.New(8, [][]int64{
 		{0, 0, 1, 1, 2, 2, 3, 3}, // 8 → 4
 		{0, 0, 1, 1},             // 4 → 2
 		{0, 0},                   // 2 → 1
@@ -90,7 +91,7 @@ func TestCutAtCount(t *testing.T) {
 }
 
 func TestMembersAndTrace(t *testing.T) {
-	d, err := New(4, [][]int64{{0, 0, 1, 1}})
+	d, err := hierarchy.New(4, [][]int64{{0, 0, 1, 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestFromEngineRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := New(g.NumVertices(), res.Levels)
+	d, err := hierarchy.New(g.NumVertices(), res.Levels)
 	if err != nil {
 		t.Fatal(err)
 	}

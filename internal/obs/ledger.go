@@ -101,6 +101,12 @@ type LevelStats struct {
 	// bug rather than graph skew.
 	SchedImbalance float64 `json:"sched_imbalance,omitempty"`
 	SchedBound     float64 `json:"sched_bound,omitempty"`
+	// Dissolved and PrevCommunities describe an incremental re-detection's
+	// seed (StageIncremental rows only): how many of the previous run's
+	// PrevCommunities communities were incident to the delta batch and got
+	// dissolved back to singleton vertices.
+	Dissolved       int64 `json:"dissolved,omitempty"`
+	PrevCommunities int64 `json:"prev_communities,omitempty"`
 }
 
 // Stage labels for LevelStats.Stage. The empty string is equivalent to
@@ -110,6 +116,10 @@ const (
 	StageMatch   = "match"
 	StagePLP     = "plp"
 	StageCoarsen = "coarsen"
+	// StageIncremental is the seed contraction of an incremental
+	// re-detection: the previous partition with dirty communities dissolved,
+	// folded into the starting community graph.
+	StageIncremental = "incremental"
 )
 
 // StageOf normalizes a row's stage: empty means StageMatch.
@@ -133,7 +143,17 @@ const (
 	// WarnImbalance: the built schedule's imbalance exceeded its analytic
 	// bound by more than imbalanceSlack.
 	WarnImbalance = "imbalance"
+	// WarnDissolveStorm: an incremental re-detection dissolved more than a
+	// quarter of the previous partition's communities. At that churn the
+	// seeded run re-does most of the agglomeration and a from-scratch Detect
+	// is likely cheaper and better.
+	WarnDissolveStorm = "dissolve-storm"
 )
+
+// dissolveStormDen is the dissolved-community fraction denominator for
+// WarnDissolveStorm: dissolving more than 1/dissolveStormDen (25%) of the
+// previous communities flags the storm.
+const dissolveStormDen = 4
 
 // stallPassCap flags a matching that needed more rounds than the geometric
 // drain the locally-dominant discipline predicts (a handful on real graphs).
@@ -235,6 +255,12 @@ func (l *Ledger) Record(st LevelStats) {
 			l.warn(st.Level, WarnMatchingStall,
 				fmt.Sprintf("%d matching passes (expected geometric drain)", st.MatchPasses))
 		}
+	}
+	if StageOf(st) == StageIncremental && st.PrevCommunities > 0 &&
+		st.Dissolved*dissolveStormDen > st.PrevCommunities {
+		l.warn(st.Level, WarnDissolveStorm,
+			fmt.Sprintf("dissolved %d of %d previous communities (> 1/%d): from-scratch detection is likely cheaper",
+				st.Dissolved, st.PrevCommunities, dissolveStormDen))
 	}
 	if st.SchedBound > 0 && st.SchedImbalance > st.SchedBound*imbalanceSlack {
 		l.warn(st.Level, WarnImbalance,

@@ -174,7 +174,7 @@ func PropagateWith(ec *exec.Ctx, g *graph.Graph, opt Options, scratch *Scratch) 
 	if ec.Serial(n) {
 		for v := 0; v < n; v++ {
 			labels[v] = int64(v)
-			if c.Offsets[v+1] > c.Offsets[v] {
+			if c.Degree(int64(v)) > 0 {
 				marks[v] = 1
 			} else {
 				marks[v] = 0
@@ -184,7 +184,7 @@ func PropagateWith(ec *exec.Ctx, g *graph.Graph, opt Options, scratch *Scratch) 
 		ec.For(n, func(lo, hi int) {
 			for v := lo; v < hi; v++ {
 				labels[v] = int64(v)
-				if c.Offsets[v+1] > c.Offsets[v] {
+				if c.Degree(int64(v)) > 0 {
 					marks[v] = 1
 				} else {
 					marks[v] = 0
@@ -219,7 +219,8 @@ func PropagateWith(ec *exec.Ctx, g *graph.Graph, opt Options, scratch *Scratch) 
 		if ec.Serial(len(lst)) {
 			computeRange(c, labels, s.pending, spa[:n], lst, 0, len(lst))
 		} else if balanced {
-			ec.BuildIndexed(&s.part, lst, c.Offsets[:n], c.Offsets[1:n+1])
+			rowStart, rowEnd := c.RowBounds()
+			ec.BuildIndexed(&s.part, lst, rowStart, rowEnd)
 			var cursor int64
 			nn := n
 			ec.ForRanges("plp/compute", &s.part, func(lo, hi int) {

@@ -100,7 +100,8 @@ func RefineExec(ec *exec.Ctx, g *graph.Graph, comm []int64, k int64, opt Options
 	var pt par.Partition
 	balanced := !ec.Serial(int(n)) && !ec.DynamicOnly()
 	if balanced {
-		ec.BuildBuckets(&pt, int(n), csr.Offsets[:n], csr.Offsets[1:n+1])
+		rowStart, rowEnd := csr.RowBounds()
+		ec.BuildBuckets(&pt, int(n), rowStart, rowEnd)
 	}
 
 	var moves int64

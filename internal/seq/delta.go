@@ -1,0 +1,73 @@
+package seq
+
+// The sequential side of the dynamic-graph story: the oracle's ApplyDelta is
+// a plain edge-weight map folded and rebuilt, sharing nothing with the
+// overlay's patch rows, so the incremental soak tests can cross-check the
+// two-tier store the same way seq.Detect cross-checks the parallel engine.
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// ApplyDelta returns a fresh graph equal to g with d applied under the
+// overlay's semantics: inserts accumulate into an existing edge's weight,
+// deletes remove the edge entirely (a delete of a missing edge is a no-op),
+// and u == v updates act on the vertex's self-loop.
+func ApplyDelta(g *graph.Graph, d *graph.Delta) (*graph.Graph, error) {
+	n := g.NumVertices()
+	if err := d.Validate(n); err != nil {
+		return nil, err
+	}
+	type ekey [2]int64
+	key := func(u, v int64) ekey {
+		first, second := graph.StoredOrder(u, v)
+		return ekey{first, second}
+	}
+	w := make(map[ekey]int64, g.NumEdges())
+	g.ForEachEdge(func(_ int64, u, v, ew int64) {
+		w[key(u, v)] += ew
+	})
+	self := make(map[int64]int64)
+	for x := int64(0); x < n; x++ {
+		if g.Self[x] != 0 {
+			self[x] = g.Self[x]
+		}
+	}
+	for _, up := range d.Updates {
+		switch {
+		case up.Op == graph.OpInsert && up.U == up.V:
+			self[up.U] += up.W
+		case up.Op == graph.OpInsert:
+			w[key(up.U, up.V)] += up.W
+		case up.U == up.V:
+			delete(self, up.U)
+		default:
+			delete(w, key(up.U, up.V))
+		}
+	}
+	edges := make([]graph.Edge, 0, len(w)+len(self))
+	for k, ew := range w {
+		edges = append(edges, graph.Edge{U: k[0], V: k[1], W: ew})
+	}
+	for x, sw := range self {
+		edges = append(edges, graph.Edge{U: x, V: x, W: sw})
+	}
+	out, err := graph.Build(1, n, edges)
+	if err != nil {
+		return nil, fmt.Errorf("seq: rebuilding after delta: %w", err)
+	}
+	return out, nil
+}
+
+// Redetect applies d to g and re-runs the sequential detection from scratch
+// on the result — the oracle's answer to one incremental step. It returns
+// the updated graph (for chaining onto the next batch) and the detection.
+func Redetect(g *graph.Graph, d *graph.Delta, opt Options) (*graph.Graph, *Result, error) {
+	ng, err := ApplyDelta(g, d)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ng, Detect(ng, opt), nil
+}
