@@ -18,6 +18,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
@@ -313,6 +314,133 @@ func BenchmarkDeltaDetect(b *testing.B) {
 			b.Fatalf("unknown BENCH_DELTA_MODE %q", mode)
 		}
 	}
+}
+
+// --- out-of-core: mmap CSR + sharded detection ----------------------------
+// The shard gate's probes (DESIGN.md §15): a scale-16 R-MAT graph is built
+// once as an mmapcsr file through the bounded-memory streaming writer, then
+// detected either the single-image way (materialize the mapping into a
+// Graph, run Detect — the baseline) or sharded (DetectSharded straight off
+// the mapped CSR, K shards, never materializing). `make bench-shard` runs
+// the BENCH_SHARDS-parameterized probe with 0 (materialized) as the baseline
+// stream and 4 as the head stream and feeds both to cmd/benchdiff. The
+// heapMB metric is the out-of-core acceptance signal: the sharded run's
+// live heap after detection must stay well below the materialized run's.
+
+const benchShardScale = 16
+
+var shardBenchFileState struct {
+	once sync.Once
+	path string
+	err  error
+}
+
+// shardBenchFile writes the shard benchmark's mmapcsr input once per test
+// process via the streaming writer, so the file build itself exercises the
+// out-of-core path and its cost stays out of every timed iteration.
+func shardBenchFile(b *testing.B) string {
+	b.Helper()
+	shardBenchFileState.once.Do(func() {
+		dir, err := os.MkdirTemp("", "shardbench-")
+		if err != nil {
+			shardBenchFileState.err = err
+			return
+		}
+		path := filepath.Join(dir, fmt.Sprintf("rmat-%d-16.mmapcsr", benchShardScale))
+		n, src, err := gen.StreamRMAT(gen.DefaultRMAT(benchShardScale, benchSeed))
+		if err != nil {
+			shardBenchFileState.err = err
+			return
+		}
+		if _, err := graphio.StreamMapped(path, n, graphio.EdgeSource(src), graphio.StreamOptions{}); err != nil {
+			shardBenchFileState.err = err
+			return
+		}
+		shardBenchFileState.path = path
+	})
+	if shardBenchFileState.err != nil {
+		b.Fatal(shardBenchFileState.err)
+	}
+	return shardBenchFileState.path
+}
+
+// benchShardDetect opens the mapped file fresh per iteration (open is O(1))
+// and detects with K shards; K == 0 is the materialized single-image
+// baseline. Both paths report modularity and the post-run live heap.
+func benchShardDetect(b *testing.B, shards int) {
+	b.Helper()
+	path := shardBenchFile(b)
+	opt := core.Options{Threads: 4, MinCoverage: 0.5, DiscardLevels: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mp, err := graphio.OpenMapped(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		var q float64
+		var m int64
+		if shards == 0 {
+			g, err := graph.FromCSR(opt.Threads, mp.CSR())
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := core.Detect(g, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			q, m = res.FinalModularity, g.NumEdges()
+			sampleLiveHeap(b, i)
+			runtime.KeepAlive(g)
+		} else {
+			res, err := core.DetectSharded(context.Background(), mp.CSR(),
+				core.ShardOptions{Shards: shards, Opt: opt})
+			if err != nil {
+				b.Fatal(err)
+			}
+			q, m = res.FinalModularity, mp.NumEdges()
+			sampleLiveHeap(b, i)
+			runtime.KeepAlive(res)
+		}
+		b.ReportMetric(float64(m)/time.Since(start).Seconds(), "edges/s")
+		b.ReportMetric(q, "modularity")
+		if err := mp.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// sampleLiveHeap reports the live heap right after a detection, while its
+// inputs and result are still reachable — the out-of-core claim's metric.
+// Only the first iteration pays the forced GC, with the timer stopped.
+func sampleLiveHeap(b *testing.B, iter int) {
+	b.Helper()
+	if iter != 0 {
+		return
+	}
+	b.StopTimer()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	b.ReportMetric(float64(ms.HeapAlloc)/(1<<20), "heapMB")
+	b.StartTimer()
+}
+
+func BenchmarkShard_Materialized(b *testing.B) { benchShardDetect(b, 0) }
+func BenchmarkShard_Sharded4(b *testing.B)     { benchShardDetect(b, 4) }
+
+// BenchmarkShardDetect is the shard speed gate's probe: BENCH_SHARDS selects
+// the shard count ("0", the default, is the materialized baseline), so two
+// runs produce same-named streams cmd/benchdiff can difference directly.
+func BenchmarkShardDetect(b *testing.B) {
+	shards := 0
+	if s := os.Getenv("BENCH_SHARDS"); s != "" {
+		if _, err := fmt.Sscanf(s, "%d", &shards); err != nil || shards < 0 {
+			b.Fatalf("bad BENCH_SHARDS %q", s)
+		}
+	}
+	benchShardDetect(b, shards)
 }
 
 // --- Table II: graph generation pipelines -------------------------------

@@ -10,6 +10,12 @@
 //	communities -in soc-LiveJournal1.txt -format edgelist -out comm.txt
 //	communities -gen web -n 200000 -scorer conductance -kernels edgesweep,listchase
 //	communities -gen rmat -scale 14 -updates churn.cdgu
+//	communities -in rmat-27.mmapcsr -format mmapcsr -shards 4
+//
+// The last form is the out-of-core pipeline (DESIGN.md §15): the graph is
+// memory-mapped rather than loaded, split into -shards edge-balanced vertex
+// shards detected in parallel, and the boundary communities stitched with
+// one agglomeration pass over the quotient graph of cut edges.
 package main
 
 import (
@@ -40,8 +46,10 @@ import (
 
 func main() {
 	var (
-		inPath  = flag.String("in", "", "input graph file (use -gen instead to generate)")
-		format  = flag.String("format", "edgelist", "input format: edgelist | binary")
+		inPath = flag.String("in", "", "input graph file (use -gen instead to generate)")
+		format = flag.String("format", "edgelist", "input format: edgelist | binary | mmapcsr")
+		shards = flag.Int("shards", 0,
+			"split the graph into this many vertex shards, detect them in parallel, and stitch across the boundary (0 = single-image detection)")
 		genName = flag.String("gen", "", "generator: rmat | lj | web | karate | cliquechain")
 		scale   = flag.Int("scale", 16, "R-MAT scale (2^scale vertices)")
 		n       = flag.Int64("n", 100_000, "vertex count for lj/web generators")
@@ -87,13 +95,6 @@ func main() {
 	// default goroutine-dump crash proceeds.
 	stopQuit := obs.FlightOnSIGQUIT("results")
 	defer stopQuit()
-
-	g, err := loadGraph(*inPath, *format, *genName, *scale, *n, *seed, *threads)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("graph: |V|=%d |E|=%d total weight=%d\n",
-		g.NumVertices(), g.NumEdges(), g.TotalWeight(*threads))
 
 	opt := core.Options{
 		Threads:          *threads,
@@ -147,6 +148,40 @@ func main() {
 			"prometheus", "/metrics/prom", "convergence", "/convergence", "flight", "/debug/flight")
 	}
 
+	// SIGINT cancels the detection at the next phase or kernel boundary; the
+	// partial hierarchy is still summarized and every requested artifact
+	// (assignment, JSON report, trace) is flushed before exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *shards > 0 {
+		// Sharded detection works on a CSR view (mmap-backed for -format
+		// mmapcsr) and produces a ShardResult; the single-image extensions
+		// below all need the in-memory graph plus a *core.Result, so they are
+		// rejected rather than silently skipped.
+		if *updates != "" || *compare || *doRefine || *refinePh {
+			fatal(fmt.Errorf("-shards is incompatible with -updates, -compare, -refine and -refine-phases"))
+		}
+		if *jsonPath != "" || *ledgerPath != "" {
+			fatal(fmt.Errorf("-json and -ledger are not supported with -shards; use -stats, -convergence, -out or -trace.out"))
+		}
+		runSharded(ctx, shardedRun{
+			inPath: *inPath, format: *format, genName: *genName,
+			scale: *scale, n: *n, seed: *seed,
+			threads: *threads, shards: *shards,
+			outPath: *outPath, traceOut: *traceOut,
+			stats: *stats, convergence: *convergence, verbose: *verbose,
+		}, opt, rec, led)
+		return
+	}
+
+	g, err := loadGraph(*inPath, *format, *genName, *scale, *n, *seed, *threads)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("graph: |V|=%d |E|=%d total weight=%d\n",
+		g.NumVertices(), g.NumEdges(), g.TotalWeight(*threads))
+
 	// A panic mid-detection must not lose the observability already gathered:
 	// flush the flight-recorder black box, the partial trace, the convergence
 	// table, and a "partial" manifest, then re-panic so the crash (stack,
@@ -162,12 +197,6 @@ func main() {
 			panic(r)
 		}
 	}()
-
-	// SIGINT cancels the detection at the next phase or kernel boundary; the
-	// partial hierarchy is still summarized and every requested artifact
-	// (assignment, JSON report, trace) is flushed before exit.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
 
 	start := time.Now()
 	res, err := core.DetectContext(ctx, g, opt)
@@ -365,6 +394,17 @@ func loadGraph(inPath, format, genName string, scale int, n int64, seed uint64, 
 	case inPath != "" && genName != "":
 		return nil, fmt.Errorf("use either -in or -gen, not both")
 	case inPath != "":
+		if format == "mmapcsr" {
+			// Without -shards the mapped file is materialized through the
+			// builder; pair -format mmapcsr with -shards to keep it off-heap.
+			mp, err := graphio.OpenMapped(inPath)
+			if err != nil {
+				return nil, err
+			}
+			defer mp.Close()
+			mp.Advise(graphio.AdviseSequential)
+			return graph.FromCSR(threads, mp.CSR())
+		}
 		f, err := os.Open(inPath)
 		if err != nil {
 			return nil, err

@@ -2,8 +2,13 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/graphio"
 )
 
 func TestReadWriteAllFormats(t *testing.T) {
@@ -12,10 +17,15 @@ func TestReadWriteAllFormats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, format := range []string{"edgelist", "binary", "metis"} {
+	for _, format := range []string{"edgelist", "binary", "metis", "mmapcsr"} {
 		var buf bytes.Buffer
-		if err := write(&buf, format, g); err != nil {
+		if err := write(&buf, format, 1, g); err != nil {
 			t.Fatalf("%s write: %v", format, err)
+		}
+		if format == "mmapcsr" {
+			// Not streamable back through read(); the on-disk round trip is
+			// covered by TestConvertRoundTripAllFormats.
+			continue
 		}
 		back, err := read(&buf, format, 1)
 		if err != nil {
@@ -28,7 +38,103 @@ func TestReadWriteAllFormats(t *testing.T) {
 	if _, err := read(strings.NewReader(""), "bogus", 1); err == nil {
 		t.Fatal("accepted unknown input format")
 	}
-	if err := write(&bytes.Buffer{}, "bogus", g); err == nil {
+	if err := write(&bytes.Buffer{}, "bogus", 1, g); err == nil {
 		t.Fatal("accepted unknown output format")
+	}
+}
+
+// fixture is a small messy edge list: duplicates accumulate, a self-loop
+// folds into Self — exactly what a conversion must preserve.
+const fixture = `0 1 2
+1 0 3
+2 3
+3 3 7
+1 4 2
+4 2 1
+`
+
+// canonical serializes g to its deterministic mmapcsr image — the equality
+// token for "same graph" across conversion paths.
+func canonical(t *testing.T, g *graph.Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := graphio.WriteMapped(&buf, 1, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestConvertRoundTripAllFormats(t *testing.T) {
+	// Text → each format on disk → read back (explicitly and via auto
+	// sniffing) must reproduce the identical graph.
+	ref, err := graphio.ReadEdgeList(strings.NewReader(fixture), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := canonical(t, ref)
+	dir := t.TempDir()
+	for _, format := range []string{"edgelist", "binary", "mmapcsr"} {
+		path := filepath.Join(dir, "g."+format)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := write(f, format, 1, ref); err != nil {
+			t.Fatalf("write %s: %v", format, err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		for _, from := range []string{format, "auto"} {
+			g, err := readInput(path, from, 1)
+			if err != nil {
+				t.Fatalf("read %s as %s: %v", format, from, err)
+			}
+			if got := canonical(t, g); !bytes.Equal(got, want) {
+				t.Fatalf("round trip via %s (read as %s) changed the graph", format, from)
+			}
+		}
+	}
+}
+
+func TestConvertAutoSniffsStreamFormats(t *testing.T) {
+	// The streaming auto path (no file, so no random access) must still
+	// distinguish binary from edge-list input.
+	ref, err := graphio.ReadEdgeList(strings.NewReader(fixture), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := canonical(t, ref)
+	var bin bytes.Buffer
+	if err := graphio.WriteBinary(&bin, ref); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range map[string][]byte{
+		"binary":   bin.Bytes(),
+		"edgelist": []byte(fixture),
+	} {
+		g, err := read(bytes.NewReader(data), "auto", 1)
+		if err != nil {
+			t.Fatalf("auto %s: %v", name, err)
+		}
+		if got := canonical(t, g); !bytes.Equal(got, want) {
+			t.Fatalf("auto %s changed the graph", name)
+		}
+	}
+}
+
+func TestConvertMappedRequiresFile(t *testing.T) {
+	if _, err := readInput("", "mmapcsr", 1); err == nil {
+		t.Fatal("accepted mmapcsr input from stdin")
+	}
+}
+
+func TestConvertMappedRejectsWrongMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-mapped")
+	if err := os.WriteFile(path, []byte("0 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readInput(path, "mmapcsr", 1); err == nil {
+		t.Fatal("accepted a non-mmapcsr file as mmapcsr")
 	}
 }

@@ -1,11 +1,18 @@
 // Command genrmat generates an R-MAT graph with the paper's parameters
 // (§V-B: a=0.55, b=c=0.1, d=0.25, edge factor 16 by default), optionally
-// extracts the largest connected component, and writes it as an edge list
-// or in the compact binary format.
+// extracts the largest connected component, and writes it as an edge list,
+// in the compact binary format, or in the memory-mappable mmapcsr layout.
 //
-// Example:
+// With -stream the graph is never materialized: the deterministic R-MAT
+// edge sequence streams through the bounded-memory two-pass mmapcsr writer,
+// so the output can be far larger than RAM. Streaming writes the raw R-MAT
+// graph (no -connected component extraction, which needs the whole graph)
+// and requires -o because the format is written by random access.
+//
+// Examples:
 //
 //	genrmat -scale 20 -connected -o rmat-20-16.bin -format binary
+//	genrmat -scale 27 -stream -o rmat-27-16.mmapcsr
 package main
 
 import (
@@ -32,19 +39,29 @@ func main() {
 		connected  = flag.Bool("connected", false, "extract the largest connected component")
 		threads    = flag.Int("threads", 0, "worker count (0 = GOMAXPROCS)")
 		out        = flag.String("o", "", "output file (default stdout)")
-		format     = flag.String("format", "edgelist", "output format: edgelist | binary | metis")
-		deltas     = flag.Int("deltas", 0, "also emit this many versioned edge-update batches (see -deltas-out)")
-		deltasOut  = flag.String("deltas-out", "", "update-stream output file (required with -deltas)")
-		deltaSize  = flag.Int("delta-size", 0, "updates per batch (default 1% of the graph's edges)")
-		deltaDel   = flag.Float64("delta-del", 0.5, "fraction of updates that delete a live edge")
-		deltaHubs  = flag.Int("delta-hubs", 0, "confine the churn to a fixed hot set of this many vertices (0 = uniform)")
-		deltaMaxW  = flag.Int64("delta-maxw", 3, "maximum insert weight")
+		format     = flag.String("format", "edgelist", "output format: edgelist | binary | metis | mmapcsr")
+		stream     = flag.Bool("stream", false,
+			"stream the edges straight to an mmapcsr file in bounded memory (requires -o; incompatible with -connected and -deltas)")
+		streamBuf = flag.Int64("stream-buffer", 0,
+			"streaming sort-batch budget in directed edge entries, 24 bytes each (0 = default 2Mi)")
+		deltas    = flag.Int("deltas", 0, "also emit this many versioned edge-update batches (see -deltas-out)")
+		deltasOut = flag.String("deltas-out", "", "update-stream output file (required with -deltas)")
+		deltaSize = flag.Int("delta-size", 0, "updates per batch (default 1% of the graph's edges)")
+		deltaDel  = flag.Float64("delta-del", 0.5, "fraction of updates that delete a live edge")
+		deltaHubs = flag.Int("delta-hubs", 0, "confine the churn to a fixed hot set of this many vertices (0 = uniform)")
+		deltaMaxW = flag.Int64("delta-maxw", 3, "maximum insert weight")
 	)
 	flag.Parse()
 
 	cfg := gen.RMATConfig{
 		Scale: *scale, EdgeFactor: *edgeFactor,
 		A: *a, B: *b, C: *c, D: *d, Noise: *noise, Seed: *seed,
+	}
+	if *stream {
+		if err := streamToMapped(cfg, *out, *streamBuf, *connected, *deltas); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	g, err := gen.RMATGraph(*threads, cfg)
 	if err != nil {
@@ -72,6 +89,8 @@ func main() {
 		err = graphio.WriteBinary(w, g)
 	case "metis":
 		err = graphio.WriteMETIS(w, g)
+	case "mmapcsr":
+		err = graphio.WriteMapped(w, *threads, g)
 	default:
 		err = fmt.Errorf("unknown format %q", *format)
 	}
@@ -86,6 +105,34 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// streamToMapped drives the bounded-memory pipeline: the serial R-MAT
+// replay source through graphio.StreamMapped. The graph is never built in
+// memory, which is the whole point — so the post-hoc transforms that need
+// it are rejected up front.
+func streamToMapped(cfg gen.RMATConfig, out string, bufEntries int64, connected bool, deltas int) error {
+	if out == "" {
+		return fmt.Errorf("-stream requires -o FILE (mmapcsr is written by random access)")
+	}
+	if connected {
+		return fmt.Errorf("-stream cannot extract the largest component (that needs the whole graph in memory); drop -connected")
+	}
+	if deltas > 0 {
+		return fmt.Errorf("-stream cannot derive an update stream (that needs the whole graph in memory); drop -deltas")
+	}
+	n, src, err := gen.StreamRMAT(cfg)
+	if err != nil {
+		return err
+	}
+	stats, err := graphio.StreamMapped(out, n, graphio.EdgeSource(src), graphio.StreamOptions{MaxBufferedEdges: bufEntries})
+	if err != nil {
+		return err
+	}
+	slog.Info("streamed graph", "name", fmt.Sprintf("rmat-%d-%d", cfg.Scale, cfg.EdgeFactor),
+		"file", out, "vertices", stats.Vertices, "edges", stats.Edges,
+		"weight", stats.TotalWeight, "raw_entries", stats.RawEntries, "sort_batches", stats.Buckets)
+	return nil
 }
 
 // deltaStreamConfig carries the -delta* flags into the stream writer.

@@ -217,6 +217,77 @@ func WriteCommunities(w io.Writer, comm []int64) error {
 	return graphio.WriteCommunities(w, comm)
 }
 
+// Out-of-core pipeline (DESIGN.md §15): the page-aligned memory-mappable
+// mmapcsr on-disk layout, the bounded-memory streaming writer that builds
+// it from an edge source without materializing the graph, and sharded
+// detection that runs the engine per vertex shard in parallel and stitches
+// boundary communities over the quotient graph of cut edges.
+type (
+	// MappedGraph is an opened mmapcsr file: a CSR view over the mapping
+	// (or a decoded copy where mmap is unavailable).
+	MappedGraph = graphio.Mapped
+	// StreamOptions bounds StreamMapped's memory use.
+	StreamOptions = graphio.StreamOptions
+	// StreamStats summarizes one streaming write.
+	StreamStats = graphio.StreamStats
+	// EdgeSource is a restartable, deterministic edge stream consumed by
+	// StreamMapped (it runs twice: degree count, then placement).
+	EdgeSource = graphio.EdgeSource
+	// ShardOptions configures DetectSharded.
+	ShardOptions = core.ShardOptions
+	// ShardResult is DetectSharded's outcome.
+	ShardResult = core.ShardResult
+	// ShardStat describes one shard's local detection.
+	ShardStat = core.ShardStat
+)
+
+// Advice values for MappedGraph.Advise.
+const (
+	AdviseNormal     = graphio.AdviseNormal
+	AdviseRandom     = graphio.AdviseRandom
+	AdviseSequential = graphio.AdviseSequential
+)
+
+// OpenMapped maps an mmapcsr file; the returned CSR views the file pages
+// directly, so opening is O(1) in the graph size. Close unmaps it.
+func OpenMapped(path string) (*MappedGraph, error) { return graphio.OpenMapped(path) }
+
+// WriteMapped serializes g in the mmapcsr layout (rows neighbor-sorted, so
+// the bytes are deterministic for a given graph).
+func WriteMapped(w io.Writer, p int, g *Graph) error { return graphio.WriteMapped(w, p, g) }
+
+// StreamMapped builds an mmapcsr file of numVertices vertices from src in
+// bounded memory (two passes over src, an out-of-core counting sort); the
+// graph never materializes on the heap.
+func StreamMapped(path string, numVertices int64, src EdgeSource, opt StreamOptions) (StreamStats, error) {
+	return graphio.StreamMapped(path, numVertices, src, opt)
+}
+
+// StreamRMAT returns the vertex count and a deterministic restartable edge
+// source replaying cfg's R-MAT sequence, for feeding StreamMapped.
+func StreamRMAT(cfg RMATConfig) (int64, EdgeSource, error) {
+	n, src, err := gen.StreamRMAT(cfg)
+	return n, EdgeSource(src), err
+}
+
+// SortCSRRows sorts each CSR row by neighbor id in place, canonicalizing
+// ToCSR's parallel scatter order; mmapcsr files are stored sorted already.
+func SortCSRRows(p int, c *CSR) { graph.SortCSRRows(p, c) }
+
+// FromCSR materializes a CSR view (e.g. a MappedGraph's) back into a Graph.
+func FromCSR(p int, c *CSR) (*Graph, error) { return graph.FromCSR(p, c) }
+
+// VerifyCSR checks full CSR symmetry and bounds in O(|V|+|E|).
+func VerifyCSR(c *CSR) error { return graph.VerifyCSR(c) }
+
+// DetectSharded partitions c's vertices into edge-balanced shards, detects
+// communities per shard in parallel, and stitches across shard boundaries
+// with one agglomeration pass over the quotient graph of cut edges. With a
+// MappedGraph's CSR the full edge set never lands on the heap.
+func DetectSharded(ctx context.Context, c *CSR, opt ShardOptions) (*ShardResult, error) {
+	return core.DetectSharded(ctx, c, opt)
+}
+
 // Dynamic graph store (DESIGN.md §14): an immutable base graph plus a
 // mutable delta overlay, with incremental re-detection seeded from the
 // previous run's hierarchy.

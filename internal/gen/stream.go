@@ -1,0 +1,39 @@
+package gen
+
+// The streaming R-MAT source backs `genrmat -stream`: instead of
+// materializing the full edge slice (24 bytes per generated edge — beyond
+// RAM at the scales the mapped format exists for), it replays the exact
+// deterministic sequence RMATEdges produces, one edge at a time, so
+// graphio.StreamMapped can make its two bounded-memory passes. Determinism
+// across invocations is inherited from the per-block seeding discipline:
+// block i's edges come from a SplitMix64 stream seeded by (Seed, i), so the
+// serial replay and the parallel generator agree edge for edge.
+
+import "repro/internal/par"
+
+// StreamRMAT validates cfg and returns the vertex count together with a
+// deterministic edge source yielding exactly the RMATEdges(·, cfg)
+// sequence. The source may be invoked any number of times (StreamMapped
+// calls it twice) and always yields the identical edges.
+func StreamRMAT(cfg RMATConfig) (n int64, src func(yield func(u, v, w int64) error) error, err error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, nil, err
+	}
+	n = int64(1) << uint(cfg.Scale)
+	m := int64(cfg.EdgeFactor) * n
+	src = func(yield func(u, v, w int64) error) error {
+		const block = 4096 // must match RMATEdges' block size
+		r := par.NewRNG(0)
+		for i := int64(0); i < m; i++ {
+			if i%block == 0 {
+				r.Seed(par.SplitSeed(cfg.Seed, int(i/block)))
+			}
+			e := sampleRMATEdge(r, cfg)
+			if err := yield(e.U, e.V, e.W); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return n, src, nil
+}

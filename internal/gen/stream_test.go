@@ -1,0 +1,52 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestStreamRMATMatchesBatchSequence(t *testing.T) {
+	// The streaming source must replay RMATEdges' exact sequence — same
+	// edges, same order — across parallel generation widths, and across its
+	// own repeated invocations (StreamMapped calls it twice).
+	cfg := DefaultRMAT(7, 31)
+	for _, p := range []int{1, 4} {
+		batch, err := RMATEdges(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, src, err := StreamRMAT(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(1)<<uint(cfg.Scale) {
+			t.Fatalf("n = %d, want %d", n, int64(1)<<uint(cfg.Scale))
+		}
+		for pass := 0; pass < 2; pass++ {
+			var streamed []graph.Edge
+			if err := src(func(u, v, w int64) error {
+				streamed = append(streamed, graph.Edge{U: u, V: v, W: w})
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if len(streamed) != len(batch) {
+				t.Fatalf("p=%d pass %d: %d streamed edges, batch has %d", p, pass, len(streamed), len(batch))
+			}
+			for i := range batch {
+				if streamed[i] != batch[i] {
+					t.Fatalf("p=%d pass %d: edge %d = %+v, batch has %+v", p, pass, i, streamed[i], batch[i])
+				}
+			}
+		}
+	}
+}
+
+func TestStreamRMATValidates(t *testing.T) {
+	cfg := DefaultRMAT(7, 31)
+	cfg.EdgeFactor = -1
+	if _, _, err := StreamRMAT(cfg); err == nil {
+		t.Fatal("accepted invalid config")
+	}
+}

@@ -58,7 +58,7 @@ func (c *CSR) SelfLoop(x int64) int64 { return c.Self[x] }
 // this package.
 func (c *CSR) RowBounds() (start, end []int64) {
 	n := len(c.Offsets) - 1
-	return c.Offsets[:n], c.Offsets[1:n+1]
+	return c.Offsets[:n], c.Offsets[1 : n+1]
 }
 
 // AdjacencyView is the unified symmetric-adjacency iteration contract served

@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// viewSections returns valid CSR sections for the 4-cycle 0-1-2-3 with a
+// self-loop on vertex 2 (rows sorted, every edge stored twice).
+func viewSections() (offsets, adj, wgt, self []int64) {
+	offsets = []int64{0, 2, 4, 6, 8}
+	adj = []int64{1, 3, 0, 2, 1, 3, 0, 2}
+	wgt = []int64{1, 4, 1, 2, 2, 3, 4, 3}
+	self = []int64{0, 0, 7, 0}
+	return
+}
+
+func TestNewCSRViewValid(t *testing.T) {
+	c, err := NewCSRView(viewSections())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumVertices() != 4 {
+		t.Fatalf("|V| = %d, want 4", c.NumVertices())
+	}
+	adj, wgt := c.Neighbors(1)
+	if len(adj) != 2 || adj[0] != 0 || adj[1] != 2 || wgt[1] != 2 {
+		t.Fatalf("row 1 = %v/%v", adj, wgt)
+	}
+	if c.SelfLoop(2) != 7 {
+		t.Fatalf("self[2] = %d, want 7", c.SelfLoop(2))
+	}
+	if err := VerifyCSR(c); err != nil {
+		t.Fatalf("VerifyCSR on valid view: %v", err)
+	}
+}
+
+func TestNewCSRViewRejectsStructuralCorruption(t *testing.T) {
+	for name, mutate := range map[string]func(o, a, w, s []int64) ([]int64, []int64, []int64, []int64){
+		"empty offsets":      func(o, a, w, s []int64) ([]int64, []int64, []int64, []int64) { return nil, a, w, s },
+		"self length":        func(o, a, w, s []int64) ([]int64, []int64, []int64, []int64) { return o, a, w, s[:3] },
+		"adj/wgt mismatch":   func(o, a, w, s []int64) ([]int64, []int64, []int64, []int64) { return o, a, w[:7], s },
+		"nonzero first":      func(o, a, w, s []int64) ([]int64, []int64, []int64, []int64) { o[0] = 1; return o, a, w, s },
+		"wrong final offset": func(o, a, w, s []int64) ([]int64, []int64, []int64, []int64) { o[4] = 6; return o, a, w, s },
+		"decreasing offsets": func(o, a, w, s []int64) ([]int64, []int64, []int64, []int64) { o[2] = 1; return o, a, w, s },
+	} {
+		o, a, w, s := viewSections()
+		if _, err := NewCSRView(mutate(o, a, w, s)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestVerifyCSRContentChecks(t *testing.T) {
+	// VerifyCSR catches the O(m) corruption NewCSRView intentionally skips.
+	for name, mutate := range map[string]func(o, a, w, s []int64){
+		"neighbor out of range": func(o, a, w, s []int64) { a[0] = 9 },
+		"self entry in adj":     func(o, a, w, s []int64) { a[0] = 0 },
+		"unsorted row":          func(o, a, w, s []int64) { a[0], a[1] = a[1], a[0] },
+		"non-positive weight":   func(o, a, w, s []int64) { w[3] = 0 },
+		"negative self-loop":    func(o, a, w, s []int64) { s[2] = -1 },
+	} {
+		o, a, w, s := viewSections()
+		mutate(o, a, w, s)
+		c := &CSR{Offsets: o, Adj: a, Wgt: w, Self: s}
+		if err := VerifyCSR(c); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestSortCSRRows(t *testing.T) {
+	o, a, w, s := viewSections()
+	// Scramble both rows of vertex 0 and 2 keeping (adj, wgt) pairs.
+	a[0], a[1], w[0], w[1] = a[1], a[0], w[1], w[0]
+	a[4], a[5], w[4], w[5] = a[5], a[4], w[5], w[4]
+	c := &CSR{Offsets: o, Adj: a, Wgt: w, Self: s}
+	SortCSRRows(2, c)
+	if err := VerifyCSR(c); err != nil {
+		t.Fatalf("after sort: %v", err)
+	}
+	adj, wgt := c.Neighbors(0)
+	if adj[0] != 1 || adj[1] != 3 || wgt[0] != 1 || wgt[1] != 4 {
+		t.Fatalf("row 0 after sort = %v/%v", adj, wgt)
+	}
+}
+
+func TestFromCSRRoundTrip(t *testing.T) {
+	c, err := NewCSRView(viewSections())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := FromCSR(2, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("|V|/|E| = %d/%d, want 4/4", g.NumVertices(), g.NumEdges())
+	}
+	if g.Self[2] != 7 {
+		t.Fatalf("self[2] = %d, want 7", g.Self[2])
+	}
+	// The CSR of the materialized graph must match the view exactly.
+	back := ToCSR(1, g)
+	SortCSRRows(1, back)
+	o, a, w, s := viewSections()
+	for i, want := range o {
+		if back.Offsets[i] != want {
+			t.Fatalf("offsets[%d] = %d, want %d", i, back.Offsets[i], want)
+		}
+	}
+	for i := range a {
+		if back.Adj[i] != a[i] || back.Wgt[i] != w[i] {
+			t.Fatalf("entry %d = (%d,%d), want (%d,%d)", i, back.Adj[i], back.Wgt[i], a[i], w[i])
+		}
+	}
+	for i := range s {
+		if back.Self[i] != s[i] {
+			t.Fatalf("self[%d] = %d, want %d", i, back.Self[i], s[i])
+		}
+	}
+}
+
+func TestFromCSRRejectsOutOfRangeNeighbor(t *testing.T) {
+	o, a, w, s := viewSections()
+	a[5] = 42
+	c := &CSR{Offsets: o, Adj: a, Wgt: w, Self: s}
+	_, err := FromCSR(1, c)
+	if err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Fatalf("err = %v, want out-of-range rejection", err)
+	}
+}

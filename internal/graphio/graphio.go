@@ -25,6 +25,22 @@ import (
 // tighten the guard.
 var MaxVertices int64 = 1 << 31
 
+// maxSpeculativeBytes bounds how much any reader in this package allocates
+// on the strength of an unverified header alone. Both binary readers share
+// it: ReadBinary's chunked payload reader (readInt64s) caps its upfront
+// capacity hint at this many bytes, so a corrupt or hostile header claiming
+// huge counts must deliver actual stream bytes before the slice grows past
+// the cap; and OpenMapped's pure-Go fallback routes every section read
+// through the same chunked reader after validating the declared section
+// extents against the real file size. 64 MiB holds 8 Mi int64s — large
+// enough that honestly-sized graphs never pay an append-doubling copy,
+// small enough that a forged header cannot force a giant allocation.
+const maxSpeculativeBytes = 64 << 20
+
+// maxSpeculativeInt64s is maxSpeculativeBytes in int64 units, the form the
+// chunked reader works in.
+const maxSpeculativeInt64s = maxSpeculativeBytes / 8
+
 // ReadEdgeList parses a whitespace-separated edge list: one "u v [w]" triple
 // per line, '#' or '%' starting a comment line, blank lines ignored. Vertex
 // ids are non-negative integers below MaxVertices; the graph size is one
@@ -189,6 +205,13 @@ func WriteBinary(w io.Writer, g *graph.Graph) error {
 	return bw.Flush()
 }
 
+// SniffBinaryMagic reports whether head begins with the compact binary
+// format's magic (format auto-detection for cmd/convert; the mapped format
+// has its own SniffMapped).
+func SniffBinaryMagic(head []byte) bool {
+	return len(head) >= 8 && binary.LittleEndian.Uint64(head) == binaryMagic
+}
+
 // ReadBinary deserializes a graph written by WriteBinary.
 func ReadBinary(r io.Reader, p int) (*graph.Graph, error) {
 	br := bufio.NewReader(r)
@@ -234,15 +257,15 @@ func ReadBinary(r io.Reader, p int) (*graph.Graph, error) {
 // readInt64s reads exactly count little-endian int64s in bounded chunks.
 // The destination is allocated for count up front — clamping the hint to one
 // read chunk made every large graph pay log₂(count/chunk) append-doubling
-// copies of data already in memory — but only up to maxUpfront: a corrupt or
-// hostile header claiming more must deliver actual stream bytes before the
-// slice grows past that, so the giant-allocation defense is preserved.
+// copies of data already in memory — but only up to maxSpeculativeInt64s: a
+// corrupt or hostile header claiming more must deliver actual stream bytes
+// before the slice grows past that, so the giant-allocation defense is
+// preserved (see the maxSpeculativeBytes doc).
 func readInt64s(r io.Reader, count int64, what string) ([]int64, error) {
 	const chunk = 1 << 16
-	const maxUpfront = 1 << 23 // 8 Mi int64s = 64 MiB speculative allocation at most
 	capHint := count
-	if capHint > maxUpfront {
-		capHint = maxUpfront
+	if capHint > maxSpeculativeInt64s {
+		capHint = maxSpeculativeInt64s
 	}
 	out := make([]int64, 0, capHint)
 	buf := make([]int64, chunk)

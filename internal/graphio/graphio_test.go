@@ -157,6 +157,22 @@ func TestReadInt64sPreallocatesKnownCount(t *testing.T) {
 	}
 }
 
+func TestReadInt64sCapsSpeculativeAllocation(t *testing.T) {
+	// Above maxSpeculativeInt64s the claimed count must NOT be trusted: the
+	// up-front allocation stays at the cap and the short stream errors out.
+	// This is the shared defense for every reader built on readInt64s —
+	// ReadBinary's header counts and the mapped format's section reads.
+	payload := make([]int64, 16)
+	var buf bytes.Buffer
+	if err := binary.Write(&buf, binary.LittleEndian, payload); err != nil {
+		t.Fatal(err)
+	}
+	_, err := readInt64s(bytes.NewReader(buf.Bytes()), maxSpeculativeInt64s+1000, "test")
+	if err == nil {
+		t.Fatal("accepted a count above the speculative cap with a short stream")
+	}
+}
+
 func TestWriteMETIS(t *testing.T) {
 	g := gen.Ring(4)
 	var buf bytes.Buffer

@@ -1,0 +1,27 @@
+//go:build !linux
+
+package graphio
+
+// Non-Linux stub: memory mapping is unavailable, so OpenMapped always takes
+// the pure-Go ReaderAt path and these functions exist only to satisfy the
+// shared call sites (mmapSupported gates every one of them off).
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapSupported routes openMappedFile to the ReaderAt fallback.
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, fmt.Errorf("graphio: mmapcsr: memory mapping unsupported on this platform")
+}
+
+func munmapFile(data []byte) error { return nil }
+
+func adviseBytes(data []byte, a Advice) error { return nil }
+
+func sectionInt64s(data []byte, off, count int64) []int64 {
+	panic("graphio: sectionInt64s without mmap support")
+}

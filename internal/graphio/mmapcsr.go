@@ -1,0 +1,415 @@
+package graphio
+
+// The mmapcsr format (DESIGN.md §15) is the out-of-core on-disk layout: a
+// page-aligned little-endian CSR image a reader can memory-map and hand to
+// the engine without materializing any edge on the heap. Layout (all values
+// int64, little-endian, every section start page-aligned):
+//
+//	page 0   header: magic, |V|, |E|, totalWeight,
+//	         offsets/self/adj/wgt section byte offsets, file size
+//	         (rest of the page zero)
+//	...      offsets  |V|+1 entries   row bounds, offsets[|V|] = 2|E|
+//	...      self     |V|  entries    self-loop weights
+//	...      adj      2|E| entries    neighbor ids, every row sorted
+//	...      wgt      2|E| entries    edge weights, positionally paired
+//
+// The symmetric adjacency stores every undirected edge in both endpoints'
+// rows (self-loops only in the self section), exactly the shape graph.CSR
+// serves, so opening is O(1): validate the header against the actual file
+// size, map the file, and wrap the four sections as slices. Rows are sorted
+// by neighbor id so equal graphs serialize to identical bytes and the
+// sharded reader's per-row sweeps are sequential in the file.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/graph"
+)
+
+// mappedMagic identifies the memory-mappable CSR graph format, version 1.
+const mappedMagic = uint64(0x4344474D_01) // "CDGM" + version
+
+// mappedPage is the section alignment. 4 KiB matches the smallest host page
+// size the mapped sections must be int64-aligned on; larger host pages only
+// over-align, which is harmless.
+const mappedPage = 4096
+
+// mappedHeaderFields is the number of int64 header fields; the header
+// occupies the rest of page 0 as zeros.
+const mappedHeaderFields = 9
+
+// mappedLayout is the decoded, validated header: the section extents of one
+// mmapcsr file.
+type mappedLayout struct {
+	n, m, totW                          int64
+	offOffsets, offSelf, offAdj, offWgt int64
+	fileSize                            int64
+}
+
+// pageAlign rounds n up to the next page boundary.
+func pageAlign(n int64) int64 {
+	return (n + mappedPage - 1) &^ (mappedPage - 1)
+}
+
+// layoutFor computes the canonical v1 layout for a graph with n vertices
+// and m undirected edges. The format admits exactly one layout per (n, m),
+// which is what lets the reader validate a header arithmetically instead of
+// trusting its offsets.
+func layoutFor(n, m, totW int64) mappedLayout {
+	l := mappedLayout{n: n, m: m, totW: totW}
+	l.offOffsets = mappedPage
+	l.offSelf = pageAlign(l.offOffsets + 8*(n+1))
+	l.offAdj = pageAlign(l.offSelf + 8*n)
+	l.offWgt = pageAlign(l.offAdj + 8*2*m)
+	l.fileSize = pageAlign(l.offWgt + 8*2*m)
+	return l
+}
+
+// decodeMappedHeader validates a raw header against the actual file size
+// and returns the layout. Every field is checked before any size-dependent
+// allocation: a hostile header claiming huge counts fails the arithmetic
+// consistency check against size first (the mapped-format half of the
+// maxSpeculativeBytes defense — see that constant's doc).
+func decodeMappedHeader(hdr []int64, size int64) (mappedLayout, error) {
+	var l mappedLayout
+	if uint64(hdr[0]) != mappedMagic {
+		return l, fmt.Errorf("graphio: mmapcsr: bad magic %#x (want %#x)", uint64(hdr[0]), mappedMagic)
+	}
+	n, m := hdr[1], hdr[2]
+	if n < 0 || n >= MaxVertices {
+		return l, fmt.Errorf("graphio: mmapcsr: implausible vertex count %d (MaxVertices=%d)", n, MaxVertices)
+	}
+	if m < 0 || m > (1<<44) {
+		return l, fmt.Errorf("graphio: mmapcsr: implausible edge count %d", m)
+	}
+	// Reject counts whose sections cannot fit in the actual file before
+	// computing byte extents, so the arithmetic below cannot overflow and a
+	// forged header never drives an allocation: the file must physically
+	// contain 8(n+1)+8n offset/self bytes and 2·8·2m adjacency bytes.
+	if n+1 > size/8 || m > size/32 {
+		return l, fmt.Errorf("graphio: mmapcsr: header claims |V|=%d |E|=%d but file is only %d bytes", n, m, size)
+	}
+	want := layoutFor(n, m, hdr[3])
+	got := mappedLayout{
+		n: n, m: m, totW: hdr[3],
+		offOffsets: hdr[4], offSelf: hdr[5], offAdj: hdr[6], offWgt: hdr[7],
+		fileSize: hdr[8],
+	}
+	if got != want {
+		return l, fmt.Errorf("graphio: mmapcsr: header sections inconsistent with |V|=%d |E|=%d (corrupt header?)", n, m)
+	}
+	if want.fileSize != size {
+		return l, fmt.Errorf("graphio: mmapcsr: header claims %d-byte file, actual size %d", want.fileSize, size)
+	}
+	return want, nil
+}
+
+// Mapped is an open mmapcsr graph: a CSR adjacency view whose sections
+// live either in a memory-mapped region (Linux) or in heap slices read
+// through the pure-Go fallback. The view is read-only; Close unmaps it, so
+// the CSR (and anything derived from its slices without copying) must not
+// be used after Close.
+type Mapped struct {
+	f    *os.File
+	data []byte // mmap region; nil on the fallback path
+	csr  *graph.CSR
+	lay  mappedLayout
+}
+
+// WriteMapped serializes g in the mmapcsr format using p workers for the
+// CSR conversion. The adjacency rows are sorted, so the output bytes are a
+// deterministic function of the graph.
+func WriteMapped(w io.Writer, p int, g *graph.Graph) error {
+	c := graph.ToCSR(p, g)
+	graph.SortCSRRows(p, c)
+	return WriteMappedCSR(w, c, g.TotalWeight(p))
+}
+
+// WriteMappedCSR serializes an already-symmetric CSR view (rows must be
+// sorted by neighbor id) with the given total weight. The write is purely
+// sequential — header, then each section with its alignment padding — so
+// any io.Writer works.
+func WriteMappedCSR(w io.Writer, c *graph.CSR, totW int64) error {
+	n := c.NumVertices()
+	start, end := c.RowBounds()
+	adjLen := int64(0)
+	if n > 0 {
+		adjLen = end[n-1]
+	}
+	if adjLen%2 != 0 {
+		return fmt.Errorf("graphio: mmapcsr: odd adjacency length %d (view not symmetric)", adjLen)
+	}
+	l := layoutFor(n, adjLen/2, totW)
+	bw := newPaddedWriter(w)
+	hdr := [mappedHeaderFields]int64{
+		int64(mappedMagic), l.n, l.m, l.totW,
+		l.offOffsets, l.offSelf, l.offAdj, l.offWgt, l.fileSize,
+	}
+	if err := bw.writeInt64s(hdr[:]); err != nil {
+		return err
+	}
+	// RowBounds exposes offsets as (start, end) views of the same array;
+	// start padded with the final end gives the n+1 offsets section.
+	if err := bw.padTo(l.offOffsets); err != nil {
+		return err
+	}
+	if err := bw.writeInt64s(start); err != nil {
+		return err
+	}
+	if err := bw.writeInt64s([]int64{adjLen}); err != nil {
+		return err
+	}
+	if err := bw.padTo(l.offSelf); err != nil {
+		return err
+	}
+	if err := bw.writeInt64s(c.Self); err != nil {
+		return err
+	}
+	if err := bw.padTo(l.offAdj); err != nil {
+		return err
+	}
+	if err := bw.writeInt64s(c.Adj); err != nil {
+		return err
+	}
+	if err := bw.padTo(l.offWgt); err != nil {
+		return err
+	}
+	if err := bw.writeInt64s(c.Wgt); err != nil {
+		return err
+	}
+	if err := bw.padTo(l.fileSize); err != nil {
+		return err
+	}
+	return bw.flush()
+}
+
+// paddedWriter writes int64 runs and zero padding with one reused chunk
+// buffer, tracking the absolute offset so sections land page-aligned.
+type paddedWriter struct {
+	w   *bufio.Writer
+	off int64
+	buf []byte
+}
+
+func newPaddedWriter(w io.Writer) *paddedWriter {
+	return &paddedWriter{w: bufio.NewWriterSize(w, 1<<16), buf: make([]byte, 1<<16)}
+}
+
+func (pw *paddedWriter) writeInt64s(xs []int64) error {
+	for len(xs) > 0 {
+		c := len(xs)
+		if c > len(pw.buf)/8 {
+			c = len(pw.buf) / 8
+		}
+		for i := 0; i < c; i++ {
+			binary.LittleEndian.PutUint64(pw.buf[8*i:], uint64(xs[i]))
+		}
+		if _, err := pw.w.Write(pw.buf[:8*c]); err != nil {
+			return err
+		}
+		pw.off += int64(8 * c)
+		xs = xs[c:]
+	}
+	return nil
+}
+
+func (pw *paddedWriter) padTo(target int64) error {
+	if pw.off > target {
+		return fmt.Errorf("graphio: mmapcsr: write overran section boundary (%d past %d)", pw.off, target)
+	}
+	for pw.off < target {
+		c := target - pw.off
+		if c > int64(len(pw.buf)) {
+			c = int64(len(pw.buf))
+		}
+		clear(pw.buf[:c])
+		if _, err := pw.w.Write(pw.buf[:c]); err != nil {
+			return err
+		}
+		pw.off += c
+	}
+	return nil
+}
+
+func (pw *paddedWriter) flush() error { return pw.w.Flush() }
+
+// OpenMapped opens path as an mmapcsr graph. On Linux the file is
+// memory-mapped and the CSR sections are zero-copy views of the mapping;
+// elsewhere (or if the mapping fails) the sections are read onto the heap
+// through the bounded pure-Go reader. Either way the header is fully
+// validated against the actual file size before any section is touched.
+func OpenMapped(path string) (*Mapped, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	mp, err := openMappedFile(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return mp, nil
+}
+
+// openMappedFile maps f when the platform supports it, falling back to the
+// ReaderAt path on mapping failure (e.g. a pipe masquerading as a file).
+func openMappedFile(f *os.File, size int64) (*Mapped, error) {
+	if mmapSupported && size >= mappedPage {
+		if data, err := mmapFile(f, size); err == nil {
+			mp, err := newMappedFromData(data, size)
+			if err != nil {
+				munmapFile(data)
+				return nil, err
+			}
+			mp.f = f
+			return mp, nil
+		}
+	}
+	mp, err := OpenMappedReaderAt(f, size)
+	if err != nil {
+		return nil, err
+	}
+	mp.f = f
+	return mp, nil
+}
+
+// newMappedFromData wraps an mmap region as a Mapped after header
+// validation; the CSR sections alias the region.
+func newMappedFromData(data []byte, size int64) (*Mapped, error) {
+	hdr := make([]int64, mappedHeaderFields)
+	for i := range hdr {
+		hdr[i] = int64(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	l, err := decodeMappedHeader(hdr, size)
+	if err != nil {
+		return nil, err
+	}
+	c, err := graph.NewCSRView(
+		sectionInt64s(data, l.offOffsets, l.n+1),
+		sectionInt64s(data, l.offAdj, 2*l.m),
+		sectionInt64s(data, l.offWgt, 2*l.m),
+		sectionInt64s(data, l.offSelf, l.n),
+	)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapped{data: data, csr: c, lay: l}, nil
+}
+
+// OpenMappedReaderAt is the pure-Go open path: it validates the header
+// against size, then reads each section onto the heap through the bounded
+// chunked reader (sharing the maxSpeculativeBytes defense with ReadBinary).
+// Tests use it directly to exercise the fallback regardless of platform;
+// OpenMapped uses it when mapping is unavailable.
+func OpenMappedReaderAt(r io.ReaderAt, size int64) (*Mapped, error) {
+	if size < mappedPage {
+		return nil, fmt.Errorf("graphio: mmapcsr: file too small (%d bytes) for a header page", size)
+	}
+	rawHdr, err := readInt64s(io.NewSectionReader(r, 0, 8*mappedHeaderFields), mappedHeaderFields, "header")
+	if err != nil {
+		return nil, err
+	}
+	l, err := decodeMappedHeader(rawHdr, size)
+	if err != nil {
+		return nil, err
+	}
+	offsets, err := readInt64s(io.NewSectionReader(r, l.offOffsets, 8*(l.n+1)), l.n+1, "offsets")
+	if err != nil {
+		return nil, err
+	}
+	self, err := readInt64s(io.NewSectionReader(r, l.offSelf, 8*l.n), l.n, "self-loops")
+	if err != nil {
+		return nil, err
+	}
+	adj, err := readInt64s(io.NewSectionReader(r, l.offAdj, 8*2*l.m), 2*l.m, "adjacency")
+	if err != nil {
+		return nil, err
+	}
+	wgt, err := readInt64s(io.NewSectionReader(r, l.offWgt, 8*2*l.m), 2*l.m, "weights")
+	if err != nil {
+		return nil, err
+	}
+	c, err := graph.NewCSRView(offsets, adj, wgt, self)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapped{csr: c, lay: l}, nil
+}
+
+// SniffMapped reports whether r starts with the mmapcsr magic (format
+// auto-detection for cmd/convert and cmd/communities).
+func SniffMapped(r io.ReaderAt) bool {
+	var b [8]byte
+	if _, err := r.ReadAt(b[:], 0); err != nil {
+		return false
+	}
+	return binary.LittleEndian.Uint64(b[:]) == mappedMagic
+}
+
+// CSR returns the adjacency view. Valid until Close.
+func (mp *Mapped) CSR() *graph.CSR { return mp.csr }
+
+// NumVertices reports |V|.
+func (mp *Mapped) NumVertices() int64 { return mp.lay.n }
+
+// NumEdges reports |E| (undirected edges, each stored twice in adj).
+func (mp *Mapped) NumEdges() int64 { return mp.lay.m }
+
+// TotalWeight reports the header's total weight (edge weights plus
+// self-loops), available without any edge sweep.
+func (mp *Mapped) TotalWeight() int64 { return mp.lay.totW }
+
+// MmapBacked reports whether the sections alias a memory mapping (false on
+// the pure-Go fallback path, where they are heap copies).
+func (mp *Mapped) MmapBacked() bool { return mp.data != nil }
+
+// Advice is an access-pattern hint for the mapping, forwarded to madvise
+// where supported.
+type Advice int
+
+const (
+	// AdviseNormal restores the kernel's default readahead.
+	AdviseNormal Advice = iota
+	// AdviseSequential hints a front-to-back sweep (streaming conversion,
+	// whole-graph materialization): aggressive readahead, early reclaim.
+	AdviseSequential
+	// AdviseRandom hints scattered row reads (sharded extraction, point
+	// queries): disables readahead so untouched pages stay on disk.
+	AdviseRandom
+)
+
+// Advise applies the access-pattern hint to the whole mapping. A no-op (and
+// nil error) on the fallback path or where madvise is unavailable.
+func (mp *Mapped) Advise(a Advice) error {
+	if mp.data == nil {
+		return nil
+	}
+	return adviseBytes(mp.data, a)
+}
+
+// Close unmaps the region (when mapped) and closes the file. The CSR view
+// and all slices derived from it are invalid afterwards.
+func (mp *Mapped) Close() error {
+	var err error
+	if mp.data != nil {
+		err = munmapFile(mp.data)
+		mp.data = nil
+	}
+	if mp.f != nil {
+		if cerr := mp.f.Close(); err == nil {
+			err = cerr
+		}
+		mp.f = nil
+	}
+	mp.csr = nil
+	return err
+}

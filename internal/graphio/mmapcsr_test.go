@@ -1,0 +1,249 @@
+package graphio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// mappedTestGraph is the round-trip fixture: a three-block SBM with a couple
+// of explicit self-loops so every section of the format carries real data.
+func mappedTestGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, _, err := gen.SBM(2, gen.SBMConfig{Blocks: []int64{40, 30, 30}, PIn: 0.3, POut: 0.05, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Self[3] = 5
+	g.Self[17] = 2
+	return g
+}
+
+// writeMappedFile serializes g into dir and returns the path.
+func writeMappedFile(t *testing.T, dir string, g *graph.Graph) string {
+	t.Helper()
+	path := filepath.Join(dir, "g.mmapcsr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMapped(f, 2, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// sortedCSR is the canonical in-memory image the on-disk sections must match.
+func sortedCSR(g *graph.Graph) *graph.CSR {
+	c := graph.ToCSR(2, g)
+	graph.SortCSRRows(2, c)
+	return c
+}
+
+func csrSectionsEqual(t *testing.T, what string, got, want *graph.CSR) {
+	t.Helper()
+	if gn, wn := got.NumVertices(), want.NumVertices(); gn != wn {
+		t.Fatalf("%s: |V| = %d, want %d", what, gn, wn)
+	}
+	for name, pair := range map[string][2][]int64{
+		"offsets": {got.Offsets, want.Offsets},
+		"adj":     {got.Adj, want.Adj},
+		"wgt":     {got.Wgt, want.Wgt},
+		"self":    {got.Self, want.Self},
+	} {
+		if len(pair[0]) != len(pair[1]) {
+			t.Fatalf("%s: %s length %d, want %d", what, name, len(pair[0]), len(pair[1]))
+		}
+		for i := range pair[0] {
+			if pair[0][i] != pair[1][i] {
+				t.Fatalf("%s: %s[%d] = %d, want %d", what, name, i, pair[0][i], pair[1][i])
+			}
+		}
+	}
+}
+
+func TestMappedRoundTrip(t *testing.T) {
+	g := mappedTestGraph(t)
+	path := writeMappedFile(t, t.TempDir(), g)
+
+	mp, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mp.Close()
+	if mp.NumVertices() != g.NumVertices() || mp.NumEdges() != g.NumEdges() {
+		t.Fatalf("|V|/|E| = %d/%d, want %d/%d", mp.NumVertices(), mp.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	if tw := g.TotalWeight(1); mp.TotalWeight() != tw {
+		t.Fatalf("total weight %d, want %d", mp.TotalWeight(), tw)
+	}
+	csrSectionsEqual(t, "open", mp.CSR(), sortedCSR(g))
+	if err := graph.VerifyCSR(mp.CSR()); err != nil {
+		t.Fatalf("VerifyCSR: %v", err)
+	}
+	for _, a := range []Advice{AdviseSequential, AdviseRandom, AdviseNormal} {
+		if err := mp.Advise(a); err != nil {
+			t.Fatalf("Advise(%d): %v", a, err)
+		}
+	}
+
+	// Materializing back through the builder must reproduce the original
+	// graph exactly (the convert round-trip path).
+	back, err := graph.FromCSR(2, mp.CSR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	csrSectionsEqual(t, "materialize", sortedCSR(back), sortedCSR(g))
+
+	if err := mp.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := mp.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestMappedReaderAtMatchesMmap(t *testing.T) {
+	// The pure-Go fallback must decode the identical sections the zero-copy
+	// path serves, and must itself round-trip regardless of platform.
+	g := mappedTestGraph(t)
+	path := writeMappedFile(t, t.TempDir(), g)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := OpenMappedReaderAt(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.MmapBacked() {
+		t.Fatal("ReaderAt path claims to be mmap-backed")
+	}
+	if err := mp.Advise(AdviseSequential); err != nil {
+		t.Fatalf("fallback Advise: %v", err)
+	}
+	csrSectionsEqual(t, "readerat", mp.CSR(), sortedCSR(g))
+}
+
+func TestMappedWriteDeterministic(t *testing.T) {
+	// Rows are sorted before serialization, so the bytes must be a pure
+	// function of the graph — independent of the CSR scatter's worker count.
+	g := mappedTestGraph(t)
+	var a, b bytes.Buffer
+	if err := WriteMapped(&a, 1, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMapped(&b, 4, g); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("mmapcsr bytes differ between p=1 and p=4 serializations")
+	}
+}
+
+func TestMappedEdgelessGraph(t *testing.T) {
+	// m = 0 collapses the adj/wgt sections to zero length (offWgt ==
+	// fileSize); both open paths must handle the empty sections.
+	g, err := graph.Build(1, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Self[1] = 4
+	path := writeMappedFile(t, t.TempDir(), g)
+	mp, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mp.Close()
+	if mp.NumVertices() != 3 || mp.NumEdges() != 0 || mp.TotalWeight() != 4 {
+		t.Fatalf("|V|=%d |E|=%d totW=%d, want 3/0/4", mp.NumVertices(), mp.NumEdges(), mp.TotalWeight())
+	}
+	if got := mp.CSR().SelfLoop(1); got != 4 {
+		t.Fatalf("self[1] = %d, want 4", got)
+	}
+}
+
+// corruptMapped returns the serialized fixture with the int64 header field
+// at index i overwritten by v.
+func corruptMapped(t *testing.T, g *graph.Graph, i int, v int64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteMapped(&buf, 1, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	binary.LittleEndian.PutUint64(data[8*i:], uint64(v))
+	return data
+}
+
+func TestMappedHostileHeaders(t *testing.T) {
+	g := mappedTestGraph(t)
+	var clean bytes.Buffer
+	if err := WriteMapped(&clean, 1, g); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"bad magic", corruptMapped(t, g, 0, 0x7777)},
+		{"negative vertices", corruptMapped(t, g, 1, -1)},
+		// Counts beyond MaxVertices / the edge plausibility bound are
+		// rejected before any layout arithmetic.
+		{"huge vertices", corruptMapped(t, g, 1, MaxVertices)},
+		{"huge edges", corruptMapped(t, g, 2, 1<<50)},
+		// Plausible-looking counts that cannot physically fit in the file
+		// must fail the size check before driving any allocation — the
+		// mapped half of the maxSpeculativeBytes defense.
+		{"oversized vertex claim", corruptMapped(t, g, 1, 1<<30)},
+		{"oversized edge claim", corruptMapped(t, g, 2, 1<<40)},
+		{"skewed section offset", corruptMapped(t, g, 5, mappedPage+8)},
+		{"wrong file size field", corruptMapped(t, g, 8, 1<<20)},
+		{"truncated file", clean.Bytes()[:clean.Len()-mappedPage]},
+		{"header page only", clean.Bytes()[:mappedPage]},
+		{"short file", clean.Bytes()[:100]},
+	}
+	dir := t.TempDir()
+	for _, tc := range cases {
+		if _, err := OpenMappedReaderAt(bytes.NewReader(tc.data), int64(len(tc.data))); err == nil {
+			t.Errorf("%s: ReaderAt path accepted corrupt image", tc.name)
+		}
+		// The mmap path must reject the same image.
+		path := filepath.Join(dir, "corrupt.mmapcsr")
+		if err := os.WriteFile(path, tc.data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if mp, err := OpenMapped(path); err == nil {
+			mp.Close()
+			t.Errorf("%s: OpenMapped accepted corrupt image", tc.name)
+		}
+	}
+}
+
+func TestSniffMapped(t *testing.T) {
+	g := mappedTestGraph(t)
+	var mappedBuf, binBuf bytes.Buffer
+	if err := WriteMapped(&mappedBuf, 1, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&binBuf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !SniffMapped(bytes.NewReader(mappedBuf.Bytes())) {
+		t.Error("mmapcsr image not sniffed as mapped")
+	}
+	if SniffMapped(bytes.NewReader(binBuf.Bytes())) {
+		t.Error("binary image sniffed as mapped")
+	}
+	if SniffMapped(bytes.NewReader(nil)) {
+		t.Error("empty input sniffed as mapped")
+	}
+}

@@ -446,6 +446,18 @@ func RenderConvergenceTable(w io.Writer, levels []obs.LevelStats, warnings []obs
 				stage, st.Level, st.Vertices, st.Edges, st.Changed, st.Active)
 			continue
 		}
+		if stage == obs.StageShard {
+			// A shard row summarizes one shard's whole local detection:
+			// subgraph size, vertices merged into local communities, cut
+			// edges deferred to the stitch (shown in the pairs column), and
+			// the shard's edge-load share over the even share. Its local
+			// modularity is against shard-local weight, so no metric.
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t-\tcut %d\t%d\t%.1f\t-\t-\t-\t-\t-\t%.2f\t-\n",
+				stage, st.Shard, st.Vertices, st.Edges, st.CutEdges,
+				st.MergedVertices, 100*st.MergeFraction, st.SchedImbalance)
+			merged += st.MergedVertices
+			continue
+		}
 		imb, bound := "-", "-"
 		if st.SchedImbalance > 0 {
 			imb = fmt.Sprintf("%.2f", st.SchedImbalance)

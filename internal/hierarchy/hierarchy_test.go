@@ -3,9 +3,9 @@ package hierarchy_test
 import (
 	"testing"
 
-	"repro/internal/hierarchy"
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/hierarchy"
 	"repro/internal/metrics"
 )
 

@@ -107,6 +107,15 @@ type LevelStats struct {
 	// dissolved back to singleton vertices.
 	Dissolved       int64 `json:"dissolved,omitempty"`
 	PrevCommunities int64 `json:"prev_communities,omitempty"`
+	// Shard and CutEdges describe sharded detection rows. On a StageShard
+	// row, Shard is the shard index, Vertices/Edges its extracted subgraph,
+	// OutVertices its local community count, and CutEdges the boundary edges
+	// it recorded (each cut edge is counted by exactly one of its two
+	// shards); SchedImbalance carries the shard's edge-load share over the
+	// even share. On the StageStitch row CutEdges is the total across
+	// shards and Vertices the quotient graph the stitch ran on.
+	Shard    int   `json:"shard,omitempty"`
+	CutEdges int64 `json:"cut_edges,omitempty"`
 }
 
 // Stage labels for LevelStats.Stage. The empty string is equivalent to
@@ -120,6 +129,17 @@ const (
 	// re-detection: the previous partition with dirty communities dissolved,
 	// folded into the starting community graph.
 	StageIncremental = "incremental"
+	// StageShard is one shard's local detection in a sharded run: the
+	// subgraph it extracted, the communities it produced, and the boundary
+	// edges it deferred to the stitch. Shard rows carry no global metric
+	// (shard-local modularity is against shard-local weight, not
+	// comparable), so like PLP rows they neither produce nor anchor a
+	// metric delta.
+	StageShard = "shard"
+	// StageStitch is the cross-shard agglomeration over the quotient graph
+	// of per-shard communities and cut edges — the row whose Metric is the
+	// run's final global modularity.
+	StageStitch = "stitch"
 )
 
 // StageOf normalizes a row's stage: empty means StageMatch.
@@ -231,11 +251,14 @@ func (l *Ledger) Record(st LevelStats) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	// The anomaly checks are stage-guarded. PLP sweep rows carry no metric,
-	// so they neither produce nor anchor a metric delta; the coarsen row's
-	// Drain is the PLP active-vertex curve, which legitimately plateaus
-	// (a wave of label changes re-activates whole neighborhoods), so the
-	// geometric-drain expectation applies only to matching rows.
-	if n := len(l.levels); n > 0 && StageOf(st) != StagePLP && StageOf(l.levels[n-1]) != StagePLP {
+	// so they neither produce nor anchor a metric delta — and shard rows
+	// likewise (their modularity would be against shard-local weight); the
+	// coarsen row's Drain is the PLP active-vertex curve, which
+	// legitimately plateaus (a wave of label changes re-activates whole
+	// neighborhoods), so the geometric-drain expectation applies only to
+	// matching rows.
+	metricless := func(stage string) bool { return stage == StagePLP || stage == StageShard }
+	if n := len(l.levels); n > 0 && !metricless(StageOf(st)) && !metricless(StageOf(l.levels[n-1])) {
 		st.MetricDelta = st.Metric - l.levels[n-1].Metric
 		if st.MetricDelta < -1e-12 {
 			l.warn(st.Level, WarnMetricDecrease,
