@@ -22,7 +22,7 @@ KERNEL_SRC := internal/scoring/*.go internal/matching/*.go internal/contract/*.g
 # vet-obs forbids raw fmt.Fprint*(os.Stderr, ...) here.
 LOG_SRC := cmd/*/*.go internal/harness/*.go
 
-.PHONY: all build test race vet vet-obs telemetry-smoke bench bench-smoke bench-compare bench-engines bench-engines-smoke bench-incremental bench-incremental-smoke bench-shard bench-shard-smoke clean
+.PHONY: all build test race vet vet-obs telemetry-smoke doctor doctor-smoke bench bench-smoke bench-compare bench-engines bench-engines-smoke bench-incremental bench-incremental-smoke bench-shard bench-shard-smoke clean
 
 all: build vet vet-obs test
 
@@ -96,12 +96,47 @@ vet-obs:
 		echo "vet-obs: mmap/unsafe primitives outside internal/graphio (open graphs through graphio.OpenMapped):"; \
 		echo "$$bad"; exit 1; \
 	fi
+	@bad=$$(grep -rnE 'pprof\.(StartCPUProfile|StopCPUProfile|WriteHeapProfile|Lookup)' --include='*.go' cmd internal *.go | grep -v '^internal/obs/' | grep -v '_test.go'); \
+	if [ -n "$$bad" ]; then \
+		echo "vet-obs: raw runtime/pprof profile write outside internal/obs (capture through obs.Profiler so profiles are archived, rate-limited, and cross-linked):"; \
+		echo "$$bad"; exit 1; \
+	fi
 
 # End-to-end telemetry check, also a CI step: a real detection serves
 # /metrics/prom and the scrape comes back non-empty with the counter, gauge,
 # and histogram families the serving dashboards depend on.
 telemetry-smoke:
 	$(GO) test -run 'TestLivePrometheusScrape|TestWritePrometheus' -count=1 ./internal/obs/
+
+# The run doctor's offline drift report over a real archive. Bootstraps a
+# 5-run baseline at R-MAT scale 14 (big enough that kernel seconds clear the
+# doctor's 0.02s absolute floor) into $(DOCTOR_LEDGER) on first use, runs one
+# fresh head detection, and gates on cmd/doctor: non-zero exit when the head
+# regressed past the thresholds. DOCTOR_INJECT multiplies the head's timings
+# before assessment — the self-test hook doctor-smoke uses to prove the gate
+# actually fires (DOCTOR_INJECT=3 must fail).
+DOCTOR_INJECT ?= 1
+DOCTOR_LEDGER ?= results/doctor_baseline.jsonl
+DOCTOR_RUN    := $(GO) run ./cmd/communities -gen rmat -scale 14
+doctor:
+	mkdir -p results
+	@if ! test -s $(DOCTOR_LEDGER); then \
+		echo "doctor: bootstrapping 5-run baseline into $(DOCTOR_LEDGER)"; \
+		for i in 1 2 3 4 5; do $(DOCTOR_RUN) -ledger $(DOCTOR_LEDGER) >/dev/null || exit 1; done; \
+	fi
+	rm -f results/doctor_head.jsonl
+	$(DOCTOR_RUN) -ledger results/doctor_head.jsonl -doctor=false >/dev/null
+	$(GO) run ./cmd/doctor -baseline $(DOCTOR_LEDGER) -inject $(DOCTOR_INJECT) results/doctor_head.jsonl
+
+# CI's doctor gate self-test: a clean pass must exit zero and an injected 3x
+# kernel-seconds regression on the same archive must exit non-zero.
+doctor-smoke:
+	$(MAKE) doctor
+	@if $(MAKE) doctor DOCTOR_INJECT=3; then \
+		echo "doctor-smoke: injected 3x regression was NOT flagged"; exit 1; \
+	else \
+		echo "doctor-smoke: clean run passed, injected regression gated — ok"; \
+	fi
 
 # Runs the arena-vs-fresh detection benchmarks (and anything else matching
 # $(BENCH)) with allocation stats, archiving the raw `go test -json` event

@@ -92,6 +92,8 @@ func main() {
 	traceOut := flag.String("trace.out", "", "write a Chrome trace_event timeline of the -phases run to this file (implies -phases)")
 	convergence := flag.Bool("convergence", false, "print the -phases run's per-level convergence table (implies -phases)")
 	ledgerPath := flag.String("ledger", "", "append the -phases run's JSON manifest to this file (implies -phases)")
+	doctorOn := flag.Bool("doctor", true, "assess the -ledger run against the archived baseline (run doctor)")
+	profileDir := flag.String("profile.dir", obs.DefaultProfileDir, "archive triggered pprof captures under this directory")
 	metricsAddr := flag.String("metrics.addr", "", "serve live detection metrics over HTTP on this address (e.g. localhost:6070)")
 	logLevel := flag.String("log.level", "info", "diagnostic log level: debug | info | warn | error")
 	logFormat := flag.String("log.format", "text", "diagnostic log format: text | json")
@@ -148,8 +150,11 @@ func main() {
 		b.rec.SetFlight(obs.Flight())
 		b.led = obs.NewLedger()
 		b.led.SetLogger(logger)
+		b.prof = obs.NewProfiler(obs.ProfilerOptions{Dir: *profileDir})
+		b.led.SetProfiler(b.prof)
 		b.convergence = *convergence
 		b.ledgerPath = *ledgerPath
+		b.doctorOn = *doctorOn
 	}
 	if *traceOut != "" {
 		path := *traceOut
@@ -276,12 +281,17 @@ type bencher struct {
 	engine      core.Engine   // engine for the sweep modes (-engine flag)
 	rec         *obs.Recorder // nil unless -phases / -trace.out / -metrics.addr
 	led         *obs.Ledger   // convergence rows for the -phases run; same gating
+	prof        *obs.Profiler // triggered pprof captures; same gating
 	convergence bool          // print the convergence table after -phases
 	ledgerPath  string        // append the -phases manifest here ("" = off)
+	doctorOn    bool          // assess the -ledger manifest before appending
 	// ledgerGraph/ledgerOpt describe the instrumented run for its manifest;
 	// set by runPhases before detection so a panic flush can label partial rows.
 	ledgerGraph report.GraphInfo
 	ledgerOpt   core.Options
+	// ledgerSummary is the finished run's outcome; nil until the -phases
+	// detection completes, so a partial crash manifest stays summary-less.
+	ledgerSummary *report.Summary
 
 	rmatG, ljG, webG *graph.Graph
 	smallRecs        []harness.Record
@@ -406,6 +416,14 @@ func (b *bencher) runPhases() {
 	b.ledgerOpt = opt
 	res, err := core.DetectContext(b.ctx, g, opt)
 	check(err)
+	b.ledgerSummary = &report.Summary{
+		Communities: res.NumCommunities,
+		Coverage:    res.FinalCoverage,
+		Modularity:  res.FinalModularity,
+		Termination: string(res.Termination),
+		TotalSec:    res.Total.Seconds(),
+		EdgesPerSec: float64(g.NumEdges()) / res.Total.Seconds(),
+	}
 	check(harness.RenderPhaseTable(os.Stdout, res.Stats))
 	if b.convergence {
 		check(harness.RenderConvergenceTable(os.Stdout, b.led.Levels(), b.led.Warnings()))
@@ -434,15 +452,27 @@ func (b *bencher) flushLedger(kind string) {
 		return
 	}
 	m := &report.Manifest{
-		Kind:    kind,
-		Time:    time.Now().UTC(),
-		Host:    report.CollectMeta(),
-		Graph:   b.ledgerGraph,
-		Options: report.OptionsOf(b.ledgerOpt),
-		Kernels: b.rec.KernelSeconds(),
+		Kind:      kind,
+		Time:      time.Now().UTC(),
+		Host:      report.CollectMeta(),
+		Graph:     b.ledgerGraph,
+		Options:   report.OptionsOf(b.ledgerOpt),
+		Kernels:   b.rec.KernelSeconds(),
+		Latencies: b.rec.Latencies(),
+	}
+	if kind == "run" {
+		m.Summary = b.ledgerSummary
+	}
+	if a := b.rec.Allocs(); a.Bytes != 0 || a.Count != 0 {
+		m.Allocs = &a
 	}
 	if p := b.led.Export(); p != nil {
 		m.Levels, m.Warnings = p.Levels, p.Warnings
+	}
+	if kind == "run" && b.doctorOn {
+		harness.RunDoctor(m, harness.DoctorConfig{
+			LedgerPath: b.ledgerPath, Profiler: b.prof, Ledger: b.led,
+		})
 	}
 	if err := report.AppendManifest(b.ledgerPath, m); err != nil {
 		slog.Error("manifest append failed", "error", err)

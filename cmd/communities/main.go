@@ -78,6 +78,8 @@ func main() {
 		stats       = flag.Bool("stats", false, "print the per-phase kernel breakdown table to stderr")
 		convergence = flag.Bool("convergence", false, "print the per-level convergence table to stderr")
 		ledgerPath  = flag.String("ledger", "", "append a self-contained JSON run manifest to this file (e.g. results/ledger.jsonl)")
+		doctorOn    = flag.Bool("doctor", true, "with -ledger: assess the run against the archive's learned baseline (verdict in the manifest, drift warnings, auto profile capture on anomaly)")
+		profileDir  = flag.String("profile.dir", obs.DefaultProfileDir, "archive triggered pprof captures under this directory")
 		traceOut    = flag.String("trace.out", "", "write a Chrome trace_event timeline of the run to this file")
 		metricsAddr = flag.String("metrics.addr", "", "serve live detection metrics over HTTP on this address (e.g. localhost:6070)")
 		logLevel    = flag.String("log.level", "info", "diagnostic log level: debug | info | warn | error")
@@ -137,6 +139,14 @@ func main() {
 		led.SetLogger(logger)
 		opt.Ledger = led
 	}
+	// The triggered profiler rides with the recorder: ledger warnings start
+	// rate-limited CPU windows mid-run, and an anomalous doctor verdict
+	// archives heap + CPU evidence under -profile.dir.
+	var prof *obs.Profiler
+	if rec != nil {
+		prof = obs.NewProfiler(obs.ProfilerOptions{Dir: *profileDir})
+		led.SetProfiler(prof)
+	}
 	if *metricsAddr != "" {
 		srv, err := obs.Serve(*metricsAddr, rec, led)
 		if err != nil {
@@ -162,16 +172,17 @@ func main() {
 		if *updates != "" || *compare || *doRefine || *refinePh {
 			fatal(fmt.Errorf("-shards is incompatible with -updates, -compare, -refine and -refine-phases"))
 		}
-		if *jsonPath != "" || *ledgerPath != "" {
-			fatal(fmt.Errorf("-json and -ledger are not supported with -shards; use -stats, -convergence, -out or -trace.out"))
+		if *jsonPath != "" {
+			fatal(fmt.Errorf("-json is not supported with -shards; use -stats, -convergence, -ledger, -out or -trace.out"))
 		}
 		runSharded(ctx, shardedRun{
 			inPath: *inPath, format: *format, genName: *genName,
 			scale: *scale, n: *n, seed: *seed,
 			threads: *threads, shards: *shards,
 			outPath: *outPath, traceOut: *traceOut,
+			ledgerPath: *ledgerPath, doctorOn: *doctorOn,
 			stats: *stats, convergence: *convergence, verbose: *verbose,
-		}, opt, rec, led)
+		}, opt, rec, led, prof)
 		return
 	}
 
@@ -292,7 +303,17 @@ func main() {
 			fmt.Printf("wrote JSON report to %s\n", *jsonPath)
 		}
 		if *ledgerPath != "" {
-			if err := report.AppendManifest(*ledgerPath, report.ManifestFromRun(run)); err != nil {
+			m := report.ManifestFromRun(run)
+			// The doctor assesses against the archive as it stands, BEFORE
+			// this run's line is appended — so the appended manifest already
+			// carries its own verdict.
+			if *doctorOn {
+				v := harness.RunDoctor(m, harness.DoctorConfig{
+					LedgerPath: *ledgerPath, Profiler: prof, Ledger: led, Log: logger,
+				})
+				printVerdict(v)
+			}
+			if err := report.AppendManifest(*ledgerPath, m); err != nil {
 				fatal(err)
 			}
 			fmt.Printf("appended run manifest to %s\n", *ledgerPath)
@@ -460,6 +481,29 @@ func parseKernels(s string, opt *core.Options) error {
 		return fmt.Errorf("unknown contraction kernel %q", parts[1])
 	}
 	return nil
+}
+
+// printVerdict summarizes the doctor's assessment on stdout, next to the
+// detection summary it judges.
+func printVerdict(v *obs.Verdict) {
+	if v == nil {
+		return
+	}
+	switch v.Status {
+	case obs.VerdictNoBaseline:
+		fmt.Printf("doctor: no baseline yet (%d archived runs under this key)\n", v.BaselineRuns)
+	case obs.VerdictAnomalous:
+		fmt.Printf("doctor: ANOMALOUS vs %d-run baseline (%d findings, %d regressions, max |z| %.1f)\n",
+			v.BaselineRuns, len(v.Findings), v.Regressions(), v.MaxAbsZ)
+		for _, f := range v.Findings {
+			fmt.Printf("doctor:   %s %.4g vs median %.4g (z %+.1f)\n", f.Metric, f.Value, f.Median, f.Z)
+		}
+		if v.ProfileRef != "" {
+			fmt.Printf("doctor: profile captured: %s\n", v.ProfileRef)
+		}
+	default:
+		fmt.Printf("doctor: ok vs %d-run baseline (max |z| %.1f)\n", v.BaselineRuns, v.MaxAbsZ)
+	}
 }
 
 // runName labels the report with the input file or generator used.

@@ -5,7 +5,10 @@ package main
 // stitch summaries. It deliberately shares loadGraph and the observability
 // flags with the single-image path but not its result plumbing — a
 // ShardResult is not a *core.Result, and the extensions that need one
-// (-updates, -refine, -compare, -json, -ledger) are rejected in main.
+// (-updates, -refine, -compare, -json) are rejected in main. -ledger works:
+// the sharded path assembles its manifest directly from the ShardResult,
+// with Options.Shards set so the doctor baselines sharded runs apart from
+// single-image ones, and gets the same end-of-run verdict.
 
 import (
 	"context"
@@ -18,6 +21,7 @@ import (
 	"repro/internal/graphio"
 	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/report"
 )
 
 // shardedRun carries the flag values the sharded path consumes.
@@ -28,11 +32,13 @@ type shardedRun struct {
 	seed                    uint64
 	threads, shards         int
 	outPath, traceOut       string
+	ledgerPath              string
+	doctorOn                bool
 	stats, convergence      bool
 	verbose                 bool
 }
 
-func runSharded(ctx context.Context, sr shardedRun, opt core.Options, rec *obs.Recorder, led *obs.Ledger) {
+func runSharded(ctx context.Context, sr shardedRun, opt core.Options, rec *obs.Recorder, led *obs.Ledger, prof *obs.Profiler) {
 	csr, inputEdges, totW, source, cleanup, err := loadShardCSR(sr)
 	if err != nil {
 		fatal(err)
@@ -79,6 +85,23 @@ func runSharded(ctx context.Context, sr shardedRun, opt core.Options, rec *obs.R
 	fmt.Printf("rate: %.3g input edges/second\n", float64(inputEdges)/elapsed.Seconds())
 	fmt.Printf("quality: modularity %.4f coverage %.4f\n", res.FinalModularity, res.FinalCoverage)
 
+	if sr.ledgerPath != "" {
+		m := shardedManifest(sr, opt, rec, led, res,
+			report.GraphInfo{
+				Name:     runName(sr.inPath, sr.genName),
+				Vertices: csr.NumVertices(), Edges: inputEdges, Weight: totW,
+			}, elapsed)
+		if sr.doctorOn {
+			printVerdict(harness.RunDoctor(m, harness.DoctorConfig{
+				LedgerPath: sr.ledgerPath, Profiler: prof, Ledger: led,
+			}))
+		}
+		if err := report.AppendManifest(sr.ledgerPath, m); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("appended run manifest to %s\n", sr.ledgerPath)
+	}
+
 	if sr.outPath != "" {
 		f, err := os.Create(sr.outPath)
 		if err != nil {
@@ -106,6 +129,42 @@ func runSharded(ctx context.Context, sr shardedRun, opt core.Options, rec *obs.R
 		}
 		fmt.Printf("wrote Chrome trace to %s (load in chrome://tracing or ui.perfetto.dev)\n", sr.traceOut)
 	}
+}
+
+// shardedManifest assembles the manifest for a sharded run. The single-image
+// path goes Run -> ManifestFromRun, but a ShardResult is not a *core.Result,
+// so the sharded path builds the manifest directly: same Kind/shape, with
+// Options.Shards carrying the fan-out so the doctor baselines sharded runs
+// under their own key.
+func shardedManifest(sr shardedRun, opt core.Options, rec *obs.Recorder, led *obs.Ledger,
+	res *core.ShardResult, gi report.GraphInfo, elapsed time.Duration) *report.Manifest {
+	ro := report.OptionsOf(opt)
+	ro.Shards = sr.shards
+	m := &report.Manifest{
+		Kind:    "run",
+		Time:    time.Now().UTC(),
+		Host:    report.CollectMeta(),
+		Graph:   gi,
+		Options: ro,
+		Summary: &report.Summary{
+			Communities: res.NumCommunities,
+			Coverage:    res.FinalCoverage,
+			Modularity:  res.FinalModularity,
+			Termination: string(res.Stitch.Termination),
+			TotalSec:    elapsed.Seconds(),
+			EdgesPerSec: float64(gi.Edges) / elapsed.Seconds(),
+		},
+		Kernels:   rec.KernelSeconds(),
+		Latencies: rec.Latencies(),
+	}
+	if a := rec.Allocs(); a.Bytes != 0 || a.Count != 0 {
+		m.Allocs = &a
+	}
+	if p := led.Export(); p != nil {
+		m.Levels = p.Levels
+		m.Warnings = p.Warnings
+	}
+	return m
 }
 
 // loadShardCSR opens the detection input as a CSR view. An mmapcsr file maps

@@ -1,0 +1,111 @@
+// Command doctor renders the offline drift report over archived run
+// manifests: per-key total_sec trends, the newest run's verdict against its
+// baseline, and a rollup of every structured ledger warning. It exits
+// non-zero when any head run regresses past the thresholds, which is what
+// `make doctor` and the CI doctor-smoke step gate on.
+//
+// Usage:
+//
+//	doctor [flags] manifests.jsonl [more.jsonl...]
+//
+// With -baseline the named archive is the model and every positional file
+// contributes head runs (newest per key is assessed). Without it the
+// positional files are both archive and heads: each key's newest manifest is
+// assessed against everything before it (leave-last-out).
+//
+// -inject N multiplies the head runs' total and kernel seconds by N before
+// assessment. It exists so the doctor can test its own gate: `make
+// doctor DOCTOR_INJECT=3` must fail while the clean run passes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+
+	"repro/internal/doctor"
+	"repro/internal/report"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "", "manifest archive to learn the baseline from (default: leave-last-out over the positional files)")
+	inject := flag.Float64("inject", 1, "multiply head runs' total and kernel seconds by this factor (self-test hook)")
+	threshold := flag.Float64("threshold", doctor.DefaultZThreshold, "robust |z| a drift must exceed to flag")
+	minRuns := flag.Int("min-runs", doctor.DefaultMinRuns, "baseline runs required per key before assessing")
+	minRatio := flag.Float64("min-ratio", doctor.DefaultMinRatio, "relative-change floor in the drifting direction")
+	minAbsSec := flag.Float64("min-abs-sec", doctor.DefaultMinAbsSec, "absolute floor for timing drifts, in seconds")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: doctor [flags] manifests.jsonl [more.jsonl...]\n\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var baseline []*report.Manifest
+	if *baselinePath != "" {
+		baseline = readArchive(*baselinePath)
+	}
+	var heads []*report.Manifest
+	for _, path := range flag.Args() {
+		heads = append(heads, readArchive(path)...)
+	}
+	if *inject != 1 {
+		injectSlowdown(heads, *inject)
+		fmt.Printf("doctor: injected %gx slowdown into %d head manifests (self-test)\n", *inject, len(heads))
+	}
+
+	rep := doctor.Analyze(baseline, heads, doctor.Options{
+		ZThreshold: *threshold,
+		MinRuns:    *minRuns,
+		MinRatio:   *minRatio,
+		MinAbsSec:  *minAbsSec,
+	})
+	if err := rep.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if rep.Regressions > 0 {
+		os.Exit(1)
+	}
+}
+
+// readArchive loads one manifest file, reporting (but tolerating) torn
+// lines. A missing or unreadable file is fatal: unlike the in-run doctor,
+// the offline report was asked for explicitly.
+func readArchive(path string) []*report.Manifest {
+	ms, skipped, err := report.ReadManifestFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	if skipped > 0 {
+		slog.Warn("skipped torn manifest lines", "path", path, "skipped", skipped)
+	}
+	return ms
+}
+
+// injectSlowdown scales every head manifest's timing metrics in place —
+// the hook `make doctor DOCTOR_INJECT=3` uses to prove the gate fires.
+func injectSlowdown(ms []*report.Manifest, factor float64) {
+	for _, m := range ms {
+		if m.Summary != nil {
+			m.Summary.TotalSec *= factor
+		}
+		for i := range m.Kernels {
+			m.Kernels[i].Seconds *= factor
+		}
+		for i := range m.Latencies {
+			m.Latencies[i].P50Sec *= factor
+			m.Latencies[i].P90Sec *= factor
+			m.Latencies[i].P99Sec *= factor
+		}
+	}
+}
+
+func fatal(err error) {
+	slog.Error("doctor failed", "error", err)
+	os.Exit(1)
+}

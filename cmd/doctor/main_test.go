@@ -1,0 +1,104 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/doctor"
+	"repro/internal/obs"
+	"repro/internal/report"
+)
+
+func mkManifest(totalSec float64) *report.Manifest {
+	return &report.Manifest{
+		Kind:    "run",
+		Graph:   report.GraphInfo{Name: "rmat-14-16", Vertices: 1 << 14, Edges: 1 << 18},
+		Options: report.Options{Engine: "matching", Threads: 8},
+		Summary: &report.Summary{
+			Communities: 900, Modularity: 0.61, Termination: "coverage",
+			TotalSec: totalSec, EdgesPerSec: float64(1<<18) / totalSec,
+		},
+		Kernels: []obs.KernelSeconds{{Kernel: "contract", Seconds: totalSec * 0.6, Spans: 12}},
+	}
+}
+
+func writeArchive(t *testing.T, path string, secs ...float64) {
+	t.Helper()
+	for _, s := range secs {
+		if err := report.AppendManifest(path, mkManifest(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDoctorGate drives the same pipeline main() runs — read baseline, read
+// heads, optionally inject, analyze — and pins the gate both ways: a clean
+// head passes, the same head with the 3x self-test injection regresses.
+func TestDoctorGate(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "baseline.jsonl")
+	headPath := filepath.Join(dir, "head.jsonl")
+	writeArchive(t, basePath, 0.250, 0.252, 0.248, 0.255, 0.251)
+	writeArchive(t, headPath, 0.253)
+
+	baseline := readArchive(basePath)
+	heads := readArchive(headPath)
+	rep := doctor.Analyze(baseline, heads, doctor.Options{})
+	if rep.Regressions != 0 {
+		t.Fatalf("clean head: %d regressions, want 0", rep.Regressions)
+	}
+
+	heads = readArchive(headPath)
+	injectSlowdown(heads, 3)
+	rep = doctor.Analyze(baseline, heads, doctor.Options{})
+	if rep.Regressions == 0 {
+		t.Fatal("3x-injected head produced no regressions — the gate would not fire")
+	}
+	var sb strings.Builder
+	if err := rep.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "ANOMALOUS") || !strings.Contains(sb.String(), "REGRESSION") {
+		t.Fatalf("injected report lacks the anomaly rendering:\n%s", sb.String())
+	}
+}
+
+// TestDoctorTornArchive: a torn trailing line in the archive is skipped, not
+// fatal — the offline report must read a file a crashed run last wrote to.
+func TestDoctorTornArchive(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn.jsonl")
+	writeArchive(t, path, 0.250, 0.252, 0.248)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"kind":"run","graph":{"na`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ms := readArchive(path)
+	if len(ms) != 3 {
+		t.Fatalf("torn archive read %d manifests, want 3", len(ms))
+	}
+}
+
+func TestInjectSlowdown(t *testing.T) {
+	m := mkManifest(0.25)
+	m.Latencies = []obs.LatencyProfile{{Class: "detect", P50Sec: 0.2, P90Sec: 0.24, P99Sec: 0.25}}
+	injectSlowdown([]*report.Manifest{m}, 3)
+	if m.Summary.TotalSec != 0.75 {
+		t.Fatalf("TotalSec = %v, want 0.75", m.Summary.TotalSec)
+	}
+	if got := m.Kernels[0].Seconds; math.Abs(got-0.45) > 1e-12 {
+		t.Fatalf("kernel seconds = %v, want 0.45", got)
+	}
+	if m.Latencies[0].P99Sec != 0.75 {
+		t.Fatalf("p99 = %v, want 0.75", m.Latencies[0].P99Sec)
+	}
+}

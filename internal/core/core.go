@@ -444,6 +444,9 @@ func detect(ec *exec.Ctx, g *graph.Graph, opt Options, s *Scratch, seed *seedPar
 	// ledger) keeps a pointer published to the live expvar endpoint valid
 	// across bench iterations.
 	opt.Ledger.Reset()
+	// The run's heap footprint brackets the whole detection: two ReadMemStats
+	// stop-the-worlds per run, only when recording is on — never per kernel.
+	rec.BeginAllocs()
 
 	start := time.Now()
 	n := g.NumVertices()
@@ -521,6 +524,7 @@ func detect(ec *exec.Ctx, g *graph.Graph, opt Options, s *Scratch, seed *seedPar
 		res.FinalModularity = modularityOf(ec, cg, deg, totW)
 		res.Total = time.Since(start)
 		rec.ObserveLatency(obs.LatDetect, res.Total.Nanoseconds())
+		rec.EndAllocs()
 		return res, nil
 	}
 

@@ -1,0 +1,146 @@
+package doctor
+
+// The offline drift report: what cmd/doctor renders over any manifest set —
+// a per-key trend table, the head run's verdict per key, and a rollup of
+// every structured ledger warning in the archive. Deterministic output
+// (keys sorted, warnings sorted) so runs diff cleanly in CI logs.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/obs"
+	"repro/internal/report"
+)
+
+// KeyReport is one baseline key's slice of the report.
+type KeyReport struct {
+	Key  Key
+	Runs int // baseline runs the verdict was assessed against
+	// Trend is the total_sec series in archive order, head last.
+	Trend   []float64
+	Verdict *obs.Verdict
+}
+
+// Report is the analyzed manifest set.
+type Report struct {
+	Keys []KeyReport
+	// WarningCounts rolls up every ledger warning code across all
+	// manifests (baseline and head).
+	WarningCounts map[string]int
+	// Regressions counts regressing-direction findings across all head
+	// verdicts — the gate cmd/doctor exits non-zero on.
+	Regressions int
+}
+
+// Analyze assesses heads against a baseline. With a nil baseline set, the
+// baseline per key is everything in heads but that key's newest manifest
+// (leave-last-out: "did the latest run drift from the archive before it").
+// With an explicit baseline set, every key's newest head manifest is
+// assessed against it. Manifest order is append order — newest last.
+func Analyze(baseline, heads []*report.Manifest, o Options) *Report {
+	o = o.withDefaults()
+	r := &Report{WarningCounts: map[string]int{}}
+	for _, m := range append(append([]*report.Manifest{}, baseline...), heads...) {
+		for _, w := range m.Warnings {
+			r.WarningCounts[w.Code]++
+		}
+	}
+
+	// Newest manifest per key, in head order.
+	headOf := map[Key]*report.Manifest{}
+	var keys []Key
+	for _, m := range heads {
+		if m.Kind != "run" || m.Summary == nil {
+			continue
+		}
+		k := KeyOf(m)
+		if _, seen := headOf[k]; !seen {
+			keys = append(keys, k)
+		}
+		headOf[k] = m
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+
+	for _, k := range keys {
+		head := headOf[k]
+		base := baseline
+		if base == nil {
+			// Leave-last-out: the head's own archive minus the head itself.
+			for _, m := range heads {
+				if m != head && KeyOf(m) == k {
+					base = append(base, m)
+				}
+			}
+		}
+		var trend []float64
+		for _, m := range base {
+			if m.Kind == "run" && m.Summary != nil && KeyOf(m) == k {
+				trend = append(trend, m.Summary.TotalSec)
+			}
+		}
+		trend = append(trend, head.Summary.TotalSec)
+		v := Learn(base).Assess(head, o)
+		r.Regressions += v.Regressions()
+		r.Keys = append(r.Keys, KeyReport{Key: k, Runs: v.BaselineRuns, Trend: trend, Verdict: v})
+	}
+	return r
+}
+
+// Render writes the human-readable report.
+func (r *Report) Render(w io.Writer) error {
+	var err error
+	pf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	if len(r.Keys) == 0 {
+		pf("doctor: no assessable run manifests\n")
+		return err
+	}
+	for _, kr := range r.Keys {
+		pf("key: %s\n", kr.Key)
+		pf("  baseline runs: %d   total_sec trend:", kr.Runs)
+		for i, t := range kr.Trend {
+			if i == len(kr.Trend)-1 {
+				pf(" ->")
+			}
+			pf(" %.4g", t)
+		}
+		pf("\n")
+		v := kr.Verdict
+		switch v.Status {
+		case obs.VerdictNoBaseline:
+			pf("  verdict: no-baseline (%d runs archived, need more)\n", v.BaselineRuns)
+		case obs.VerdictOK:
+			pf("  verdict: ok (max |z| %.2f)\n", v.MaxAbsZ)
+		default:
+			pf("  verdict: ANOMALOUS (%d findings, %d regressions, max |z| %.2f)\n",
+				len(v.Findings), v.Regressions(), v.MaxAbsZ)
+			for _, f := range v.Findings {
+				tag := "drift"
+				if f.Regression {
+					tag = "REGRESSION"
+				}
+				pf("    %-10s %-28s %.4g vs median %.4g  (x%.2f, z %+.1f)\n",
+					tag, f.Metric, f.Value, f.Median, f.Ratio, f.Z)
+			}
+		}
+	}
+	if len(r.WarningCounts) > 0 {
+		codes := make([]string, 0, len(r.WarningCounts))
+		for c := range r.WarningCounts {
+			codes = append(codes, c)
+		}
+		sort.Strings(codes)
+		pf("warning rollup:")
+		for _, c := range codes {
+			pf("  %s x%d", c, r.WarningCounts[c])
+		}
+		pf("\n")
+	}
+	pf("doctor: %d keys, %d regressions\n", len(r.Keys), r.Regressions)
+	return err
+}

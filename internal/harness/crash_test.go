@@ -44,13 +44,28 @@ func TestRenderLatencyTableEmpty(t *testing.T) {
 
 // TestFlushCrash drives the shared crash path end to end: black-box dump,
 // partial trace, and "partial" manifest all land, and the call survives
-// all-zero artifacts (a crash before any recorder exists).
+// all-zero artifacts (a crash before any recorder exists). The flight
+// artifact must also carry the crash-time doctor context: the live verdict
+// and the most recent archived profile, so a post-mortem starts from "what
+// did the doctor already know".
 func TestFlushCrash(t *testing.T) {
 	obs.Flight().Reset()
 	defer obs.Flight().Reset()
 	obs.Flight().Record(obs.FlightMark, "test", "before-crash", "", 0)
 
+	defer obs.SetLiveVerdict(nil)
+	obs.SetLiveVerdict(&obs.Verdict{
+		Status: obs.VerdictAnomalous, Key: "unit engine=matching threads=2 shards=0",
+		BaselineRuns: 4, MaxAbsZ: 9.5,
+		Findings: []obs.DriftFinding{{Metric: "total_sec", Value: 3, Median: 1, Z: 9.5, Ratio: 3, Regression: true}},
+	})
+
 	dir := t.TempDir()
+	prof := obs.NewProfiler(obs.ProfilerOptions{Dir: filepath.Join(dir, "profiles")})
+	profPath, err := prof.CaptureHeap("crash-test")
+	if err != nil {
+		t.Fatal(err)
+	}
 	rec := obs.New()
 	rec.ObserveLatency(obs.LatDetect, 1<<22)
 	sp := rec.Begin(obs.CatKernel, "score", 0)
@@ -90,15 +105,21 @@ func TestFlushCrash(t *testing.T) {
 	if dump.Reason != "partial" || len(dump.Events) == 0 {
 		t.Fatalf("flight dump = reason %q with %d events", dump.Reason, len(dump.Events))
 	}
+	if dump.Verdict == nil || !dump.Verdict.Anomalous() || dump.Verdict.Regressions() != 1 {
+		t.Fatalf("flight dump verdict = %+v, want the published anomalous verdict", dump.Verdict)
+	}
+	if dump.Profile != profPath {
+		t.Fatalf("flight dump profile = %q, want the captured %q", dump.Profile, profPath)
+	}
 
 	f, err := os.Open(ledgerPath)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	ms, err := report.ReadManifests(f)
-	if err != nil || len(ms) != 1 {
-		t.Fatalf("manifests = %d (err %v), want 1", len(ms), err)
+	ms, skipped, err := report.ReadManifests(f)
+	if err != nil || len(ms) != 1 || skipped != 0 {
+		t.Fatalf("manifests = %d, skipped %d (err %v), want 1 clean", len(ms), skipped, err)
 	}
 	m := ms[0]
 	if m.Kind != "partial" || m.Graph.Name != "unit" || len(m.Levels) != 1 {

@@ -1,0 +1,81 @@
+package harness
+
+// End-of-run doctor glue shared by the CLIs: read the archived baseline
+// from the manifest ledger the run is about to append to, assess the new
+// manifest, and fan the verdict out to every surface — the manifest itself,
+// the structured ledger warnings, the live Prometheus gauges, and (for an
+// anomalous run) a triggered profile capture cross-linked back into the
+// verdict. Runs BEFORE AppendManifest so the baseline is exactly the
+// archive-before-this-run and the appended line already carries its
+// verdict.
+
+import (
+	"fmt"
+	"log/slog"
+	"os"
+
+	"repro/internal/doctor"
+	"repro/internal/obs"
+	"repro/internal/report"
+)
+
+// DoctorConfig wires RunDoctor's inputs. Zero-value fields degrade
+// gracefully: no ledger path means no baseline (verdict "no-baseline"), nil
+// profiler skips capture, nil ledger skips warnings, nil log falls back to
+// slog.Default.
+type DoctorConfig struct {
+	// LedgerPath is the manifest archive to learn the baseline from —
+	// normally the same file the run's manifest is appended to.
+	LedgerPath string
+	Opt        doctor.Options
+	Profiler   *obs.Profiler
+	Ledger     *obs.Ledger
+	Log        *slog.Logger
+}
+
+// RunDoctor assesses m against the archived baseline and publishes the
+// verdict everywhere: m.Verdict (so the appended manifest carries it), the
+// convergence ledger (drift findings as WarnDrift warnings), the live
+// Prometheus doctor gauges, and — when anomalous — a triggered pprof
+// capture whose path lands in the verdict's ProfileRef. Never fails the
+// run: archive read errors log and degrade to no-baseline.
+func RunDoctor(m *report.Manifest, cfg DoctorConfig) *obs.Verdict {
+	log := cfg.Log
+	if log == nil {
+		log = slog.Default()
+	}
+	var archive []*report.Manifest
+	if cfg.LedgerPath != "" {
+		ms, skipped, err := report.ReadManifestFile(cfg.LedgerPath)
+		if err != nil && !os.IsNotExist(err) {
+			log.Warn("doctor: baseline archive unreadable", "path", cfg.LedgerPath, "error", err)
+		}
+		if skipped > 0 {
+			log.Warn("doctor: skipped torn manifest lines", "path", cfg.LedgerPath, "skipped", skipped)
+		}
+		archive = ms
+	}
+	v := doctor.Learn(archive).Assess(m, cfg.Opt)
+	if v.Anomalous() {
+		// Capture before the warnings: AddWarning's TriggerCPU hook shares the
+		// profiler's rate limiter, and the anomaly capture must win that slot
+		// so the manifest gets its ProfileRef.
+		if path := cfg.Profiler.TriggerAnomaly("doctor:" + v.Key); path != "" {
+			v.ProfileRef = path
+		}
+		for _, f := range v.Findings {
+			cfg.Ledger.AddWarning(-1, obs.WarnDrift,
+				fmt.Sprintf("%s drifted: %.4g vs baseline median %.4g (z %+.1f)",
+					f.Metric, f.Value, f.Median, f.Z))
+		}
+		log.Warn("doctor: run is anomalous against its baseline",
+			"key", v.Key, "findings", len(v.Findings), "regressions", v.Regressions(),
+			"max_abs_z", v.MaxAbsZ, "baseline_runs", v.BaselineRuns, "profile", v.ProfileRef)
+	} else {
+		log.Info("doctor: run assessed", "key", v.Key, "status", v.Status,
+			"baseline_runs", v.BaselineRuns, "max_abs_z", v.MaxAbsZ)
+	}
+	m.Verdict = v
+	obs.SetLiveVerdict(v)
+	return v
+}

@@ -19,10 +19,18 @@ func TestDisabledRecorderAllocs(t *testing.T) {
 		ph.EndArgs("a", 1, "b", 2)
 		r.SetKernel("score")
 		r.ObserveLatency(LatDetect, 12345)
+		r.BeginAllocs()
+		r.EndAllocs()
 		var fl *FlightRecorder
 		fl.Record(FlightSpan, "kernel", "score", "", 1)
 		var lh *LatencyHist
 		lh.Observe(99)
+		var p *Profiler
+		p.TriggerCPU("warn")
+		p.TriggerAnomaly("doctor")
+		_ = p.Last()
+		var led *Ledger
+		led.AddWarning(-1, WarnDrift, "drift")
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled recorder allocates %v allocs/op, want 0", allocs)

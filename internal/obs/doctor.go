@@ -1,0 +1,100 @@
+package obs
+
+// Doctor verdict types. The baseline learning and assessment logic lives in
+// internal/doctor (it reads archived report.Manifest lines, and report
+// imports obs — so the verdict *types* must sit here, below report, for the
+// manifest to embed one). obs owns what the rest of the observability stack
+// needs at runtime: the struct serialized into manifests and flight dumps,
+// the process-wide "live verdict" the Prometheus endpoint exposes as
+// community_doctor_* gauges, and the WarnDrift ledger code drift findings
+// are surfaced under.
+
+import "sync/atomic"
+
+// Verdict statuses.
+const (
+	// VerdictOK: the run is statistically indistinguishable from its
+	// baseline.
+	VerdictOK = "ok"
+	// VerdictAnomalous: at least one metric drifted past the z-score and
+	// relative-change thresholds in the regressing direction.
+	VerdictAnomalous = "anomalous"
+	// VerdictNoBaseline: fewer archived runs under this key than the
+	// minimum the robust statistics need; nothing was assessed.
+	VerdictNoBaseline = "no-baseline"
+)
+
+// DriftFinding is one metric's drift against the learned baseline.
+type DriftFinding struct {
+	// Metric names what drifted: "total_sec", "kernel_seconds/<kernel>",
+	// "latency_p99/<class>", "levels", "modularity", "alloc_bytes".
+	Metric string `json:"metric"`
+	// Value is this run's observation; Median and MAD describe the
+	// baseline distribution (median and median absolute deviation).
+	Value  float64 `json:"value"`
+	Median float64 `json:"median"`
+	MAD    float64 `json:"mad"`
+	// Z is the robust z-score: (Value − Median) / max(1.4826·MAD, floor).
+	Z float64 `json:"z"`
+	// Ratio is Value/Median (0 when the median is 0).
+	Ratio float64 `json:"ratio"`
+	// Regression is true when the drift points the bad way for this metric
+	// (slower, more allocation, lower modularity). A large |Z| the good way
+	// is still surfaced — an unexplained 3× speedup deserves a look — but
+	// does not fail a gate.
+	Regression bool `json:"regression"`
+}
+
+// Verdict is one run's end-of-run doctor assessment, embedded in the
+// appended manifest, the flight-recorder dump, and the live Prometheus
+// gauges.
+type Verdict struct {
+	Status string `json:"status"` // ok | anomalous | no-baseline
+	// Key is the baseline bucket the run was compared within
+	// (graph×engine×threads×shards, rendered by internal/doctor).
+	Key string `json:"key,omitempty"`
+	// BaselineRuns is how many archived runs the baseline was learned from.
+	BaselineRuns int `json:"baseline_runs"`
+	// MaxAbsZ is the largest |z| across all assessed metrics (0 with no
+	// baseline).
+	MaxAbsZ  float64        `json:"max_abs_z,omitempty"`
+	Findings []DriftFinding `json:"findings,omitempty"`
+	// ProfileRef is the pprof profile archived for this run when the
+	// anomaly triggered a capture — the cross-link from manifest to
+	// results/profiles/.
+	ProfileRef string `json:"profile_ref,omitempty"`
+}
+
+// Anomalous reports whether the verdict flags the run. Nil-safe: no verdict
+// is not an anomaly.
+func (v *Verdict) Anomalous() bool { return v != nil && v.Status == VerdictAnomalous }
+
+// Regressions counts findings that drifted in the regressing direction.
+func (v *Verdict) Regressions() int {
+	if v == nil {
+		return 0
+	}
+	n := 0
+	for _, f := range v.Findings {
+		if f.Regression {
+			n++
+		}
+	}
+	return n
+}
+
+// liveVerdict is the most recent run's verdict, published for the
+// Prometheus gauges and the flight-recorder dump (same pattern as
+// liveRec/liveLedger: process-wide, atomically swapped per run).
+var liveVerdict atomic.Pointer[Verdict]
+
+// SetLiveVerdict publishes v as the process's current doctor verdict. Pass
+// nil to clear. Returns v for chaining.
+func SetLiveVerdict(v *Verdict) *Verdict {
+	liveVerdict.Store(v)
+	return v
+}
+
+// LiveVerdict returns the most recently published verdict, nil when no run
+// has been assessed.
+func LiveVerdict() *Verdict { return liveVerdict.Load() }

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestDoctorGaugesAndFlight pins the two runtime surfaces a published
+// verdict must reach: the community_doctor_* Prometheus gauges and the
+// flight-recorder dump's embedded verdict + most recent profile reference.
+func TestDoctorGaugesAndFlight(t *testing.T) {
+	defer SetLiveVerdict(nil)
+
+	// No verdict published: gauges still render (zeros), so the exposition
+	// shape never depends on whether a doctor ran in-process.
+	SetLiveVerdict(nil)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"community_doctor_anomalous 0",
+		"community_doctor_baseline_runs 0",
+		"community_doctor_findings 0",
+		"community_doctor_regressions 0",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("no-verdict exposition missing %q:\n%s", want, buf.String())
+		}
+	}
+
+	v := &Verdict{
+		Status: VerdictAnomalous, Key: "rmat-14-16 engine=matching threads=8 shards=0",
+		BaselineRuns: 5, MaxAbsZ: 23.5,
+		Findings: []DriftFinding{
+			{Metric: "total_sec", Value: 0.75, Median: 0.25, Z: 23.5, Ratio: 3, Regression: true},
+			{Metric: "modularity", Value: 0.7, Median: 0.61, Z: 5, Ratio: 1.15},
+		},
+	}
+	SetLiveVerdict(v)
+	buf.Reset()
+	if err := WritePrometheus(&buf, nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"community_doctor_anomalous 1",
+		"community_doctor_baseline_runs 5",
+		"community_doctor_findings 2",
+		"community_doctor_regressions 1",
+		"community_doctor_max_abs_z 23.5",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("anomalous exposition missing %q:\n%s", want, buf.String())
+		}
+	}
+
+	// A heap capture plus the live verdict must both land in the flight dump.
+	p := NewProfiler(ProfilerOptions{Dir: t.TempDir()})
+	path, err := p.CaptureHeap("flight-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump := Flight().Dump("test")
+	if dump.Verdict == nil || dump.Verdict.Status != VerdictAnomalous {
+		t.Fatalf("flight dump verdict = %+v, want the live anomalous verdict", dump.Verdict)
+	}
+	if dump.Profile != path {
+		t.Fatalf("flight dump profile = %q, want %q", dump.Profile, path)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"expvar"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -68,8 +69,13 @@ func writeSnapshot[T any](w http.ResponseWriter, v *T) {
 // /metrics/prom (Prometheus text exposition), /convergence (live
 // LedgerProfile JSON), /debug/vars (standard expvar, including the
 // "detection" and "convergence" vars), /debug/flight (the flight-recorder
-// black box as JSON, on demand), and /healthz. Exposed separately from Serve
-// so tests can drive it without a listener.
+// black box as JSON, on demand), /debug/pprof/* (the standard profiling
+// endpoints: index, CPU profile windows, heap and the other runtime
+// profiles, symbolization, execution traces), and /healthz. The pprof
+// handlers are wired explicitly rather than via the net/http/pprof side
+// effect on DefaultServeMux — the metrics endpoint owns its mux, and a CLI
+// that never serves HTTP must not grow debug routes implicitly. Exposed
+// separately from Serve so tests can drive it without a listener.
 func Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -84,6 +90,11 @@ func Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		Flight().WriteDump(w, "http")
 	})
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
 	})

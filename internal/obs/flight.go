@@ -185,7 +185,12 @@ type FlightDump struct {
 	Counters  map[string]int64 `json:"counters,omitempty"`
 	Latencies []LatencyProfile `json:"latencies,omitempty"`
 	Converge  *LedgerProfile   `json:"convergence,omitempty"`
-	Events    []FlightEvent    `json:"events"`
+	// Verdict is the most recent run's doctor assessment and Profile the
+	// most recently archived pprof capture — the cross-links that let a
+	// black-box reader jump straight to the drift evidence.
+	Verdict *Verdict      `json:"verdict,omitempty"`
+	Profile string        `json:"profile,omitempty"`
+	Events  []FlightEvent `json:"events"`
 }
 
 // Dump assembles the artifact from the ring plus whatever recorder/ledger
@@ -198,6 +203,8 @@ func (f *FlightRecorder) Dump(reason string) *FlightDump {
 		GoVersion: runtime.Version(),
 		Dropped:   f.Dropped(),
 		Runtime:   SampleRuntime(),
+		Verdict:   LiveVerdict(),
+		Profile:   LastProfile(),
 		Events:    f.Events(),
 	}
 	if r := liveRec.Load(); r != nil {

@@ -168,6 +168,10 @@ const (
 	// seeded run re-does most of the agglomeration and a from-scratch Detect
 	// is likely cheaper and better.
 	WarnDissolveStorm = "dissolve-storm"
+	// WarnDrift: the run doctor found a metric z-scored past its baseline
+	// (kernel seconds, latency quantiles, convergence shape, allocations).
+	// Emitted post-run via AddWarning, not by Record.
+	WarnDrift = "doctor-drift"
 )
 
 // dissolveStormDen is the dissolved-community fraction denominator for
@@ -202,6 +206,22 @@ type Ledger struct {
 	// real-time mirror of the post-hoc Warnings list. Warnings also land in
 	// the process flight recorder unconditionally (the ring is free).
 	logger *slog.Logger
+	// profiler, when set, gets a rate-limited asynchronous CPU-window
+	// trigger on every warning — the "capture evidence while the anomaly is
+	// still running" half of the doctor's triggered profiling.
+	profiler *Profiler
+}
+
+// SetProfiler triggers a rate-limited background CPU capture on future
+// warnings (a stalled matching or metric decrease profiles itself while the
+// run is still degenerating). Pass nil to stop.
+func (l *Ledger) SetProfiler(p *Profiler) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.profiler = p
+	l.mu.Unlock()
 }
 
 // SetLogger mirrors future warnings into log as they are recorded (a stalled
@@ -298,9 +318,24 @@ func (l *Ledger) Record(st LevelStats) {
 func (l *Ledger) warn(level int, code, detail string) {
 	l.warnings = append(l.warnings, Warning{Level: level, Code: code, Detail: detail})
 	Flight().Record(FlightWarning, "ledger", code, detail, 0)
+	l.profiler.TriggerCPU(code)
 	if l.logger != nil {
 		l.logger.Warn("convergence anomaly", "code", code, "level", level, "detail", detail)
 	}
+}
+
+// AddWarning appends one structured warning from outside the Record path —
+// the run doctor's drift findings arrive this way after the run finishes.
+// level is the row index the warning anchors to (-1 for run-scoped). It
+// mirrors into the flight ring and the attached logger like every other
+// warning. Nil-safe.
+func (l *Ledger) AddWarning(level int, code, detail string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.warn(level, code, detail)
+	l.mu.Unlock()
 }
 
 // Levels returns a copy of the recorded rows, in level order.

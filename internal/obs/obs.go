@@ -26,6 +26,7 @@ package obs
 import (
 	"context"
 	"math/bits"
+	"runtime"
 	"runtime/pprof"
 	"sort"
 	"sync"
@@ -155,6 +156,15 @@ type Recorder struct {
 	// lat holds the per-class latency histograms (atomic buckets, not under
 	// mu — ObserveLatency must stay lock-free).
 	lat LatencySet
+	// allocBase* hold the cumulative heap counters sampled by BeginAllocs;
+	// EndAllocs folds the deltas into allocBytes/allocCount (under mu). The
+	// run-scoped allocation footprint feeds the manifest and the doctor's
+	// alloc drift metric.
+	allocBaseBytes uint64
+	allocBaseCount uint64
+	allocOpen      bool
+	allocBytes     int64
+	allocCount     int64
 	// flight, when set, receives a copy of every closed span — the black-box
 	// ring the crash paths dump. Set once before the run starts (SetFlight);
 	// read without synchronization on the span-close path.
@@ -193,6 +203,7 @@ func (r *Recorder) Reset() {
 	r.hist = [histBins]int64{}
 	r.regions = nil
 	r.phase, r.phases = 0, 0
+	r.allocBytes, r.allocCount, r.allocOpen = 0, 0, false
 	for i := range r.hot.v {
 		atomic.StoreInt64(&r.hot.v[i], 0)
 	}
@@ -221,6 +232,55 @@ func (r *Recorder) SetFlight(f *FlightRecorder) {
 		return
 	}
 	r.flight = f
+}
+
+// AllocStats is a run's heap-allocation footprint: bytes allocated and
+// allocation count between BeginAllocs and EndAllocs, accumulated across
+// runs on one recorder.
+type AllocStats struct {
+	Bytes int64 `json:"bytes"`
+	Count int64 `json:"count"`
+}
+
+// BeginAllocs samples the cumulative heap counters at the start of a run.
+// ReadMemStats stops the world, so this runs exactly once per detection (and
+// only when recording is on), never inside kernels. Nil-safe.
+func (r *Recorder) BeginAllocs() {
+	if r == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.mu.Lock()
+	r.allocBaseBytes, r.allocBaseCount, r.allocOpen = ms.TotalAlloc, ms.Mallocs, true
+	r.mu.Unlock()
+}
+
+// EndAllocs folds the allocation delta since BeginAllocs into the recorder;
+// a second EndAllocs (or one without a BeginAllocs) is a no-op.
+func (r *Recorder) EndAllocs() {
+	if r == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.mu.Lock()
+	if r.allocOpen {
+		r.allocBytes += int64(ms.TotalAlloc - r.allocBaseBytes)
+		r.allocCount += int64(ms.Mallocs - r.allocBaseCount)
+		r.allocOpen = false
+	}
+	r.mu.Unlock()
+}
+
+// Allocs returns the accumulated run-scoped allocation footprint.
+func (r *Recorder) Allocs() AllocStats {
+	if r == nil {
+		return AllocStats{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return AllocStats{Bytes: r.allocBytes, Count: r.allocCount}
 }
 
 // ObserveLatency records one duration (ns) under latency class c. Lock-free
@@ -500,6 +560,9 @@ type Profile struct {
 	Regions     []RegionProfile  `json:"regions,omitempty"`
 	Latencies   []LatencyProfile `json:"latencies,omitempty"`
 	Spans       []SpanProfile    `json:"spans,omitempty"`
+	// Allocs is the run-scoped heap footprint (BeginAllocs/EndAllocs
+	// bracket), absent when the engine never sampled it.
+	Allocs *AllocStats `json:"allocs,omitempty"`
 }
 
 // KernelSeconds is total time in one kernel across phases.
@@ -639,6 +702,9 @@ func (r *Recorder) Export() *Profile {
 			rp.Imbalance = float64(st.maxNS) * float64(st.workers) / float64(st.busyNS)
 		}
 		p.Regions = append(p.Regions, rp)
+	}
+	if r.allocBytes != 0 || r.allocCount != 0 {
+		p.Allocs = &AllocStats{Bytes: r.allocBytes, Count: r.allocCount}
 	}
 	p.Latencies = r.lat.Export()
 	for i := range r.spans {

@@ -218,7 +218,12 @@ func TestMetricsHandler(t *testing.T) {
 	srv := httptest.NewServer(Handler())
 	defer srv.Close()
 
-	for _, path := range []string{"/metrics", "/debug/vars", "/healthz"} {
+	// /debug/pprof is wired explicitly on this mux (no DefaultServeMux side
+	// effect): the index and the named profiles it dispatches must serve.
+	// The CPU endpoint is exercised with ?seconds= elsewhere; fetching it
+	// here would block for its default 30s window.
+	for _, path := range []string{"/metrics", "/debug/vars", "/healthz",
+		"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/heap"} {
 		resp, err := srv.Client().Get(srv.URL + path)
 		if err != nil {
 			t.Fatalf("GET %s: %v", path, err)

@@ -1,0 +1,246 @@
+package obs
+
+// Triggered continuous profiling. The Profiler archives pprof CPU and heap
+// profiles under a bounded directory ring: on demand (an operator asking for
+// a window), automatically when the run doctor flags an anomalous run, and
+// from the ledger's warning path mid-run. It follows the package's disabled
+// discipline — a nil *Profiler no-ops everywhere at zero allocations — and
+// never blocks the paths it observes: anomaly-triggered CPU windows run on
+// their own goroutine, captures are rate-limited by a single CAS, and a CPU
+// window that loses the process-global StartCPUProfile race (only one may
+// run, and /debug/pprof/profile may hold it) is skipped, not waited for.
+//
+// This file is the one sanctioned home for runtime/pprof profile writes:
+// the vet-obs lint forbids Start/Stop/WriteHeapProfile calls outside
+// internal/obs, so every archived profile flows through here (or the
+// explicit /debug/pprof handlers) and lands cross-linked in the manifest
+// and flight-recorder artifacts.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Profiler defaults.
+const (
+	// DefaultProfileDir is where archived profiles land, next to the
+	// manifest ledgers and flight dumps.
+	DefaultProfileDir = "results/profiles"
+	// DefaultCPUWindow is the CPU capture length for triggered windows —
+	// long enough to catch a few contraction levels, short enough that the
+	// anomaly's tail is still in frame.
+	DefaultCPUWindow = 2 * time.Second
+	// DefaultProfileMinInterval rate-limits captures: a degenerating run
+	// flags every level, and one profile per interval is evidence enough.
+	DefaultProfileMinInterval = 30 * time.Second
+	// DefaultProfileKeep bounds the archive ring per profiler: the oldest
+	// file is pruned when a new capture would exceed it.
+	DefaultProfileKeep = 16
+)
+
+// ProfilerOptions configures NewProfiler; zero fields take the defaults
+// above.
+type ProfilerOptions struct {
+	Dir         string
+	CPUWindow   time.Duration
+	MinInterval time.Duration
+	Keep        int
+}
+
+// Profiler captures and archives pprof profiles. A nil *Profiler is the
+// disabled profiler — every method is a nil-check no-op.
+type Profiler struct {
+	dir    string
+	window time.Duration
+	minGap time.Duration
+	keep   int
+
+	lastNS  atomic.Int64 // NowNS of the last accepted capture (rate limit)
+	cpuBusy atomic.Bool  // StartCPUProfile is process-global; hold at most one
+
+	mu       sync.Mutex
+	last     string   // most recent archived path
+	archived []string // this profiler's files, oldest first, pruned to keep
+}
+
+// Process-wide capture bookkeeping, readable without a profiler handle: the
+// flight-recorder dump embeds the most recent archived profile path, and the
+// Prometheus exposition counts captures.
+var (
+	lastProfilePath atomic.Pointer[string]
+	profilesTotal   atomic.Int64
+)
+
+// LastProfile returns the most recently archived profile path from any
+// profiler in the process, "" when none was captured.
+func LastProfile() string {
+	if p := lastProfilePath.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// ProfilesCaptured reports how many profiles the process has archived.
+func ProfilesCaptured() int64 { return profilesTotal.Load() }
+
+// NewProfiler returns an enabled profiler archiving under o.Dir.
+func NewProfiler(o ProfilerOptions) *Profiler {
+	if o.Dir == "" {
+		o.Dir = DefaultProfileDir
+	}
+	if o.CPUWindow <= 0 {
+		o.CPUWindow = DefaultCPUWindow
+	}
+	if o.MinInterval < 0 {
+		o.MinInterval = 0
+	} else if o.MinInterval == 0 {
+		o.MinInterval = DefaultProfileMinInterval
+	}
+	if o.Keep <= 0 {
+		o.Keep = DefaultProfileKeep
+	}
+	return &Profiler{dir: o.Dir, window: o.CPUWindow, minGap: o.MinInterval, keep: o.Keep}
+}
+
+// Enabled reports whether p captures anything; false for the nil profiler.
+func (p *Profiler) Enabled() bool { return p != nil }
+
+// Last returns p's most recently archived profile path, "" when none.
+func (p *Profiler) Last() string {
+	if p == nil {
+		return ""
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.last
+}
+
+// allow is the capture rate limit: one winner per minGap window, decided by
+// a single CAS so the warning path never takes a lock.
+func (p *Profiler) allow() bool {
+	now := NowNS()
+	last := p.lastNS.Load()
+	if last != 0 && now-last < p.minGap.Nanoseconds() {
+		return false
+	}
+	return p.lastNS.CompareAndSwap(last, now)
+}
+
+// CaptureHeap archives a heap profile immediately (the write is a GC-sized
+// pause, not a window) and returns its path. Not rate-limited: explicit
+// captures are the operator's call.
+func (p *Profiler) CaptureHeap(reason string) (string, error) {
+	if p == nil {
+		return "", nil
+	}
+	return p.capture("heap", reason, func(f *os.File) error {
+		return pprof.WriteHeapProfile(f)
+	})
+}
+
+// CaptureCPU archives a CPU profile of duration d (p's default window when
+// d <= 0), blocking for the window. Only one CPU profile may run in the
+// process — a second concurrent capture (or one racing /debug/pprof/profile)
+// fails fast with the StartCPUProfile error instead of queueing.
+func (p *Profiler) CaptureCPU(reason string, d time.Duration) (string, error) {
+	if p == nil {
+		return "", nil
+	}
+	if d <= 0 {
+		d = p.window
+	}
+	if !p.cpuBusy.CompareAndSwap(false, true) {
+		return "", fmt.Errorf("obs: a CPU profile capture is already running")
+	}
+	defer p.cpuBusy.Store(false)
+	return p.capture("cpu", reason, func(f *os.File) error {
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		time.Sleep(d)
+		pprof.StopCPUProfile()
+		return nil
+	})
+}
+
+// TriggerCPU requests an asynchronous rate-limited CPU window — the ledger's
+// warning hook, cheap enough for mid-run paths: a CAS, and on the winning
+// call one goroutine spawn. Reports whether a capture was started.
+func (p *Profiler) TriggerCPU(reason string) bool {
+	if p == nil || !p.allow() {
+		return false
+	}
+	go func() {
+		if _, err := p.CaptureCPU(reason, 0); err != nil {
+			Flight().Record(FlightLog, "profiler", "cpu-capture-failed", err.Error(), 0)
+		}
+	}()
+	return true
+}
+
+// TriggerAnomaly is the doctor's capture hook for an anomalous run: it
+// archives a heap profile immediately (the run just ended; its allocations
+// are the evidence still standing) and starts an asynchronous CPU window for
+// the aftermath. Rate-limited as one capture event; returns the heap profile
+// path for cross-linking, "" when rate-limited, disabled, or failed.
+func (p *Profiler) TriggerAnomaly(reason string) string {
+	if p == nil || !p.allow() {
+		return ""
+	}
+	path, err := p.CaptureHeap(reason)
+	if err != nil {
+		Flight().Record(FlightLog, "profiler", "heap-capture-failed", err.Error(), 0)
+		return ""
+	}
+	go func() {
+		if _, err := p.CaptureCPU(reason, 0); err != nil {
+			Flight().Record(FlightLog, "profiler", "cpu-capture-failed", err.Error(), 0)
+		}
+	}()
+	return path
+}
+
+// capture writes one profile through fill, archives it in the ring, prunes
+// past keep, and publishes the path for the flight dump and metrics.
+func (p *Profiler) capture(kind, reason string, fill func(*os.File) error) (string, error) {
+	if err := os.MkdirAll(p.dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(p.dir, fmt.Sprintf("%s_%d_%d.pprof", kind, os.Getpid(), time.Now().UnixNano()))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	ferr := fill(f)
+	cerr := f.Close()
+	if ferr != nil {
+		os.Remove(path)
+		return "", ferr
+	}
+	if cerr != nil {
+		return "", cerr
+	}
+
+	p.mu.Lock()
+	p.last = path
+	p.archived = append(p.archived, path)
+	var evict string
+	if len(p.archived) > p.keep {
+		evict = p.archived[0]
+		p.archived = append(p.archived[:0], p.archived[1:]...)
+	}
+	p.mu.Unlock()
+	if evict != "" {
+		os.Remove(evict)
+	}
+
+	lastProfilePath.Store(&path)
+	profilesTotal.Add(1)
+	Flight().Record(FlightMark, "profiler", kind+"-profile", reason+" -> "+path, 0)
+	return path, nil
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// pprof profile files are gzip-compressed protobufs; the two-byte gzip magic
+// is enough to know a real profile landed on disk.
+func assertPprofFile(t *testing.T, path string) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("archived profile unreadable: %v", err)
+	}
+	if len(b) < 2 || b[0] != 0x1f || b[1] != 0x8b {
+		t.Fatalf("%s does not start with the gzip magic (got % x)", path, b[:min(len(b), 2)])
+	}
+}
+
+func TestProfilerCaptureHeap(t *testing.T) {
+	dir := t.TempDir()
+	p := NewProfiler(ProfilerOptions{Dir: dir})
+	path, err := p.CaptureHeap("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(path) != dir || !strings.HasPrefix(filepath.Base(path), "heap_") {
+		t.Fatalf("unexpected archive path %q", path)
+	}
+	assertPprofFile(t, path)
+	if p.Last() != path {
+		t.Fatalf("Last() = %q, want %q", p.Last(), path)
+	}
+	if LastProfile() != path {
+		t.Fatalf("LastProfile() = %q, want %q", LastProfile(), path)
+	}
+}
+
+func TestProfilerCaptureCPU(t *testing.T) {
+	p := NewProfiler(ProfilerOptions{Dir: t.TempDir(), CPUWindow: 50 * time.Millisecond})
+	path, err := p.CaptureCPU("test", 0)
+	if err != nil {
+		// /debug/pprof/profile or another test may hold the process-global
+		// CPU profiler; losing that race is the documented fail-fast path.
+		t.Skipf("CPU profiler busy: %v", err)
+	}
+	if !strings.HasPrefix(filepath.Base(path), "cpu_") {
+		t.Fatalf("unexpected archive path %q", path)
+	}
+	assertPprofFile(t, path)
+}
+
+func TestProfilerRateLimit(t *testing.T) {
+	p := NewProfiler(ProfilerOptions{Dir: t.TempDir(), MinInterval: time.Hour,
+		CPUWindow: 10 * time.Millisecond})
+	if got := p.TriggerAnomaly("first"); got == "" {
+		t.Fatal("first TriggerAnomaly was rate-limited")
+	}
+	if got := p.TriggerAnomaly("second"); got != "" {
+		t.Fatalf("second TriggerAnomaly within the interval captured %q, want rate-limited", got)
+	}
+	if p.TriggerCPU("third") {
+		t.Fatal("TriggerCPU within the interval was not rate-limited")
+	}
+	// Drain the winner's async CPU window before t.TempDir cleanup races its
+	// file writes: wait (bounded) for the capture to start, then to finish.
+	for i := 0; i < 200 && !p.cpuBusy.Load(); i++ {
+		time.Sleep(time.Millisecond)
+	}
+	for p.cpuBusy.Load() {
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestProfilerRingPrune(t *testing.T) {
+	dir := t.TempDir()
+	p := NewProfiler(ProfilerOptions{Dir: dir, Keep: 2, MinInterval: -1})
+	var paths []string
+	for i := 0; i < 3; i++ {
+		path, err := p.CaptureHeap("ring")
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, path)
+		// UnixNano filenames must differ.
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, err := os.Stat(paths[0]); !os.IsNotExist(err) {
+		t.Fatalf("oldest profile %s not pruned (keep=2)", paths[0])
+	}
+	for _, keep := range paths[1:] {
+		if _, err := os.Stat(keep); err != nil {
+			t.Fatalf("kept profile %s missing: %v", keep, err)
+		}
+	}
+}
+
+func TestProfilerDisabledNil(t *testing.T) {
+	var p *Profiler
+	if p.Enabled() {
+		t.Fatal("nil profiler claims enabled")
+	}
+	if path, err := p.CaptureHeap("x"); path != "" || err != nil {
+		t.Fatalf("nil CaptureHeap = (%q, %v)", path, err)
+	}
+	if path, err := p.CaptureCPU("x", time.Millisecond); path != "" || err != nil {
+		t.Fatalf("nil CaptureCPU = (%q, %v)", path, err)
+	}
+	if p.TriggerCPU("x") {
+		t.Fatal("nil TriggerCPU started a capture")
+	}
+	if got := p.TriggerAnomaly("x"); got != "" {
+		t.Fatalf("nil TriggerAnomaly = %q", got)
+	}
+	if p.Last() != "" {
+		t.Fatal("nil Last() non-empty")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"math"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"sync"
@@ -108,6 +109,28 @@ func promFloat(v float64) string {
 // promLabel renders a single-label selector, escaping the value per the
 // exposition format.
 func promLabel(key, val string) string {
+	return `{` + key + `="` + promEscape(val) + `"}`
+}
+
+// promLabels renders a multi-label selector from key/value pairs, in the
+// order given (the exposition format does not require sorted labels, and a
+// fixed order keeps the document golden-testable).
+func promLabels(kv ...string) string {
+	out := []byte{'{'}
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		out = append(out, kv[i]...)
+		out = append(out, '=', '"')
+		out = append(out, promEscape(kv[i+1])...)
+		out = append(out, '"')
+	}
+	return string(append(out, '}'))
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(val string) string {
 	esc := make([]byte, 0, len(val)+16)
 	for i := 0; i < len(val); i++ {
 		switch c := val[i]; c {
@@ -121,8 +144,22 @@ func promLabel(key, val string) string {
 			esc = append(esc, c)
 		}
 	}
-	return `{` + key + `="` + string(esc) + `"}`
+	return string(esc)
 }
+
+// buildGitSHA reads the VCS revision stamped into binaries built from a
+// checkout; empty under `go test` or a non-VCS build. Cached — ReadBuildInfo
+// walks the module graph.
+var buildGitSHA = sync.OnceValue(func() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				return s.Value
+			}
+		}
+	}
+	return ""
+})
 
 // WritePrometheus renders the full exposition document. Any argument may be
 // nil: nil recorder/ledger skip their sections, nil rt samples the cached
@@ -136,6 +173,34 @@ func WritePrometheus(w io.Writer, r *Recorder, l *Ledger, rt *RuntimeStats) erro
 
 	p.header("community_build_info", "Build information for the community-detection process.", "gauge")
 	p.sample("community_build_info", promLabel("go_version", runtime.Version()), 1)
+	p.header("community_go_build_info", "Info-style build identity: toolchain version and VCS revision (git_sha empty outside a VCS build).", "gauge")
+	p.sample("community_go_build_info", promLabels("go_version", runtime.Version(), "git_sha", buildGitSHA()), 1)
+
+	// The doctor gauges are always emitted (zeros before any run is
+	// assessed) so dashboards and alerts can rely on the series existing.
+	v := LiveVerdict()
+	anomalous, baseRuns, findings, regress, maxZ := 0.0, 0.0, 0.0, 0.0, 0.0
+	if v != nil {
+		if v.Anomalous() {
+			anomalous = 1
+		}
+		baseRuns = float64(v.BaselineRuns)
+		findings = float64(len(v.Findings))
+		regress = float64(v.Regressions())
+		maxZ = v.MaxAbsZ
+	}
+	p.header("community_doctor_anomalous", "1 when the most recent run's doctor verdict flagged it as anomalous against its baseline.", "gauge")
+	p.sample("community_doctor_anomalous", "", anomalous)
+	p.header("community_doctor_baseline_runs", "Archived runs the most recent verdict's baseline was learned from.", "gauge")
+	p.sample("community_doctor_baseline_runs", "", baseRuns)
+	p.header("community_doctor_findings", "Drift findings (either direction) in the most recent verdict.", "gauge")
+	p.sample("community_doctor_findings", "", findings)
+	p.header("community_doctor_regressions", "Drift findings in the regressing direction in the most recent verdict.", "gauge")
+	p.sample("community_doctor_regressions", "", regress)
+	p.header("community_doctor_max_abs_z", "Largest robust |z| across the most recent verdict's assessed metrics.", "gauge")
+	p.sample("community_doctor_max_abs_z", "", maxZ)
+	p.header("community_profiles_captured_total", "pprof profiles archived by the triggered profiler.", "counter")
+	p.sample("community_profiles_captured_total", "", float64(ProfilesCaptured()))
 
 	p.header("community_go_goroutines", "Live goroutine count at the last runtime sample.", "gauge")
 	p.sample("community_go_goroutines", "", float64(rt.Goroutines))

@@ -23,9 +23,14 @@ var promNormalizers = []struct {
 	repl string
 }{
 	{regexp.MustCompile(`go_version="[^"]*"`), `go_version="GO"`},
+	{regexp.MustCompile(`git_sha="[^"]*"`), `git_sha="SHA"`},
 	{regexp.MustCompile(`(?m)^community_recorder_uptime_seconds .*$`), `community_recorder_uptime_seconds 0`},
 	{regexp.MustCompile(`(?m)^(community_flight_(?:events|dropped)_total) .*$`), `$1 0`},
 	{regexp.MustCompile(`(?m)^(community_exec_[a-z_]+) .*$`), `$1 0`},
+	// Doctor gauges and capture counts reflect whatever other tests in the
+	// process published (SetLiveVerdict, profiler captures) — zero them.
+	{regexp.MustCompile(`(?m)^(community_doctor_[a-z_]+) .*$`), `$1 0`},
+	{regexp.MustCompile(`(?m)^(community_profiles_captured_total) .*$`), `$1 0`},
 }
 
 func normalizeProm(s string) string {

@@ -4,6 +4,8 @@
 package report
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"io"
 	"os"
@@ -112,7 +114,12 @@ type Options struct {
 	Contraction string `json:"contraction"`
 	// Engine names the detection pipeline (matching/plp/ensemble); the PLP
 	// knobs are recorded only when an engine that reads them is selected.
-	Engine           string  `json:"engine"`
+	Engine string `json:"engine"`
+	// Shards is the sharded-detection fan-out, 0 for single-image runs. Set
+	// by the sharded CLI path (core.ShardOptions, not core.Options, carries
+	// it); part of the doctor's baseline key, since per-shard kernels time
+	// very differently from the single-image ones.
+	Shards           int     `json:"shards,omitempty"`
 	PLPMaxSweeps     int     `json:"plp_max_sweeps,omitempty"`
 	PLPThreshold     float64 `json:"plp_threshold,omitempty"`
 	MinCoverage      float64 `json:"min_coverage,omitempty"`
@@ -254,6 +261,12 @@ type Manifest struct {
 	// Latencies carries the run's per-class latency-histogram snapshots
 	// (quantiles + cumulative buckets), same shape as the Prometheus export.
 	Latencies []obs.LatencyProfile `json:"latencies,omitempty"`
+	// Allocs is the run's heap-allocation footprint when the recorder
+	// sampled it — one of the doctor's baseline drift metrics.
+	Allocs *obs.AllocStats `json:"allocs,omitempty"`
+	// Verdict is the run doctor's end-of-run assessment against the learned
+	// baseline, absent when no doctor ran.
+	Verdict *obs.Verdict `json:"verdict,omitempty"`
 }
 
 // ManifestFromRun assembles a completed run's manifest.
@@ -270,6 +283,7 @@ func ManifestFromRun(run *Run) *Manifest {
 		Warnings:  run.Warnings,
 		Kernels:   kernelsOf(run.Obs),
 		Latencies: latenciesOf(run.Obs),
+		Allocs:    allocsOf(run.Obs),
 	}
 }
 
@@ -285,6 +299,13 @@ func latenciesOf(p *obs.Profile) []obs.LatencyProfile {
 		return nil
 	}
 	return p.Latencies
+}
+
+func allocsOf(p *obs.Profile) *obs.AllocStats {
+	if p == nil {
+		return nil
+	}
+	return p.Allocs
 }
 
 // AppendManifest writes m as one compact JSON line at the end of path,
@@ -312,19 +333,44 @@ func AppendManifest(path string, m *Manifest) error {
 	return f.Close()
 }
 
-// ReadManifests parses every manifest line in r, tolerating a trailing
-// unterminated line.
-func ReadManifests(r io.Reader) ([]*Manifest, error) {
-	dec := json.NewDecoder(r)
-	var out []*Manifest
+// ReadManifests parses every manifest line in r. A line that is not valid
+// JSON — the crash-path O_APPEND write can be interrupted mid-line, leaving
+// a torn record (typically the last line, but resync continues either way)
+// — is skipped and counted rather than failing the whole file: one bad
+// write must not make an archive of good runs unreadable. The error return
+// is reserved for I/O failures on r itself.
+func ReadManifests(r io.Reader) (ms []*Manifest, skipped int, err error) {
+	// Line-oriented reading, not a json.Decoder: the decoder cannot resync
+	// past a malformed record, while the append discipline guarantees every
+	// intact record is exactly one '\n'-terminated line. ReadBytes (not a
+	// Scanner) because manifest lines carry whole convergence ledgers and
+	// routinely exceed any fixed token-size guess.
+	br := bufio.NewReader(r)
 	for {
-		var m Manifest
-		if err := dec.Decode(&m); err != nil {
-			if err == io.EOF {
-				return out, nil
+		line, rerr := br.ReadBytes('\n')
+		if len(bytes.TrimSpace(line)) > 0 {
+			var m Manifest
+			if json.Unmarshal(line, &m) == nil {
+				ms = append(ms, &m)
+			} else {
+				skipped++
 			}
-			return out, err
 		}
-		out = append(out, &m)
+		if rerr == io.EOF {
+			return ms, skipped, nil
+		}
+		if rerr != nil {
+			return ms, skipped, rerr
+		}
 	}
+}
+
+// ReadManifestFile opens path and parses it with ReadManifests.
+func ReadManifestFile(path string) (ms []*Manifest, skipped int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	return ReadManifests(f)
 }

@@ -164,12 +164,12 @@ func TestManifestAppendAndRead(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	ms, err := ReadManifests(f)
+	ms, skipped, err := ReadManifests(f)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ms) != 2 {
-		t.Fatalf("read %d manifests, want 2", len(ms))
+	if len(ms) != 2 || skipped != 0 {
+		t.Fatalf("read %d manifests (%d skipped), want 2 clean", len(ms), skipped)
 	}
 	for _, got := range ms {
 		if got.Graph.Vertices != 600 || got.Summary.Communities != res.NumCommunities {
@@ -193,6 +193,56 @@ func TestManifestAppendAndRead(t *testing.T) {
 		if err := json.Unmarshal([]byte(ln), &one); err != nil {
 			t.Fatalf("line not standalone JSON: %v", err)
 		}
+	}
+}
+
+// TestReadManifestsTornLine is the satellite regression test: a manifest
+// file whose trailing line was torn mid-write (interrupted O_APPEND on the
+// crash path) must still yield every intact record, reporting the torn line
+// as skipped instead of failing the file.
+func TestReadManifestsTornLine(t *testing.T) {
+	good := &Manifest{Kind: "run", Graph: GraphInfo{Name: "torn-test", Vertices: 10, Edges: 20}}
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	if err := AppendManifest(path, good); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendManifest(path, good); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the file mid-record: a complete second line, then a prefix of a
+	// third with no terminator — exactly what an interrupted append leaves.
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(full, []byte(`{"kind":"run","time":"2026-01-0`)...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ms, skipped, err := ReadManifestFile(path)
+	if err != nil {
+		t.Fatalf("torn file failed outright: %v", err)
+	}
+	if len(ms) != 2 || skipped != 1 {
+		t.Fatalf("torn file: %d manifests, %d skipped; want 2 and 1", len(ms), skipped)
+	}
+	for _, m := range ms {
+		if m.Graph.Name != "torn-test" {
+			t.Fatalf("intact record corrupted: %+v", m)
+		}
+	}
+
+	// A torn line mid-file (a crashed writer racing a healthy one) resyncs
+	// on the next newline and still yields the later intact records.
+	lines := bytes.SplitAfter(full, []byte("\n"))
+	mid := append([]byte(`{"kind":"partial","graph":`+"\n"), bytes.Join(lines, nil)...)
+	if err := os.WriteFile(path, mid, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ms, skipped, err = ReadManifestFile(path)
+	if err != nil || len(ms) != 2 || skipped != 1 {
+		t.Fatalf("mid-file tear: %d manifests, %d skipped (err %v); want 2 and 1", len(ms), skipped, err)
 	}
 }
 
